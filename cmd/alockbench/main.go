@@ -1,0 +1,84 @@
+// Command alockbench runs a single lock-table experiment on the
+// deterministic RDMA cluster simulator and prints its throughput, latency
+// distribution and fabric statistics.
+//
+// Examples:
+//
+//	alockbench -algo alock -nodes 10 -threads 8 -locks 100 -locality 90
+//	alockbench -algo spinlock -nodes 1 -threads 16 -locks 1000
+//	alockbench -algo alock -local-budget 5 -remote-budget 20 -cdf
+//
+// Algorithms: alock, alock-nobudget, alock-symmetric, spinlock, mcs,
+// filter, bakery.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"alock/internal/harness"
+	"alock/internal/report"
+)
+
+func main() {
+	var (
+		algo     = flag.String("algo", "alock", "lock algorithm")
+		nodes    = flag.Int("nodes", 5, "cluster nodes (1..16)")
+		threads  = flag.Int("threads", 8, "threads per node")
+		locks    = flag.Int("locks", 100, "lock table size (paper: 20/100/1000)")
+		locality = flag.Int("locality", 90, "percent of operations on node-local locks")
+		localB   = flag.Int64("local-budget", 0, "ALock local budget (0 = paper default 5)")
+		remoteB  = flag.Int64("remote-budget", 0, "ALock remote budget (0 = paper default 20)")
+		warmup   = flag.Duration("warmup", 400*time.Microsecond, "virtual warmup window")
+		measure  = flag.Duration("measure", 4*time.Millisecond, "virtual measurement window")
+		target   = flag.Int64("target-ops", 0, "stop after this many recorded ops (0 = run full window)")
+		cs       = flag.Duration("cs", 0, "critical-section body duration")
+		think    = flag.Duration("think", 0, "think time between operations")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+		cdf      = flag.Bool("cdf", false, "dump the full latency CDF as CSV")
+		asJSON   = flag.Bool("json", false, "emit the full result as JSON instead of text")
+		zipf     = flag.Float64("zipf", 0, "Zipf skew s (>1) for hot-key popularity (0 = uniform)")
+	)
+	flag.Parse()
+
+	cfg := harness.Config{
+		Algorithm:      *algo,
+		Nodes:          *nodes,
+		ThreadsPerNode: *threads,
+		Locks:          *locks,
+		LocalityPct:    *locality,
+		LocalBudget:    *localB,
+		RemoteBudget:   *remoteB,
+		WarmupNS:       warmup.Nanoseconds(),
+		MeasureNS:      measure.Nanoseconds(),
+		TargetOps:      *target,
+		CSWork:         *cs,
+		Think:          *think,
+		ZipfS:          *zipf,
+		Seed:           *seed,
+	}
+	res, err := harness.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "alockbench: %v\n", err)
+		os.Exit(1)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintf(os.Stderr, "alockbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	report.Summary(os.Stdout, res)
+	if *cdf {
+		fmt.Println("\nlatency_ns,cdf")
+		for _, pt := range res.CDF {
+			fmt.Printf("%d,%.6f\n", pt.ValueNS, pt.F)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation (Section 6) on the deterministic simulator:
+//
+//	Table 1   — local/remote atomicity matrix
+//	Figure 1  — loopback congestion of an RDMA spinlock on one node
+//	Figure 4  — cohort budget study
+//	Figure 5  — throughput grid (nodes x contention x locality x threads)
+//	Figure 6  — latency CDF grid (10 nodes, 8 threads/node)
+//	tla       — exhaustive model check of the Appendix A specification
+//	ablations — budget / cohort-split ablations (beyond the paper)
+//
+// Usage:
+//
+//	figures                 # everything, full scale (minutes)
+//	figures -quick          # everything, reduced scale (tens of seconds)
+//	figures -only fig5      # one artifact
+//	figures -csv out.csv    # also dump CSV series for replotting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"alock/internal/check"
+	"alock/internal/harness"
+	"alock/internal/report"
+)
+
+func main() {
+	var (
+		quick   = flag.Bool("quick", false, "reduced sweep (same structure, fewer points)")
+		only    = flag.String("only", "", "comma-separated subset: table1,fig1,fig4,fig5,fig6,tla,ablations,headlines,qp")
+		csvPath = flag.String("csv", "", "also write CSV series to this file")
+		seed    = flag.Int64("seed", 1, "deterministic seed")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	sel := func(k string) bool { return len(want) == 0 || want[k] }
+
+	scale := harness.Scale{Quick: *quick, Seed: *seed}
+	out := os.Stdout
+
+	var csv io.WriteCloser
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		csv = f
+		defer f.Close()
+	}
+
+	if sel("table1") {
+		fmt.Fprintln(out, "running Table 1 atomicity probes...")
+		report.Table1(out, harness.Table1())
+	}
+	if sel("fig1") {
+		fmt.Fprintln(out, "\nrunning Figure 1 (loopback congestion)...")
+		pts := harness.Figure1(scale)
+		report.Figure1(out, pts)
+		if csv != nil {
+			report.Figure1CSV(csv, pts)
+		}
+	}
+	if sel("fig4") {
+		fmt.Fprintln(out, "\nrunning Figure 4 (budget study)...")
+		report.Figure4(out, harness.Figure4(scale))
+	}
+	var fig5 []harness.Fig5Panel
+	if sel("fig5") || sel("headlines") {
+		fmt.Fprintln(out, "\nrunning Figure 5 (throughput grid)... this is the big sweep")
+		fig5 = harness.Figure5(scale)
+	}
+	if sel("fig5") {
+		report.Figure5(out, fig5)
+		report.Figure5Locality(out, harness.Figure5LocalitySweep(scale))
+		if csv != nil {
+			report.Figure5CSV(csv, fig5)
+		}
+	}
+	if sel("fig6") {
+		fmt.Fprintln(out, "\nrunning Figure 6 (latency CDFs)...")
+		panels := harness.Figure6(scale)
+		report.Figure6(out, panels)
+		if csv != nil {
+			report.Figure6CSV(csv, panels)
+		}
+	}
+	if sel("headlines") && fig5 != nil {
+		report.Headlines(out, harness.Headlines(fig5))
+	}
+	if sel("qp") {
+		fmt.Fprintln(out, "\nrunning QP-thrashing sweep...")
+		report.QPThrashing(out, harness.QPThrashing(scale))
+	}
+	if sel("ablations") {
+		fmt.Fprintln(out, "\nrunning ablations...")
+		report.Ablations(out, harness.Ablations(scale))
+	}
+	if sel("tla") {
+		fmt.Fprintln(out, "\nmodel-checking the Appendix A specification...")
+		configs := []check.Config{
+			{Procs: 2, Budget: 1}, {Procs: 2, Budget: 2}, {Procs: 3, Budget: 1},
+		}
+		if !*quick {
+			configs = append(configs, check.Config{Procs: 3, Budget: 2})
+		}
+		for _, cfg := range configs {
+			res, err := check.Run(cfg)
+			if err != nil {
+				fmt.Fprintf(out, "  procs=%d budget=%d: %v\n", cfg.Procs, cfg.Budget, err)
+				continue
+			}
+			verdict := "OK (mutual exclusion, deadlock-freedom, starvation-freedom)"
+			if !res.OK() {
+				verdict = "VIOLATION: " + res.String()
+			}
+			fmt.Fprintf(out, "  procs=%d budget=%d: %d states, %d transitions — %s\n",
+				cfg.Procs, cfg.Budget, res.States, res.Transitions, verdict)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// Quickstart: protect a shared counter with an ALock on a two-node
+// cluster.
+//
+// Six goroutine "threads" — three on each node — increment one plain Go
+// integer 10,000 times each. The counter is protected only by the ALock:
+// threads on node 0 (where the lock lives) take the local cohort path with
+// shared-memory operations, threads on node 1 take the remote cohort path
+// with simulated RDMA verbs, and the final count proves every critical
+// section was exclusive.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"alock"
+)
+
+func main() {
+	cluster := alock.NewCluster(alock.ClusterConfig{Nodes: 2})
+
+	// One ALock, homed on node 0. Its 64-byte line starts zeroed, which is
+	// the unlocked state.
+	lock := cluster.AllocLock(0)
+
+	const threadsPerNode = 3
+	const itersPerThread = 10_000
+	counter := 0 // deliberately unsynchronized: the ALock is the only guard
+
+	for node := 0; node < cluster.Nodes(); node++ {
+		for t := 0; t < threadsPerNode; t++ {
+			cluster.Spawn(node, func(ctx alock.Ctx) {
+				handle := alock.NewHandle(ctx, alock.DefaultConfig())
+				for i := 0; i < itersPerThread; i++ {
+					handle.Lock(lock)
+					counter++
+					handle.Unlock(lock)
+				}
+			})
+		}
+	}
+	cluster.Wait()
+
+	want := cluster.Nodes() * threadsPerNode * itersPerThread
+	fmt.Printf("counter = %d (want %d)\n", counter, want)
+	if counter != want {
+		panic("mutual exclusion violated")
+	}
+	fmt.Println("every increment survived: the local and remote cohorts were mutually exclusive")
+}

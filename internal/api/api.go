@@ -1,0 +1,138 @@
+// Package api defines the execution-context interface that every lock
+// algorithm in this repository is written against, plus the cohort
+// classification rules of the paper's system model (Section 4).
+//
+// The paper distinguishes two classes of access to RDMA-accessible memory:
+//
+//   - Local access (Definition 4.1): shared-memory operations — Read,
+//     Write, CAS — used by a thread when the memory resides on its own node.
+//   - Remote access (Definition 4.2): RDMA one-sided operations — rRead,
+//     rWrite, rCAS — used when the memory resides on another node (or when
+//     a loopback-based algorithm insists on RDMA even for its own node).
+//
+// Atomicity between the classes is asymmetric (Table 1): reads and writes
+// of either class are atomic with everything, but an rCAS is NOT atomic
+// with a local Write or local RMW — it appears locally as a read followed
+// by a write. The engines in internal/sim and internal/rt both honor this
+// contract (tearing is configurable), which is what makes it possible to
+// test that ALock's discipline — never mixing RMW classes on one word — is
+// load-bearing.
+//
+// The same lock code runs unmodified on the deterministic discrete-event
+// engine (internal/sim, used for every figure) and the real-goroutine
+// engine (internal/rt, used for race-detector correctness tests and the
+// examples), because both implement Ctx.
+package api
+
+import (
+	"math/rand"
+	"time"
+
+	"alock/internal/ptr"
+)
+
+// Cohort identifies which of the paper's two cohorts a lock access belongs
+// to. The values double as indices into Peterson's cohort[2] array
+// (Algorithm 4) and as the values stored in a lock's victim word.
+type Cohort int
+
+const (
+	// CohortLocal is the cohort of threads accessing a lock stored on
+	// their own node using shared-memory operations.
+	CohortLocal Cohort = 0
+	// CohortRemote is the cohort of threads accessing a lock stored on a
+	// different node using RDMA operations.
+	CohortRemote Cohort = 1
+)
+
+// Other returns the opposing cohort (Algorithm 4: other <- 1 - id).
+func (c Cohort) Other() Cohort { return 1 - c }
+
+// String names the cohort as in the paper's example (LOCAL / REMOTE).
+func (c Cohort) String() string {
+	if c == CohortLocal {
+		return "LOCAL"
+	}
+	return "REMOTE"
+}
+
+// Classify determines the cohort of an access by a thread on threadNode to
+// the object at p, by inspecting the node ID embedded in the first 4 bits
+// of the RDMA pointer (Section 5, "Lock Procedure").
+func Classify(threadNode int, p ptr.Ptr) Cohort {
+	if p.NodeID() == threadNode {
+		return CohortLocal
+	}
+	return CohortRemote
+}
+
+// Ctx is a simulated (or real) thread's handle onto the cluster. All lock
+// algorithms, workloads and examples are written against this interface.
+//
+// The six memory operations mirror the paper's Section 4 exactly. Callers
+// choose the class; the engine charges the corresponding cost and enforces
+// the corresponding atomicity. Using RRead/RWrite/RCAS against memory on
+// the caller's own node is legal and models the loopback mechanism (it
+// passes through the local RNIC, with all the congestion that implies) —
+// that is precisely what the paper's spinlock and MCS competitors do.
+type Ctx interface {
+	// NodeID returns the node this thread executes on.
+	NodeID() int
+	// ThreadID returns a cluster-wide unique thread ID.
+	ThreadID() int
+
+	// Read performs a local (shared-memory) 8-byte load.
+	Read(p ptr.Ptr) uint64
+	// Write performs a local (shared-memory) 8-byte store.
+	Write(p ptr.Ptr, v uint64)
+	// CAS performs a local compare-and-swap and returns the previous value
+	// (the swap succeeded iff the return value equals old).
+	CAS(p ptr.Ptr, old, new uint64) uint64
+
+	// RRead performs a one-sided RDMA read.
+	RRead(p ptr.Ptr) uint64
+	// RWrite performs a one-sided RDMA write.
+	RWrite(p ptr.Ptr, v uint64)
+	// RCAS performs a one-sided RDMA compare-and-swap and returns the
+	// previous value. It is atomic with other remote operations but NOT
+	// with local Write/CAS (Table 1) when the engine models tearing.
+	RCAS(p ptr.Ptr, old, new uint64) uint64
+
+	// Fence issues the atomic thread fence the algorithm requires after
+	// locking and before unlocking (§5.2).
+	Fence()
+
+	// Pause backs off inside a spin loop; iter is the number of failed
+	// polls so far. Engines translate it into bounded exponential delay.
+	Pause(iter int)
+
+	// Work burns d of engine time, modeling a critical-section body or
+	// think time between operations.
+	Work(d time.Duration)
+
+	// Now returns nanoseconds of engine time since the run began
+	// (virtual time under internal/sim, wall time under internal/rt).
+	Now() int64
+
+	// Stopped reports whether the engine has passed its measurement
+	// horizon; workload loops exit cleanly (finishing their current
+	// lock/unlock first) when it returns true.
+	Stopped() bool
+
+	// Alloc allocates words 8-byte words, aligned to align words, in this
+	// thread's own node's RDMA-accessible memory.
+	Alloc(words, align int) ptr.Ptr
+	// Free releases a pointer obtained from Alloc.
+	Free(p ptr.Ptr)
+
+	// Rand returns this thread's deterministic random stream.
+	Rand() *rand.Rand
+}
+
+// Locker is a per-thread handle to one lock algorithm. Lock and Unlock
+// bracket a critical section on the lock object at l; an operation in the
+// paper's evaluation is exactly one Lock followed by one Unlock.
+type Locker interface {
+	Lock(l ptr.Ptr)
+	Unlock(l ptr.Ptr)
+}

@@ -1,0 +1,608 @@
+// Package check is an explicit-state model checker for the ALock algorithm
+// as specified in the paper's Appendix A (the TLA+/PlusCal "alock" spec).
+//
+// The PlusCal algorithm is translated label-for-label into a transition
+// system: NumProcesses processes loop through
+//
+//	ncs → AcquireCohort → (AcquireGlobal if not passed) → cs → ReleaseCohort
+//
+// with processes assigned to the two cohorts by parity (Us(pid) = pid%2),
+// a shared victim word, the two cohort tail words (0 = NULL, else the
+// pid of the enqueued process, standing in for its descriptor pointer),
+// and per-process descriptors carrying {budget, next}.
+//
+// Exhaustive breadth-first exploration over all interleavings checks:
+//
+//   - MutualExclusion: no two processes are simultaneously at label cs
+//     (Appendix A, Safety).
+//   - Deadlock-freedom: every reachable state has at least one enabled
+//     transition (the processes loop forever, so quiescence = deadlock).
+//   - Progress-possibility: from every reachable state, every process can
+//     still reach its critical section on some schedule (computed by
+//     backward reachability). This is the possibility core of the spec's
+//     StarvationFree property; inevitability under weak fairness is
+//     established separately by the budget run-length tests in
+//     internal/core.
+//
+// A deliberately broken variant (skipping Peterson's wait, or the victim
+// handshake) is also exposed so the tests can verify the checker actually
+// catches violations.
+package check
+
+import (
+	"fmt"
+)
+
+// Variant selects the algorithm to check: the faithful translation or a
+// mutation used to validate the checker itself.
+type Variant int
+
+const (
+	// Correct is the faithful Appendix A algorithm.
+	Correct Variant = iota
+	// NoPetersonWait makes AcquireGlobal return immediately — cohort
+	// leaders never synchronize, so mutual exclusion must fail.
+	NoPetersonWait
+	// NoVictimWrite skips the victim assignment in AcquireGlobal — the
+	// classic Peterson bug: an arriving leader no longer publishes itself
+	// as the victim, so it can slide past gwait while the other cohort's
+	// leader is already in the critical section.
+	NoVictimWrite
+	// NoBudgetReacquire ignores the budget-exhaustion check (c4 always
+	// proceeds as if budget remained): the cohort lock stays correct, but
+	// a cohort with a steady supply of waiters passes the lock internally
+	// forever and the other cohort's leader starves — precisely the
+	// unfairness the budget exists to prevent (Section 5, "Adding
+	// Fairness").
+	NoBudgetReacquire
+)
+
+// Program-counter labels, one per PlusCal label.
+type label uint8
+
+const (
+	lNCS label = iota
+	lEnter
+	lC1
+	lSwap
+	lCWait
+	lC2
+	lC3
+	lC4
+	lC5 // call AcquireGlobal (from cohort reacquire)
+	lC6
+	lC7
+	lC8
+	lC9
+	lC10
+	lP2
+	lG1
+	lGWait
+	lG4
+	lCS
+	lExitCas
+	lR1
+	lR2
+	lR3
+	numLabels
+)
+
+// labelNames for diagnostics.
+var labelNames = [numLabels]string{
+	"ncs", "enter", "c1", "swap", "cwait", "c2", "c3", "c4", "c5", "c6",
+	"c7", "c8", "c9", "c10", "p2", "g1", "gwait", "g4", "cs", "cas", "r1",
+	"r2", "r3",
+}
+
+// Return targets for AcquireGlobal (the only procedure called from two
+// sites).
+type gret uint8
+
+const (
+	retNone gret = iota
+	retC6        // called from c5 (budget exhausted during a pass)
+	retCS        // called from p2 (fresh cohort leader)
+)
+
+// MaxProcs bounds the checkable configuration size.
+const MaxProcs = 5
+
+// state is one global state of the transition system. Fixed-size and
+// comparable, so it can key a map directly.
+type state struct {
+	victim int8           // 0 or 1 (cohort index)
+	cohort [2]int8        // 0 = NULL, else pid (1-based)
+	budget [MaxProcs]int8 // descriptor budgets
+	next   [MaxProcs]int8 // descriptor next pointers (0 = NULL, else pid)
+	passed [MaxProcs]bool
+	pred   [MaxProcs]int8 // AcquireCohort's local pred variable
+	ret    [MaxProcs]gret // AcquireGlobal return target
+	pc     [MaxProcs]label
+}
+
+// Config parameterizes a check run.
+type Config struct {
+	Procs   int // NumProcesses (2..MaxProcs)
+	Budget  int // InitialBudget (>= 1)
+	Variant Variant
+	// MaxStates aborts exploration beyond this many states (0 = 50M).
+	MaxStates int
+}
+
+// Result reports what the exploration found.
+type Result struct {
+	States        int64
+	Transitions   int64
+	MutexViolated bool
+	// MutexWitness describes the violating state, if any.
+	MutexWitness string
+	Deadlocked   bool
+	// DeadlockWitness describes the stuck state, if any.
+	DeadlockWitness string
+	// StarvedProc is the first process (1-based) that cannot reach cs from
+	// some reachable state, or 0.
+	StarvedProc int
+}
+
+// OK reports whether every checked property held.
+func (r Result) OK() bool {
+	return !r.MutexViolated && !r.Deadlocked && r.StarvedProc == 0
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("states=%d transitions=%d mutex=%v deadlock=%v starved=%d",
+		r.States, r.Transitions, !r.MutexViolated, r.Deadlocked, r.StarvedProc)
+}
+
+// us returns the cohort index of pid (1-based pid, as in the TLA+ spec:
+// Us(pid) = pid % 2 mapped onto {0,1}).
+func us(pid int) int { return pid % 2 }
+
+// Run explores the full state space of the configuration.
+func Run(cfg Config) (Result, error) {
+	if cfg.Procs < 2 || cfg.Procs > MaxProcs {
+		return Result{}, fmt.Errorf("check: Procs must be in 2..%d", MaxProcs)
+	}
+	if cfg.Budget < 1 || cfg.Budget > 120 {
+		return Result{}, fmt.Errorf("check: Budget must be in 1..120")
+	}
+	maxStates := cfg.MaxStates
+	if maxStates == 0 {
+		maxStates = 50_000_000
+	}
+
+	// Initial states: victim starts in either cohort (TLA+: victim ∈ {1,2}).
+	var inits []state
+	for _, v := range []int8{0, 1} {
+		var s state
+		s.victim = v
+		for p := 0; p < cfg.Procs; p++ {
+			s.budget[p] = -1
+			s.pc[p] = lNCS
+		}
+		inits = append(inits, s)
+	}
+
+	res := Result{}
+	seen := make(map[state]int64) // state -> dense id
+	var states []state            // id -> state
+	var succs [][]sccEdge         // forward edges, labeled with the acting process
+	queue := make([]int32, 0, 1024)
+
+	add := func(s state) (int32, bool) {
+		if id, ok := seen[s]; ok {
+			return int32(id), false
+		}
+		id := int64(len(states))
+		seen[s] = id
+		states = append(states, s)
+		succs = append(succs, nil)
+		return int32(id), true
+	}
+
+	for _, s := range inits {
+		id, fresh := add(s)
+		if fresh {
+			queue = append(queue, id)
+		}
+	}
+
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		s := states[id]
+
+		// Safety: mutual exclusion.
+		inCS := 0
+		for p := 0; p < cfg.Procs; p++ {
+			if s.pc[p] == lCS {
+				inCS++
+			}
+		}
+		if inCS > 1 && !res.MutexViolated {
+			res.MutexViolated = true
+			res.MutexWitness = describe(&s, cfg.Procs)
+		}
+
+		anyEnabled := false
+		for p := 1; p <= cfg.Procs; p++ {
+			succ, enabled := step(&s, p, cfg)
+			if !enabled {
+				continue
+			}
+			anyEnabled = true
+			res.Transitions++
+			sid, fresh := add(succ)
+			succs[id] = append(succs[id], sccEdge{to: sid, actor: uint8(p - 1)})
+			if fresh {
+				queue = append(queue, sid)
+				if len(states) > maxStates {
+					return res, fmt.Errorf("check: state space exceeds %d states", maxStates)
+				}
+			}
+		}
+		if !anyEnabled && !res.Deadlocked {
+			res.Deadlocked = true
+			res.DeadlockWitness = describe(&s, cfg.Procs)
+		}
+	}
+	res.States = int64(len(states))
+	if res.MutexViolated || res.Deadlocked {
+		return res, nil
+	}
+
+	// Progress-possibility: every process must be able to reach cs from
+	// every reachable state (backward BFS from {pc[p] == cs}).
+	preds := make([][]int32, len(states))
+	for u := range succs {
+		for _, e := range succs[u] {
+			preds[e.to] = append(preds[e.to], int32(u))
+		}
+	}
+	for p := 0; p < cfg.Procs; p++ {
+		reached := make([]bool, len(states))
+		var bq []int32
+		for i, st := range states {
+			if st.pc[p] == lCS {
+				reached[i] = true
+				bq = append(bq, int32(i))
+			}
+		}
+		for len(bq) > 0 {
+			v := bq[0]
+			bq = bq[1:]
+			for _, u := range preds[v] {
+				if !reached[u] {
+					reached[u] = true
+					bq = append(bq, u)
+				}
+			}
+		}
+		for i := range states {
+			if !reached[i] {
+				res.StarvedProc = p + 1
+				return res, nil
+			}
+		}
+	}
+
+	// Starvation under weak fairness: look for a cycle along which process
+	// p stays blocked while every other process is either taking steps or
+	// disabled at some point of the cycle (so the run violates no weak
+	// fairness assumption). Such a cycle is an admissible infinite run
+	// that starves p — the negation of the spec's StarvationFree property.
+	//
+	// Implementation: for each p, restrict the graph to states where p is
+	// disabled, compute SCCs, and test each nontrivial SCC for the weak
+	// fairness condition above.
+	enabledIn := func(id int32, p int) bool {
+		_, en := step(&states[id], p+1, cfg)
+		return en
+	}
+	for p := 0; p < cfg.Procs; p++ {
+		inSub := make([]bool, len(states))
+		for i := range states {
+			if !enabledIn(int32(i), p) {
+				inSub[i] = true
+			}
+		}
+		comp := sccs(len(states), func(u int) []sccEdge {
+			if !inSub[u] {
+				return nil
+			}
+			var out []sccEdge
+			for _, e := range succs[u] {
+				if inSub[e.to] {
+					out = append(out, e)
+				}
+			}
+			return out
+		})
+		// Group states by component and analyze each nontrivial one.
+		bySCC := map[int32][]int32{}
+		for i, c := range comp {
+			if inSub[i] {
+				bySCC[c] = append(bySCC[c], int32(i))
+			}
+		}
+		for _, members := range bySCC {
+			if !sccNontrivial(members, comp, succs, inSub) {
+				continue
+			}
+			if fairCycle(members, comp, succs, inSub, cfg.Procs, p, enabledIn) {
+				res.StarvedProc = p + 1
+				res.DeadlockWitness = "weakly-fair starvation cycle through " +
+					describe(&states[members[0]], cfg.Procs)
+				return res, nil
+			}
+		}
+	}
+	return res, nil
+}
+
+// sccEdge is one labeled transition: target state and acting process.
+type sccEdge struct {
+	to    int32
+	actor uint8 // 0-based proc index
+}
+
+// sccs computes strongly connected components (Tarjan, iterative) over the
+// subgraph induced by the out function. Returns component IDs per node.
+func sccs(n int, out func(int) []sccEdge) []int32 {
+	const unvisited = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	comp := make([]int32, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var stack []int32
+	var next, nComp int32
+
+	type frame struct {
+		v  int32
+		ei int
+	}
+	for start := 0; start < n; start++ {
+		if index[start] != unvisited {
+			continue
+		}
+		callStack := []frame{{v: int32(start)}}
+		index[start] = next
+		low[start] = next
+		next++
+		stack = append(stack, int32(start))
+		onStack[start] = true
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			edges := out(int(f.v))
+			if f.ei < len(edges) {
+				w := edges[f.ei].to
+				f.ei++
+				if index[w] == unvisited {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{v: w})
+				} else if onStack[w] && low[f.v] > index[w] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// Done with v.
+			v := f.v
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				parent := callStack[len(callStack)-1].v
+				if low[parent] > low[v] {
+					low[parent] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nComp
+					if w == v {
+						break
+					}
+				}
+				nComp++
+			}
+		}
+	}
+	return comp
+}
+
+// sccNontrivial reports whether the component has at least one internal
+// transition (a real cycle, not an isolated state).
+func sccNontrivial(members []int32, comp []int32, succs [][]sccEdge, inSub []bool) bool {
+	if len(members) > 1 {
+		return true
+	}
+	u := members[0]
+	for _, e := range succs[u] {
+		if e.to == u && inSub[u] {
+			return true
+		}
+	}
+	return false
+}
+
+// fairCycle decides whether the SCC admits a weakly fair infinite run: for
+// every process j != starved, either j takes a step on some internal edge,
+// or j is disabled in at least one member state (so a run looping through
+// that state does not owe j a step under weak fairness).
+func fairCycle(members []int32, comp []int32, succs [][]sccEdge, inSub []bool,
+	procs, starved int, enabledIn func(int32, int) bool) bool {
+
+	cid := comp[members[0]]
+	steps := make([]bool, procs)
+	for _, u := range members {
+		for _, e := range succs[u] {
+			if inSub[e.to] && comp[e.to] == cid {
+				steps[e.actor] = true
+			}
+		}
+	}
+	for j := 0; j < procs; j++ {
+		if j == starved || steps[j] {
+			continue
+		}
+		disabledSomewhere := false
+		for _, u := range members {
+			if !enabledIn(u, j) {
+				disabledSomewhere = true
+				break
+			}
+		}
+		if !disabledSomewhere {
+			return false // j continuously enabled but never steps: unfair run
+		}
+	}
+	return true
+}
+
+// step executes process pid's (1-based) next atomic label from s, returning
+// the successor and whether the process was enabled.
+func step(s *state, pid int, cfg Config) (state, bool) {
+	p := pid - 1
+	n := *s
+	myCohort := us(pid)
+	other := 1 - myCohort
+	B := int8(cfg.Budget)
+
+	switch s.pc[p] {
+	case lNCS:
+		n.pc[p] = lEnter
+	case lEnter:
+		n.pc[p] = lC1
+	case lC1:
+		n.budget[p] = -1
+		n.next[p] = 0
+		n.pc[p] = lSwap
+	case lSwap:
+		n.pred[p] = s.cohort[myCohort]
+		n.cohort[myCohort] = int8(pid)
+		n.pc[p] = lCWait
+	case lCWait:
+		if s.pred[p] != 0 {
+			n.pc[p] = lC2
+		} else {
+			n.pc[p] = lC8
+		}
+	case lC2:
+		n.next[s.pred[p]-1] = int8(pid)
+		n.pc[p] = lC3
+	case lC3:
+		if s.budget[p] < 0 {
+			return n, false // await Budget(self) >= 0
+		}
+		n.pc[p] = lC4
+	case lC4:
+		if s.budget[p] == 0 && cfg.Variant != NoBudgetReacquire {
+			n.pc[p] = lC5
+		} else {
+			n.pc[p] = lC7
+		}
+	case lC5:
+		n.ret[p] = retC6
+		n.pc[p] = gEntry(cfg.Variant)
+	case lC6:
+		n.budget[p] = B
+		n.pc[p] = lC7
+	case lC7:
+		n.passed[p] = true
+		n.pc[p] = lP2 // return from AcquireCohort
+	case lC8:
+		n.budget[p] = B
+		n.pc[p] = lC9
+	case lC9:
+		n.passed[p] = false
+		n.pc[p] = lP2
+	case lC10:
+		n.pc[p] = lP2
+	case lP2:
+		if !s.passed[p] {
+			n.ret[p] = retCS
+			n.pc[p] = gEntry(cfg.Variant)
+		} else {
+			n.pc[p] = lCS
+		}
+	case lG1:
+		if cfg.Variant != NoVictimWrite {
+			n.victim = int8(myCohort)
+		}
+		n.pc[p] = lGWait
+	case lGWait:
+		// g2: if cohort[Them] = 0 goto g4; g3: if victim != us goto g4.
+		if s.cohort[other] == 0 || int(s.victim) != myCohort {
+			n.pc[p] = lG4
+		} else {
+			return n, false // keep waiting (modeled as blocked-until-change)
+		}
+	case lG4:
+		// Return from AcquireGlobal.
+		switch s.ret[p] {
+		case retC6:
+			n.pc[p] = lC6
+		case retCS:
+			n.pc[p] = lCS
+		default:
+			panic("check: g4 without return target")
+		}
+		n.ret[p] = retNone
+	case lCS:
+		n.pc[p] = lExitCas
+	case lExitCas:
+		if s.cohort[myCohort] == int8(pid) {
+			n.cohort[myCohort] = 0
+			n.pc[p] = lR3
+		} else {
+			n.pc[p] = lR1
+		}
+	case lR1:
+		if s.next[p] == 0 {
+			return n, false // await next != 0
+		}
+		n.pc[p] = lR2
+	case lR2:
+		passedBudget := s.budget[p] - 1
+		if cfg.Variant == NoBudgetReacquire && passedBudget < 1 {
+			// Keep the mutated variant passing forever (budgets would
+			// otherwise underflow into the waiting sentinel and change
+			// the failure mode from starvation to a stuck successor).
+			passedBudget = 1
+		}
+		n.budget[s.next[p]-1] = passedBudget
+		n.pc[p] = lR3
+	case lR3:
+		n.pc[p] = lNCS // return; loop
+	default:
+		panic("check: bad pc")
+	}
+	return n, true
+}
+
+// gEntry returns the entry label of AcquireGlobal for the variant.
+func gEntry(v Variant) label {
+	if v == NoPetersonWait {
+		return lG4
+	}
+	return lG1
+}
+
+// describe renders a state for violation messages.
+func describe(s *state, procs int) string {
+	out := fmt.Sprintf("victim=%d cohort=[%d,%d]", s.victim, s.cohort[0], s.cohort[1])
+	for p := 0; p < procs; p++ {
+		out += fmt.Sprintf(" p%d{pc=%s budget=%d next=%d passed=%v}",
+			p+1, labelNames[s.pc[p]], s.budget[p], s.next[p], s.passed[p])
+	}
+	return out
+}

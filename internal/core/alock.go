@@ -1,0 +1,363 @@
+// Package core implements the ALock, the paper's primary contribution: a
+// fair, starvation-free mutual-exclusion primitive for RDMA systems that
+// lets threads performing local accesses synchronize with threads
+// performing remote accesses without loopback or RPCs.
+//
+// Structure (Section 5): an ALock is the composition of
+//
+//   - two budgeted MCS queue locks, one per cohort (local and remote), whose
+//     tails double as the flag variables of Peterson's algorithm — a
+//     non-NULL tail means that cohort is interested in or holds the lock;
+//   - a modified Peterson's lock between the two cohort leaders, with a
+//     victim word to arbitrate and a reacquire operation for fairness.
+//
+// The asymmetry discipline is the whole point: tail_l is only ever RMW'd
+// with shared-memory CAS (by threads on the lock's home node), tail_r only
+// with RDMA CAS (by threads elsewhere), and the victim word is only read
+// and written, never RMW'd. Cross-class reads and writes of 8-byte words
+// are atomic (Table 1), so the lock is correct even though local and remote
+// RMW operations are not atomic with each other.
+//
+// Memory layout (Figure 3): one 64-byte cache line per lock —
+//
+//	byte 0x00: tail_r   (8B rdma_ptr)
+//	byte 0x10: tail_l   (8B rdma_ptr)
+//	byte 0x20: victim   (8B integer: 0 = LOCAL, 1 = REMOTE)
+//	padded to 64 bytes
+//
+// and one 64-byte descriptor line per (thread, cohort) —
+//
+//	byte 0x00: budget   (8B signed integer; -1 = waiting)
+//	byte 0x08: next     (8B rdma_ptr to successor's descriptor)
+//	padded to 64 bytes.
+package core
+
+import (
+	"fmt"
+
+	"alock/internal/api"
+	"alock/internal/ptr"
+)
+
+// Word offsets inside the 64-byte ALock line (Figure 3; byte offsets 0x00,
+// 0x10 and 0x20 are words 0, 2 and 4).
+const (
+	WordTailR  = 0 // remote cohort's MCS tail (doubles as Peterson flag)
+	WordTailL  = 2 // local cohort's MCS tail (doubles as Peterson flag)
+	WordVictim = 4 // Peterson victim: which cohort yields
+
+	// LockWords is the allocation size of one ALock: a full cache line.
+	LockWords = 8
+)
+
+// Word offsets inside a 64-byte descriptor line.
+const (
+	descBudget = 0
+	descNext   = 1
+
+	// DescWords is the allocation size of one descriptor: a full cache
+	// line, padded to prevent false sharing (Section 6).
+	DescWords = 8
+)
+
+// waiting is the budget sentinel meaning "enqueued, lock not yet passed"
+// (the descriptors in the paper's Figure 2 are initialized to -1).
+const waiting = ^uint64(0) // int64(-1)
+
+// Config selects the cohort budgets (Section 6.1). The budget bounds how
+// many times a cohort may pass the lock internally before its leader must
+// reacquire through Peterson's algorithm, yielding to the other cohort.
+type Config struct {
+	// LocalBudget is kInitBudget for the local cohort.
+	LocalBudget int64
+	// RemoteBudget is kInitBudget for the remote cohort. The paper keeps
+	// this higher because a remote reacquire costs RDMA operations while a
+	// local reacquire costs only shared-memory operations.
+	RemoteBudget int64
+	// ForceRemote is an ablation switch (not part of the paper's design):
+	// when set, every access is classified remote, collapsing ALock into a
+	// symmetric single-cohort lock. Comparing it against the real ALock
+	// isolates the value of the asymmetric cohort split; comparing it
+	// against the plain RDMA MCS lock isolates the overhead of the
+	// embedded Peterson layer.
+	ForceRemote bool
+}
+
+// DefaultConfig returns the budgets the paper selects after the Figure 4
+// study: local budget 5, remote budget 20.
+func DefaultConfig() Config { return Config{LocalBudget: 5, RemoteBudget: 20} }
+
+// Validate rejects non-positive budgets: a budget of 0 would force a
+// reacquire on every pass, and negative budgets collide with the waiting
+// sentinel.
+func (c Config) Validate() error {
+	if c.LocalBudget <= 0 || c.RemoteBudget <= 0 {
+		return fmt.Errorf("core: budgets must be positive (got local=%d remote=%d)",
+			c.LocalBudget, c.RemoteBudget)
+	}
+	return nil
+}
+
+func (c Config) budget(co api.Cohort) int64 {
+	if co == api.CohortLocal {
+		return c.LocalBudget
+	}
+	return c.RemoteBudget
+}
+
+// Stats counts per-handle events, useful for tests and for the evaluation's
+// analysis of lock passing (Section 6.2 attributes ALock's high-contention
+// throughput to the pass mechanism).
+type Stats struct {
+	Acquires   int64 // successful Lock operations
+	Passes     int64 // acquisitions in which the MCS lock was passed to us
+	Reacquires int64 // Peterson pReacquire executions
+	LocalOps   int64 // acquisitions classified local
+	RemoteOps  int64 // acquisitions classified remote
+}
+
+// Handle is one thread's capability to acquire ALocks. A handle owns one
+// local and one remote descriptor in its thread's own node's memory (a
+// thread waits on at most one lock at a time, so one descriptor per cohort
+// suffices, as in the paper's Figure 2).
+//
+// A Handle is not safe for concurrent use — it belongs to exactly one
+// thread, like the paper's per-thread metadata.
+type Handle struct {
+	ctx   api.Ctx
+	cfg   Config
+	desc  [2]ptr.Ptr // indexed by api.Cohort
+	stats Stats
+}
+
+var _ api.Locker = (*Handle)(nil)
+
+// NewHandle allocates the per-thread descriptors on ctx's node and returns
+// a handle using the given budget configuration.
+func NewHandle(ctx api.Ctx, cfg Config) *Handle {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	h := &Handle{ctx: ctx, cfg: cfg}
+	for _, co := range []api.Cohort{api.CohortLocal, api.CohortRemote} {
+		d := ctx.Alloc(DescWords, DescWords)
+		ctx.Write(d.Add(descBudget), waiting)
+		ctx.Write(d.Add(descNext), ptr.Null.Word())
+		h.desc[co] = d
+	}
+	return h
+}
+
+// Stats returns a copy of the handle's counters.
+func (h *Handle) Stats() Stats { return h.stats }
+
+// Descriptor exposes the cohort descriptor pointer (for tests).
+func (h *Handle) Descriptor(co api.Cohort) ptr.Ptr { return h.desc[co] }
+
+// TailPtr returns the pointer to the given cohort's MCS tail word within
+// the lock line at l.
+func TailPtr(l ptr.Ptr, co api.Cohort) ptr.Ptr {
+	if co == api.CohortLocal {
+		return l.Add(WordTailL)
+	}
+	return l.Add(WordTailR)
+}
+
+// VictimPtr returns the pointer to the Peterson victim word of the lock at l.
+func VictimPtr(l ptr.Ptr) ptr.Ptr { return l.Add(WordVictim) }
+
+// view binds the six Ctx operations to one access class, so the cohort
+// algorithms are written once. The local cohort's view uses shared-memory
+// operations; the remote cohort's view uses RDMA operations — including for
+// peer descriptors, exactly as Algorithm 3 prescribes (rWrite
+// unconditionally), even when a peer happens to be co-located.
+type view struct {
+	ctx    api.Ctx
+	remote bool
+}
+
+func (v view) read(p ptr.Ptr) uint64 {
+	if v.remote {
+		return v.ctx.RRead(p)
+	}
+	return v.ctx.Read(p)
+}
+
+func (v view) write(p ptr.Ptr, x uint64) {
+	if v.remote {
+		v.ctx.RWrite(p, x)
+		return
+	}
+	v.ctx.Write(p, x)
+}
+
+func (v view) cas(p ptr.Ptr, old, new uint64) uint64 {
+	if v.remote {
+		return v.ctx.RCAS(p, old, new)
+	}
+	return v.ctx.CAS(p, old, new)
+}
+
+// Lock acquires the ALock at l (Algorithm 2). The access class is
+// determined by the node ID embedded in the pointer: threads on the lock's
+// home node take the local path with shared-memory operations only (no
+// loopback), everyone else takes the remote path with RDMA verbs.
+func (h *Handle) Lock(l ptr.Ptr) {
+	co := h.classify(l)
+	if co == api.CohortLocal {
+		h.stats.LocalOps++
+	} else {
+		h.stats.RemoteOps++
+	}
+	passed := h.qLock(l, co)
+	if !passed {
+		// We swapped onto an empty cohort queue: we are the cohort leader
+		// and must win Peterson's lock before entering the critical
+		// section (Algorithm 2 line 3-4).
+		h.pReacquire(l, co)
+	}
+	// Fence after locking (§5.2).
+	h.ctx.Fence()
+	h.stats.Acquires++
+}
+
+// Unlock releases the ALock at l (Algorithm 2 line 5-6).
+func (h *Handle) Unlock(l ptr.Ptr) {
+	co := h.classify(l)
+	// Fence before unlocking (§5.2).
+	h.ctx.Fence()
+	h.qUnlock(l, co)
+}
+
+// classify determines the cohort for an access to l, honoring the
+// ForceRemote ablation.
+func (h *Handle) classify(l ptr.Ptr) api.Cohort {
+	if h.cfg.ForceRemote {
+		return api.CohortRemote
+	}
+	return api.Classify(h.ctx.NodeID(), l)
+}
+
+// qLock is the modified (budgeted) MCS queue lock of Algorithm 3. It
+// returns true iff the lock was passed to us by a predecessor — in which
+// case Peterson's lock is already held by our cohort — and false iff we
+// swapped onto an empty queue and became the cohort leader.
+func (h *Handle) qLock(l ptr.Ptr, co api.Cohort) bool {
+	v := view{ctx: h.ctx, remote: co == api.CohortRemote}
+	d := h.desc[co]
+	tail := TailPtr(l, co)
+
+	// Reset our descriptor (Algorithm 3 line 2; the descriptor's own words
+	// live on our node, so these are always shared-memory writes).
+	h.ctx.Write(d.Add(descNext), ptr.Null.Word())
+	h.ctx.Write(d.Add(descBudget), waiting)
+
+	// Swap our descriptor onto the cohort tail. RDMA offers CAS (not
+	// unconditional swap), so the swap is a CAS-retry loop seeded with the
+	// value learned from each failed attempt (Section 5, Lock Procedure).
+	expected := ptr.Null.Word()
+	for {
+		prev := v.cas(tail, expected, d.Word())
+		if prev == expected {
+			break
+		}
+		expected = prev
+	}
+
+	if expected == ptr.Null.Word() {
+		// Queue was empty: cohort lock acquired outright, not passed
+		// (Algorithm 3 lines 4-6).
+		h.ctx.Write(d.Add(descBudget), uint64(h.cfg.budget(co)))
+		return false
+	}
+
+	// We have a predecessor: link ourselves behind it (Algorithm 3 line
+	// 8), then spin on our own descriptor — a shared-memory spin, the MCS
+	// property that keeps remote threads from remote spinning.
+	prev := ptr.FromWord(expected)
+	v.write(prev.Add(descNext), d.Word())
+
+	iter := 0
+	for h.ctx.Read(d.Add(descBudget)) == waiting {
+		h.ctx.Pause(iter)
+		iter++
+	}
+	h.stats.Passes++
+
+	if h.ctx.Read(d.Add(descBudget)) == 0 {
+		// Our cohort's budget is exhausted: yield to the other cohort via
+		// Peterson's reacquire, then reset the budget (Algorithm 3 lines
+		// 10-12).
+		h.pReacquire(l, co)
+		h.ctx.Write(d.Add(descBudget), uint64(h.cfg.budget(co)))
+	}
+	return true
+}
+
+// qUnlock releases the cohort MCS lock (Algorithm 3 lines 14-18). If no
+// successor is queued, CASing the tail back to NULL also lowers the
+// cohort's Peterson flag, releasing the ALock entirely. Otherwise the lock
+// is passed: the successor's budget word receives ours minus one.
+func (h *Handle) qUnlock(l ptr.Ptr, co api.Cohort) {
+	v := view{ctx: h.ctx, remote: co == api.CohortRemote}
+	d := h.desc[co]
+	tail := TailPtr(l, co)
+
+	if v.cas(tail, d.Word(), ptr.Null.Word()) == d.Word() {
+		return // no successor; ALock released
+	}
+
+	// A successor swapped in behind us; wait for it to link itself
+	// (our own next word: shared-memory spin).
+	iter := 0
+	for h.ctx.Read(d.Add(descNext)) == ptr.Null.Word() {
+		h.ctx.Pause(iter)
+		iter++
+	}
+	succ := ptr.FromWord(h.ctx.Read(d.Add(descNext)))
+	myBudget := int64(h.ctx.Read(d.Add(descBudget)))
+	// Pass the lock (Algorithm 3 line 18): the successor's spin ends when
+	// its budget turns non-negative.
+	v.write(succ.Add(descBudget), uint64(myBudget-1))
+}
+
+// pReacquire is the modified Peterson's lock (Algorithm 4): yield to the
+// other cohort by naming ourselves the victim, then wait until either the
+// other cohort's MCS queue is unlocked (its tail — its Peterson flag — is
+// NULL) or we are no longer the victim.
+//
+// Note on fidelity: Algorithm 4's prose writes the wait condition with an
+// "or", but the paper's own TLA+ specification (Appendix A, labels g2/g3)
+// and its worked example (Figure 2, frame 4) both wait while
+// (other cohort locked AND victim == self), which is classic Peterson; we
+// implement the TLA+ semantics.
+func (h *Handle) pReacquire(l ptr.Ptr, co api.Cohort) {
+	v := view{ctx: h.ctx, remote: co == api.CohortRemote}
+	h.stats.Reacquires++
+
+	otherTail := TailPtr(l, co.Other())
+	victim := VictimPtr(l)
+
+	v.write(victim, uint64(co))
+	iter := 0
+	for {
+		if v.read(otherTail) == ptr.Null.Word() {
+			return // other cohort not interested (Appendix A, g2)
+		}
+		if v.read(victim) != uint64(co) {
+			return // other cohort yielded to us (Appendix A, g3)
+		}
+		// For the remote cohort this is remote spinning — the asymmetric
+		// reacquire cost that motivates the larger remote budget (§6.1).
+		h.ctx.Pause(iter)
+		iter++
+	}
+}
+
+// IsLocked reports whether the given cohort's queue is non-empty
+// (Algorithm 3, qIsLocked), reading with the classifying thread's own
+// access class.
+func IsLocked(ctx api.Ctx, l ptr.Ptr, co api.Cohort) bool {
+	v := view{ctx: ctx, remote: api.Classify(ctx.NodeID(), l) == api.CohortRemote}
+	return v.read(TailPtr(l, co)) != ptr.Null.Word()
+}

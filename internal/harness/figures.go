@@ -1,0 +1,534 @@
+// figures.go contains one driver per table/figure of the paper's
+// evaluation. Each driver returns plain data structures; internal/report
+// renders them as text tables / CSV.
+//
+// Note on cluster sizes: the paper's own pointer format (Section 6,
+// Figure 3) reserves 4 bits for the node ID, which addresses at most 16
+// nodes, yet the evaluation uses a 20-machine cluster. This reproduction
+// keeps the 4-bit format exactly as specified, so the paper's "20 node"
+// configurations run at 16 nodes here; the scaling shape is unaffected.
+// The substitution is recorded in DESIGN.md and EXPERIMENTS.md.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"alock/internal/model"
+	"alock/internal/stats"
+)
+
+// MaxClusterNodes is the largest cluster the 4-bit node ID addresses; it
+// stands in for the paper's 20-node configurations.
+const MaxClusterNodes = 16
+
+// Scale selects between the full reproduction and an abbreviated sweep
+// with the same structure (fewer thread counts, fewer target ops).
+type Scale struct {
+	Quick bool
+	// TestTiny shrinks every sweep to smoke-test size while keeping the
+	// panel/series structure intact; used by the unit tests of the
+	// drivers themselves, never for reported results.
+	TestTiny bool
+	// Seed offsets every run's seed (0 = default).
+	Seed int64
+}
+
+func (s Scale) threads() []int {
+	if s.TestTiny {
+		return []int{2}
+	}
+	if s.Quick {
+		return []int{2, 8}
+	}
+	return []int{1, 2, 4, 8, 12}
+}
+
+func (s Scale) nodes() []int {
+	if s.TestTiny {
+		return []int{2, 3}
+	}
+	if s.Quick {
+		return []int{5, MaxClusterNodes}
+	}
+	return []int{5, 10, MaxClusterNodes}
+}
+
+func (s Scale) targetOps() int64 {
+	if s.TestTiny {
+		return 1_500
+	}
+	if s.Quick {
+		return 20_000
+	}
+	return 90_000
+}
+
+func (s Scale) windows() (warmup, measure int64) {
+	if s.TestTiny {
+		return 50_000, 250_000
+	}
+	if s.Quick {
+		return 200_000, 1_500_000
+	}
+	return 400_000, 4_000_000
+}
+
+// bigCluster is the stand-in for the paper's 20-node cluster.
+func (s Scale) bigCluster() int {
+	if s.TestTiny {
+		return 3
+	}
+	return MaxClusterNodes
+}
+
+// fig6Nodes is Figure 6's 10-node cluster.
+func (s Scale) fig6Nodes() int {
+	if s.TestTiny {
+		return 3
+	}
+	return 10
+}
+
+func (s Scale) seed() int64 {
+	if s.Seed != 0 {
+		return s.Seed
+	}
+	return 1
+}
+
+// Algorithms compared in Figures 5 and 6 (Section 6: ALock vs the RDMA
+// spinlock and the RDMA-ported MCS lock).
+var EvalAlgorithms = []string{"alock", "spinlock", "mcs"}
+
+// --- Figure 1 ---
+
+// Fig1Point is one x/y point of Figure 1.
+type Fig1Point struct {
+	Threads    int
+	Throughput float64 // ops/sec
+	MaxBacklog int64   // worst NIC queueing delay observed (ns)
+}
+
+// Figure1 reproduces the Section 2 loopback experiment: an RDMA spinlock
+// over 1000 locks on a single machine, all operations through the local
+// RNIC. Throughput must peak at a few threads and then decline as
+// loopback traffic congests the card.
+func Figure1(s Scale) []Fig1Point {
+	warm, meas := s.windows()
+	counts := []int{1, 2, 3, 4, 6, 8, 12, 16}
+	if s.Quick {
+		counts = []int{1, 2, 4, 8, 16}
+	}
+	var pts []Fig1Point
+	for _, th := range counts {
+		r := MustRun(Config{
+			Algorithm:      "spinlock",
+			Nodes:          1,
+			ThreadsPerNode: th,
+			Locks:          1000,
+			LocalityPct:    100, // irrelevant to the spinlock: all loopback
+			WarmupNS:       warm,
+			MeasureNS:      meas,
+			TargetOps:      s.targetOps(),
+			Seed:           s.seed(),
+		})
+		pts = append(pts, Fig1Point{
+			Threads:    th,
+			Throughput: r.Throughput,
+			MaxBacklog: r.NIC.MaxBacklogNS,
+		})
+	}
+	return pts
+}
+
+// --- Figure 4 ---
+
+// Fig4Row is the relative speedup of one (remote budget, lock count)
+// configuration against the baseline (remote budget 5), averaged over the
+// localities the paper lists (95%, 90%, 85%) on the largest cluster.
+type Fig4Row struct {
+	RemoteBudget int64
+	LocalBudget  int64
+	Locks        int
+	PerLocality  map[int]float64 // locality% -> speedup vs baseline
+	AvgSpeedup   float64
+}
+
+// Figure4 reproduces the budget study (Section 6.1): local budget fixed at
+// 5, remote budget swept over {5, 10, 20}; the paper reports up to +23%
+// from raising the remote budget at 100 locks. The budget binds when
+// remote queues sustain multi-pass runs, so we measure the paper's
+// medium-contention table size (100 locks) and additionally the
+// high-contention table (20 locks), where the effect is stronger in this
+// reproduction's cost model.
+func Figure4(s Scale) []Fig4Row {
+	warm, meas := s.windows()
+	localities := []int{85, 90, 95}
+	budgets := []int64{5, 10, 20}
+	threads := 12
+	if s.Quick {
+		threads = 6
+	}
+	seeds := []int64{1, 2, 3}
+	if s.Quick {
+		seeds = []int64{1, 2}
+	}
+	if s.TestTiny {
+		threads = 2
+		seeds = []int64{1}
+	}
+	var rows []Fig4Row
+	for _, locksN := range []int{100, 20} {
+		// throughput[budget][locality], seed-averaged to denoise the
+		// few-percent effect being measured.
+		tput := map[int64]map[int]float64{}
+		for _, b := range budgets {
+			tput[b] = map[int]float64{}
+			for _, loc := range localities {
+				var sum float64
+				for _, seed := range seeds {
+					r := MustRun(Config{
+						Algorithm:      "alock",
+						Nodes:          s.bigCluster(),
+						ThreadsPerNode: threads,
+						Locks:          locksN,
+						LocalityPct:    loc,
+						LocalBudget:    5,
+						RemoteBudget:   b,
+						WarmupNS:       warm,
+						MeasureNS:      meas,
+						TargetOps:      s.targetOps(),
+						Seed:           s.seed() * seed,
+					})
+					sum += r.Throughput
+				}
+				tput[b][loc] = sum / float64(len(seeds))
+			}
+		}
+		for _, b := range budgets {
+			row := Fig4Row{RemoteBudget: b, LocalBudget: 5, Locks: locksN,
+				PerLocality: map[int]float64{}}
+			var sum float64
+			for _, loc := range localities {
+				sp := tput[b][loc] / tput[5][loc]
+				row.PerLocality[loc] = sp
+				sum += sp
+			}
+			row.AvgSpeedup = sum / float64(len(localities))
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// --- Figure 5 ---
+
+// Fig5Series is one algorithm's throughput curve within a panel.
+type Fig5Series struct {
+	Algorithm  string
+	Threads    []int
+	Throughput []float64
+}
+
+// Fig5Panel is one panel of the 12-panel Figure 5 grid.
+type Fig5Panel struct {
+	ID          string // a..l
+	Nodes       int
+	Locks       int
+	LocalityPct int
+	Series      []Fig5Series
+}
+
+// Figure5 reproduces the throughput grid: for each cluster size, three
+// contention levels (20/100/1000 locks, panels a/e/i, b/f/j, c/g/k at 90%
+// locality) plus the isolated 100%-locality panels (d/h/l at 20 locks),
+// each comparing ALock against the spinlock and MCS competitors across
+// thread counts.
+func Figure5(s Scale) []Fig5Panel {
+	warm, meas := s.windows()
+	ids := [][]string{
+		{"a", "b", "c", "d"},
+		{"e", "f", "g", "h"},
+		{"i", "j", "k", "l"},
+	}
+	type shape struct {
+		locks    int
+		locality int
+	}
+	shapes := []shape{
+		{20, 90},   // high contention
+		{100, 90},  // medium contention
+		{1000, 90}, // low contention
+		{20, 100},  // 100% locality, isolated panels
+	}
+	var panels []Fig5Panel
+	for ni, nodes := range s.nodes() {
+		idRow := ids[ni%len(ids)]
+		for si, sh := range shapes {
+			p := Fig5Panel{
+				ID:          idRow[si],
+				Nodes:       nodes,
+				Locks:       sh.locks,
+				LocalityPct: sh.locality,
+			}
+			for _, algo := range EvalAlgorithms {
+				ser := Fig5Series{Algorithm: algo}
+				for _, th := range s.threads() {
+					r := MustRun(Config{
+						Algorithm:      algo,
+						Nodes:          nodes,
+						ThreadsPerNode: th,
+						Locks:          sh.locks,
+						LocalityPct:    sh.locality,
+						WarmupNS:       warm,
+						MeasureNS:      meas,
+						TargetOps:      s.targetOps(),
+						Seed:           s.seed(),
+					})
+					ser.Threads = append(ser.Threads, th)
+					ser.Throughput = append(ser.Throughput, r.Throughput)
+				}
+				p.Series = append(p.Series, ser)
+			}
+			panels = append(panels, p)
+		}
+	}
+	return panels
+}
+
+// Fig5LocalitySweep supplements the low-contention panels with ALock's
+// locality sensitivity (the paper: +40% from 85%→90% and a further +75%
+// at 95% on five nodes with 1000 locks).
+type Fig5LocalityPoint struct {
+	LocalityPct int
+	Throughput  float64
+}
+
+// Figure5LocalitySweep measures ALock at 5 nodes, 1000 locks, 8 threads
+// per node across localities.
+func Figure5LocalitySweep(s Scale) []Fig5LocalityPoint {
+	warm, meas := s.windows()
+	nodes, threads := 5, 8
+	if s.TestTiny {
+		nodes, threads = 3, 2
+	}
+	var pts []Fig5LocalityPoint
+	for _, loc := range []int{85, 90, 95, 100} {
+		r := MustRun(Config{
+			Algorithm:      "alock",
+			Nodes:          nodes,
+			ThreadsPerNode: threads,
+			Locks:          1000,
+			LocalityPct:    loc,
+			WarmupNS:       warm,
+			MeasureNS:      meas,
+			TargetOps:      s.targetOps(),
+			Seed:           s.seed(),
+		})
+		pts = append(pts, Fig5LocalityPoint{LocalityPct: loc, Throughput: r.Throughput})
+	}
+	return pts
+}
+
+// --- Figure 6 ---
+
+// Fig6Series is one algorithm's latency distribution within a panel.
+type Fig6Series struct {
+	Algorithm string
+	Summary   stats.Summary
+	CDF       []stats.Point
+}
+
+// Fig6Panel is one panel of the 12-panel Figure 6 grid: a 10-node cluster
+// with 8 threads per node; rows are locality (100/95/90/85%), columns are
+// contention (20/100/1000 locks).
+type Fig6Panel struct {
+	ID          string
+	Locks       int
+	LocalityPct int
+	Series      []Fig6Series
+}
+
+// Figure6 reproduces the latency CDF grid.
+func Figure6(s Scale) []Fig6Panel {
+	warm, meas := s.windows()
+	ids := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l"}
+	var panels []Fig6Panel
+	i := 0
+	for _, loc := range []int{100, 95, 90, 85} {
+		for _, locksN := range []int{20, 100, 1000} {
+			p := Fig6Panel{ID: ids[i], Locks: locksN, LocalityPct: loc}
+			i++
+			for _, algo := range EvalAlgorithms {
+				threads := 8
+				if s.TestTiny {
+					threads = 2
+				}
+				r := MustRun(Config{
+					Algorithm:      algo,
+					Nodes:          s.fig6Nodes(),
+					ThreadsPerNode: threads,
+					Locks:          locksN,
+					LocalityPct:    loc,
+					WarmupNS:       warm,
+					MeasureNS:      meas,
+					TargetOps:      s.targetOps(),
+					Seed:           s.seed(),
+				})
+				p.Series = append(p.Series, Fig6Series{
+					Algorithm: algo,
+					Summary:   r.Latency,
+					CDF:       r.CDF,
+				})
+			}
+			panels = append(panels, p)
+		}
+	}
+	return panels
+}
+
+// --- Table 1 ---
+
+// Table1Cell is one cell of the atomicity matrix: whether the given local
+// access class observed the given remote operation atomically in an
+// adversarial probe.
+type Table1Cell struct {
+	LocalClass string // "Read", "Write", "RMW"
+	RemoteOp   string // "Read", "Write", "CAS"
+	Atomic     bool
+}
+
+// Table1 measures the paper's atomicity matrix empirically on the
+// simulator with tearing enabled. The probes are adversarial: each runs a
+// workload that loses updates or observes torn state if and only if the
+// combination is non-atomic. Expected result (Table 1): everything atomic
+// except local Write vs remote CAS and local RMW vs remote CAS.
+func Table1() []Table1Cell {
+	return []Table1Cell{
+		{"Read", "Read", true}, // reads never mutate: vacuously atomic
+		{"Read", "Write", probeReadRemoteWrite()},
+		{"Read", "CAS", probeReadRemoteCAS()},
+		{"Write", "Read", true}, // remote read of an 8B local write is atomic
+		{"Write", "Write", probeWriteRemoteWrite()},
+		{"Write", "CAS", probeWriteRemoteCAS()},
+		{"RMW", "Read", true},
+		{"RMW", "Write", probeRMWRemoteWrite()},
+		{"RMW", "CAS", probeRMWRemoteCAS()},
+	}
+}
+
+func tornModel() model.Params {
+	p := model.CX3()
+	p.TornRCAS = true
+	p.TornGapNS = 250
+	return p
+}
+
+// --- Ablations (DESIGN.md extensions) ---
+
+// AblationRow compares ALock variants under one representative contended
+// configuration.
+type AblationRow struct {
+	Algorithm  string
+	Throughput float64
+	P99NS      int64
+	MaxRunNote string
+}
+
+// Ablations quantifies the design choices DESIGN.md calls out: the budget
+// (alock vs alock-nobudget) and the asymmetric cohort split (alock vs
+// alock-symmetric vs mcs).
+func Ablations(s Scale) []AblationRow {
+	warm, meas := s.windows()
+	var rows []AblationRow
+	nodes, threads := 8, 8
+	if s.TestTiny {
+		nodes, threads = 3, 2
+	}
+	for _, algo := range []string{"alock", "alock-nobudget", "alock-symmetric", "mcs"} {
+		r := MustRun(Config{
+			Algorithm:      algo,
+			Nodes:          nodes,
+			ThreadsPerNode: threads,
+			Locks:          100,
+			LocalityPct:    90,
+			WarmupNS:       warm,
+			MeasureNS:      meas,
+			TargetOps:      s.targetOps(),
+			Seed:           s.seed(),
+		})
+		rows = append(rows, AblationRow{
+			Algorithm:  algo,
+			Throughput: r.Throughput,
+			P99NS:      r.Latency.P99NS,
+		})
+	}
+	return rows
+}
+
+// HeadlineRatios extracts the paper's headline comparison numbers from a
+// Figure 5 result set: max ALock/MCS and ALock/spinlock ratios at high
+// contention, at 100% locality, and at low contention.
+type HeadlineRatios struct {
+	HighContentionVsMCS  float64 // paper: up to 29x
+	HighContentionVsSpin float64 // paper: up to 24x
+	FullLocalityVsMCS    float64 // paper: up to 24x
+	FullLocalityVsSpin   float64 // paper: up to 22x
+	LowContentionVsMCS   float64 // paper: up to 3.8x
+	LowContentionVsSpin  float64 // paper: up to 3.3x
+}
+
+// Headlines computes HeadlineRatios from Figure 5 panels.
+func Headlines(panels []Fig5Panel) HeadlineRatios {
+	var h HeadlineRatios
+	get := func(p Fig5Panel, algo string) []float64 {
+		for _, s := range p.Series {
+			if s.Algorithm == algo {
+				return s.Throughput
+			}
+		}
+		return nil
+	}
+	maxRatio := func(a, b []float64) float64 {
+		var m float64
+		for i := range a {
+			if i < len(b) && b[i] > 0 {
+				if r := a[i] / b[i]; r > m {
+					m = r
+				}
+			}
+		}
+		return m
+	}
+	upd := func(dst *float64, v float64) {
+		if v > *dst {
+			*dst = v
+		}
+	}
+	for _, p := range panels {
+		al, mc, sp := get(p, "alock"), get(p, "mcs"), get(p, "spinlock")
+		switch {
+		case p.LocalityPct == 100:
+			upd(&h.FullLocalityVsMCS, maxRatio(al, mc))
+			upd(&h.FullLocalityVsSpin, maxRatio(al, sp))
+		case p.Locks <= 20:
+			upd(&h.HighContentionVsMCS, maxRatio(al, mc))
+			upd(&h.HighContentionVsSpin, maxRatio(al, sp))
+		case p.Locks >= 1000:
+			upd(&h.LowContentionVsMCS, maxRatio(al, mc))
+			upd(&h.LowContentionVsSpin, maxRatio(al, sp))
+		}
+	}
+	return h
+}
+
+func (h HeadlineRatios) String() string {
+	return fmt.Sprintf(
+		"high contention: %.1fx vs MCS, %.1fx vs spinlock | 100%% locality: %.1fx vs MCS, %.1fx vs spinlock | low contention: %.1fx vs MCS, %.1fx vs spinlock",
+		h.HighContentionVsMCS, h.HighContentionVsSpin,
+		h.FullLocalityVsMCS, h.FullLocalityVsSpin,
+		h.LowContentionVsMCS, h.LowContentionVsSpin)
+}
+
+var _ = time.Nanosecond // keep time imported for Config literals in callers

@@ -1,0 +1,234 @@
+// Package harness turns an experiment configuration into a measured run on
+// the deterministic simulator: it builds the cluster, the distributed lock
+// table, and the per-thread workloads, then aggregates throughput, latency
+// and fabric statistics. The per-figure drivers in figures.go sit on top
+// and regenerate every table and figure of the paper's evaluation
+// (Section 6).
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"alock/internal/api"
+	"alock/internal/core"
+	"alock/internal/locks"
+	"alock/internal/locktable"
+	"alock/internal/model"
+	"alock/internal/sim"
+	"alock/internal/stats"
+	"alock/internal/workload"
+)
+
+// Config fully describes one experiment run.
+type Config struct {
+	// Algorithm is a name accepted by locks.ByName.
+	Algorithm string
+	// Nodes and ThreadsPerNode define the cluster (paper: 5/10/20 nodes,
+	// 1..12 threads per node).
+	Nodes          int
+	ThreadsPerNode int
+	// Locks is the lock-table size (paper: 20/100/1000).
+	Locks int
+	// LocalityPct is the share of operations on node-local locks
+	// (paper: 85/90/95/100).
+	LocalityPct int
+	// LocalBudget/RemoteBudget configure ALock variants (0,0 = paper
+	// defaults 5/20).
+	LocalBudget, RemoteBudget int64
+	// Model is the cost model; zero value means model.CX3().
+	Model model.Params
+	// WarmupNS ops are executed but not recorded; MeasureNS bounds the
+	// recorded window.
+	WarmupNS  int64
+	MeasureNS int64
+	// TargetOps, if positive, ends the run once this many operations have
+	// been recorded (keeps heavyweight sweeps affordable without biasing
+	// throughput, which is computed over the recorded span).
+	TargetOps int64
+	// CSWork and Think shape each operation (both default to zero: the
+	// paper measures bare lock+unlock pairs).
+	CSWork time.Duration
+	Think  time.Duration
+	// ZipfS, when > 1, skews lock popularity with a Zipf(s) rank
+	// distribution within each locality class (hot-key extension).
+	ZipfS float64
+	// Seed makes the run reproducible.
+	Seed int64
+	// WordsPerNode sizes each node's memory region (0 = 1Mi words = 8 MiB).
+	WordsPerNode int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Model.LocalReadNS == 0 {
+		c.Model = model.CX3()
+	}
+	if c.WarmupNS == 0 {
+		c.WarmupNS = 400_000 // 0.4 ms
+	}
+	if c.MeasureNS == 0 {
+		c.MeasureNS = 4_000_000 // 4 ms
+	}
+	if c.WordsPerNode == 0 {
+		c.WordsPerNode = 1 << 20
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Validate rejects configurations the simulator cannot represent.
+func (c Config) Validate() error {
+	if c.Nodes < 1 || c.Nodes > 16 {
+		return fmt.Errorf("harness: nodes %d out of range 1..16 (4-bit node IDs)", c.Nodes)
+	}
+	if c.ThreadsPerNode < 1 {
+		return fmt.Errorf("harness: threads per node %d", c.ThreadsPerNode)
+	}
+	if c.Locks < 1 {
+		return fmt.Errorf("harness: lock table size %d", c.Locks)
+	}
+	if c.LocalityPct < 0 || c.LocalityPct > 100 {
+		return fmt.Errorf("harness: locality %d%%", c.LocalityPct)
+	}
+	if c.MeasureNS <= 0 || c.WarmupNS < 0 {
+		return fmt.Errorf("harness: bad windows warmup=%d measure=%d", c.WarmupNS, c.MeasureNS)
+	}
+	return c.Model.Validate()
+}
+
+// NICTotals aggregates the fabric counters over all nodes.
+type NICTotals struct {
+	Verbs        int64
+	QPCMisses    int64
+	Slowdowns    int64
+	MaxBacklogNS int64
+	// DistinctQPs is the total number of queue-pair connections serviced
+	// across all NICs (the system QP working set; Section 2's scalability
+	// concern).
+	DistinctQPs int64
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Config Config
+	// Ops is the number of recorded (post-warmup) operations.
+	Ops int64
+	// SpanNS is the recorded span (first to last recorded completion).
+	SpanNS int64
+	// Throughput is total recorded operations per second.
+	Throughput float64
+	// Latency summarizes the recorded per-operation latencies.
+	Latency stats.Summary
+	// CDF is the empirical latency distribution (Figure 6).
+	CDF []stats.Point
+	// NIC aggregates fabric counters (whole run, including warmup).
+	NIC NICTotals
+	// Lock carries ALock-internal counters when the algorithm exposes
+	// them (passes, reacquires, cohort mix).
+	Lock core.Stats
+	// Events is the number of simulator events processed.
+	Events uint64
+}
+
+// Run executes one experiment.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	threads := cfg.Nodes * cfg.ThreadsPerNode
+	prov, err := locks.ByName(cfg.Algorithm, locks.Options{
+		ALockConfig: core.Config{
+			LocalBudget:  cfg.LocalBudget,
+			RemoteBudget: cfg.RemoteBudget,
+		},
+		Threads: threads,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	e := sim.New(cfg.Nodes, cfg.WordsPerNode, cfg.Model, cfg.Seed)
+	table := locktable.New(e.Space(), cfg.Locks)
+	prov.Prepare(e.Space(), table.All())
+
+	spec := workload.Spec{
+		LocalityPct: cfg.LocalityPct,
+		CSWork:      cfg.CSWork,
+		Think:       cfg.Think,
+		WarmupNS:    cfg.WarmupNS,
+		ZipfS:       cfg.ZipfS,
+	}
+
+	results := make([]workload.ThreadResult, threads)
+	var opsDone int64
+	idx := 0
+	for n := 0; n < cfg.Nodes; n++ {
+		for k := 0; k < cfg.ThreadsPerNode; k++ {
+			slot := idx
+			node := n
+			idx++
+			e.Spawn(node, func(ctx api.Ctx) {
+				h := prov.NewHandle(ctx)
+				results[slot] = workload.Run(ctx, h, table, spec, &opsDone, cfg.TargetOps, e)
+			})
+		}
+	}
+	e.Run(cfg.WarmupNS + cfg.MeasureNS)
+
+	res := Result{Config: cfg, Events: e.Events()}
+	var hist stats.Hist
+	var firstRec, lastRec int64
+	for i := range results {
+		r := &results[i]
+		res.Ops += r.Ops
+		hist.Merge(&r.Latency)
+		if r.Ops > 0 {
+			if firstRec == 0 || r.FirstRecNS < firstRec {
+				firstRec = r.FirstRecNS
+			}
+			if r.LastRecNS > lastRec {
+				lastRec = r.LastRecNS
+			}
+		}
+	}
+	// The recorded span starts at the warmup boundary (threads were
+	// already in steady state) and ends at the last recorded completion.
+	res.SpanNS = lastRec - cfg.WarmupNS
+	if res.SpanNS <= 0 {
+		res.SpanNS = 1
+	}
+	if res.Ops > 0 {
+		res.Throughput = float64(res.Ops) / (float64(res.SpanNS) / 1e9)
+	}
+	res.Latency = hist.Summarize()
+	res.CDF = hist.CDF()
+
+	for n := 0; n < cfg.Nodes; n++ {
+		st := e.NIC(n).Stats()
+		res.NIC.Verbs += st.Verbs
+		res.NIC.QPCMisses += st.QPCMisses
+		res.NIC.Slowdowns += st.Slowdowns
+		res.NIC.DistinctQPs += st.DistinctQPs
+		if st.MaxBacklogNS > res.NIC.MaxBacklogNS {
+			res.NIC.MaxBacklogNS = st.MaxBacklogNS
+		}
+	}
+	if agg, ok := prov.(locks.StatsAggregator); ok {
+		res.Lock = agg.AggregateStats()
+	}
+	return res, nil
+}
+
+// MustRun is Run that panics on error, for drivers whose configs are
+// statically known to be valid.
+func MustRun(cfg Config) Result {
+	r, err := Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

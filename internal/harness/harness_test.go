@@ -1,0 +1,375 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// quickCfg returns a fast configuration for functional tests.
+func quickCfg(algo string) Config {
+	return Config{
+		Algorithm:      algo,
+		Nodes:          3,
+		ThreadsPerNode: 4,
+		Locks:          30,
+		LocalityPct:    90,
+		WarmupNS:       100_000,
+		MeasureNS:      800_000,
+		TargetOps:      8_000,
+		Seed:           1,
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	for _, algo := range []string{"alock", "spinlock", "mcs"} {
+		r, err := Run(quickCfg(algo))
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if r.Ops == 0 || r.Throughput <= 0 {
+			t.Errorf("%s: no ops recorded: %+v", algo, r)
+		}
+		if r.Latency.Count != r.Ops {
+			t.Errorf("%s: latency count %d != ops %d", algo, r.Latency.Count, r.Ops)
+		}
+		if len(r.CDF) == 0 {
+			t.Errorf("%s: empty CDF", algo)
+		}
+		if r.NIC.Verbs == 0 && algo != "alock" {
+			t.Errorf("%s: competitors must generate verbs", algo)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(quickCfg("alock"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(quickCfg("alock"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ops != b.Ops || a.Throughput != b.Throughput || a.SpanNS != b.SpanNS {
+		t.Fatalf("nondeterministic: %v vs %v ops, %v vs %v tput",
+			a.Ops, b.Ops, a.Throughput, b.Throughput)
+	}
+	if a.Latency != b.Latency {
+		t.Fatalf("nondeterministic latency: %+v vs %+v", a.Latency, b.Latency)
+	}
+}
+
+func TestRunSeedChangesSchedule(t *testing.T) {
+	c1 := quickCfg("alock")
+	c2 := quickCfg("alock")
+	c2.Seed = 99
+	a, _ := Run(c1)
+	b, _ := Run(c2)
+	if a.Ops == b.Ops && a.Latency.MeanNS == b.Latency.MeanNS {
+		t.Fatal("different seeds produced identical runs (suspicious)")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Nodes = 0 },
+		func(c *Config) { c.Nodes = 17 }, // 4-bit node IDs
+		func(c *Config) { c.ThreadsPerNode = 0 },
+		func(c *Config) { c.Locks = 0 },
+		func(c *Config) { c.LocalityPct = 101 },
+		func(c *Config) { c.Algorithm = "nope" },
+	}
+	for i, mut := range bad {
+		c := quickCfg("alock")
+		mut(&c)
+		if _, err := Run(c); err == nil {
+			t.Errorf("case %d: bad config accepted", i)
+		}
+	}
+}
+
+func TestALockStatsExposed(t *testing.T) {
+	r, err := Run(quickCfg("alock"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Lock.Acquires == 0 {
+		t.Fatal("alock runs must expose internal stats")
+	}
+	if r.Lock.LocalOps+r.Lock.RemoteOps != r.Lock.Acquires {
+		t.Fatalf("cohort split inconsistent: %+v", r.Lock)
+	}
+	// ~90% locality must show up in the cohort classification.
+	frac := float64(r.Lock.LocalOps) / float64(r.Lock.Acquires)
+	if frac < 0.82 || frac > 0.98 {
+		t.Errorf("local fraction %.2f, expected ~0.90", frac)
+	}
+}
+
+func TestTargetOpsStopsEarly(t *testing.T) {
+	c := quickCfg("alock")
+	c.TargetOps = 500
+	c.MeasureNS = 1 << 40 // effectively unbounded horizon
+	r, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ops < 500 || r.Ops > 500+int64(c.Nodes*c.ThreadsPerNode) {
+		t.Fatalf("ops = %d, want ~500 (early stop)", r.Ops)
+	}
+}
+
+func TestBudgetsForwarded(t *testing.T) {
+	c := quickCfg("alock")
+	c.LocalBudget, c.RemoteBudget = 1, 1
+	r, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Lock.Reacquires == 0 {
+		t.Fatal("budget-1 run should reacquire")
+	}
+}
+
+// --- Table 1 ---
+
+func TestTable1MatchesPaper(t *testing.T) {
+	expected := map[string]bool{
+		"Read/Read": true, "Read/Write": true, "Read/CAS": true,
+		"Write/Read": true, "Write/Write": true, "Write/CAS": false,
+		"RMW/Read": true, "RMW/Write": true, "RMW/CAS": false,
+	}
+	for _, cell := range Table1() {
+		key := cell.LocalClass + "/" + cell.RemoteOp
+		want, ok := expected[key]
+		if !ok {
+			t.Errorf("unexpected cell %s", key)
+			continue
+		}
+		if cell.Atomic != want {
+			t.Errorf("Table 1 %s: measured atomic=%v, paper says %v", key, cell.Atomic, want)
+		}
+	}
+}
+
+// --- Figure shapes (quick scale) ---
+
+func TestFigure1Shape(t *testing.T) {
+	pts := Figure1(Scale{Quick: true})
+	if len(pts) < 4 {
+		t.Fatalf("too few points: %d", len(pts))
+	}
+	peak, peakIdx := 0.0, 0
+	for i, p := range pts {
+		if p.Throughput > peak {
+			peak, peakIdx = p.Throughput, i
+		}
+	}
+	last := pts[len(pts)-1]
+	if peakIdx == len(pts)-1 {
+		t.Fatal("Figure 1: throughput monotonically increasing — no loopback congestion")
+	}
+	if pts[peakIdx].Threads > 4 {
+		t.Errorf("Figure 1: peak at %d threads, paper peaks at a few", pts[peakIdx].Threads)
+	}
+	if last.Throughput > 0.7*peak {
+		t.Errorf("Figure 1: decline too shallow (peak %.0f, 16 threads %.0f)", peak, last.Throughput)
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows := Figure4(Scale{Quick: true})
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.RemoteBudget == 5 && r.AvgSpeedup != 1.0 {
+			t.Fatalf("baseline row wrong: %+v", r)
+		}
+		// Raising the remote budget should not hurt (paper: up to +23%).
+		if r.RemoteBudget == 20 && r.AvgSpeedup < 0.95 {
+			t.Errorf("remote budget 20 slower than 5: %+v", r)
+		}
+	}
+}
+
+func TestHeadlinesComputation(t *testing.T) {
+	panels := []Fig5Panel{
+		{
+			ID: "a", Nodes: 5, Locks: 20, LocalityPct: 90,
+			Series: []Fig5Series{
+				{Algorithm: "alock", Threads: []int{2, 8}, Throughput: []float64{10, 29}},
+				{Algorithm: "mcs", Threads: []int{2, 8}, Throughput: []float64{5, 1}},
+				{Algorithm: "spinlock", Threads: []int{2, 8}, Throughput: []float64{2, 2}},
+			},
+		},
+		{
+			ID: "d", Nodes: 5, Locks: 20, LocalityPct: 100,
+			Series: []Fig5Series{
+				{Algorithm: "alock", Threads: []int{2}, Throughput: []float64{24}},
+				{Algorithm: "mcs", Threads: []int{2}, Throughput: []float64{1}},
+				{Algorithm: "spinlock", Threads: []int{2}, Throughput: []float64{2}},
+			},
+		},
+	}
+	h := Headlines(panels)
+	if h.HighContentionVsMCS != 29 {
+		t.Errorf("HighContentionVsMCS = %v", h.HighContentionVsMCS)
+	}
+	if h.HighContentionVsSpin != 14.5 {
+		t.Errorf("HighContentionVsSpin = %v", h.HighContentionVsSpin)
+	}
+	if h.FullLocalityVsMCS != 24 || h.FullLocalityVsSpin != 12 {
+		t.Errorf("full locality ratios = %v/%v", h.FullLocalityVsMCS, h.FullLocalityVsSpin)
+	}
+	if !strings.Contains(h.String(), "29.0x") {
+		t.Errorf("String() = %q", h.String())
+	}
+}
+
+// Property: Run is total over valid random configurations — no panics, and
+// accounting identities hold.
+func TestQuickRunAccounting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f := func(seed int64, rawNodes, rawThreads, rawLocks, rawLoc uint8) bool {
+		c := Config{
+			Algorithm:      "alock",
+			Nodes:          int(rawNodes%4) + 1,
+			ThreadsPerNode: int(rawThreads%3) + 1,
+			Locks:          int(rawLocks%40) + 1,
+			LocalityPct:    int(rawLoc % 101),
+			WarmupNS:       50_000,
+			MeasureNS:      300_000,
+			TargetOps:      2_000,
+			Seed:           seed,
+		}
+		r, err := Run(c)
+		if err != nil {
+			return false
+		}
+		return r.Ops >= 0 && r.Latency.Count == r.Ops && r.SpanNS > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- Driver structure tests (TestTiny scale) ---
+
+func TestFigure5DriverStructure(t *testing.T) {
+	panels := Figure5(Scale{TestTiny: true})
+	if len(panels) != 8 { // 2 node counts x 4 shapes
+		t.Fatalf("panels = %d", len(panels))
+	}
+	seenIDs := map[string]bool{}
+	for _, p := range panels {
+		if seenIDs[p.ID] {
+			t.Errorf("duplicate panel id %q", p.ID)
+		}
+		seenIDs[p.ID] = true
+		if len(p.Series) != len(EvalAlgorithms) {
+			t.Fatalf("panel %s has %d series", p.ID, len(p.Series))
+		}
+		for _, s := range p.Series {
+			if len(s.Threads) != len(s.Throughput) || len(s.Threads) == 0 {
+				t.Fatalf("panel %s/%s malformed series", p.ID, s.Algorithm)
+			}
+			for _, v := range s.Throughput {
+				if v <= 0 {
+					t.Errorf("panel %s/%s nonpositive throughput", p.ID, s.Algorithm)
+				}
+			}
+		}
+	}
+}
+
+func TestFigure6DriverStructure(t *testing.T) {
+	panels := Figure6(Scale{TestTiny: true})
+	if len(panels) != 12 { // 4 localities x 3 contentions
+		t.Fatalf("panels = %d", len(panels))
+	}
+	for _, p := range panels {
+		for _, s := range p.Series {
+			if s.Summary.Count == 0 {
+				t.Errorf("panel %s/%s empty latency summary", p.ID, s.Algorithm)
+			}
+			if len(s.CDF) == 0 {
+				t.Errorf("panel %s/%s empty CDF", p.ID, s.Algorithm)
+			}
+		}
+	}
+	// Row/column layout: first panel is 100% locality, 20 locks.
+	if panels[0].LocalityPct != 100 || panels[0].Locks != 20 {
+		t.Errorf("panel (a) = %d%%/%d locks", panels[0].LocalityPct, panels[0].Locks)
+	}
+	if panels[11].LocalityPct != 85 || panels[11].Locks != 1000 {
+		t.Errorf("panel (l) = %d%%/%d locks", panels[11].LocalityPct, panels[11].Locks)
+	}
+}
+
+func TestFigure5LocalitySweepDriver(t *testing.T) {
+	pts := Figure5LocalitySweep(Scale{TestTiny: true})
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Throughput must increase with locality (the Section 6.2 claim).
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Throughput <= pts[i-1].Throughput {
+			t.Errorf("throughput not increasing with locality: %+v", pts)
+		}
+	}
+}
+
+func TestAblationsDriver(t *testing.T) {
+	rows := Ablations(Scale{TestTiny: true})
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]float64{}
+	for _, r := range rows {
+		byName[r.Algorithm] = r.Throughput
+	}
+	// The asymmetric cohort split must beat the symmetric ablation.
+	if byName["alock"] <= byName["alock-symmetric"] {
+		t.Errorf("asymmetric (%f) not faster than symmetric (%f)",
+			byName["alock"], byName["alock-symmetric"])
+	}
+}
+
+func TestQPThrashingDriver(t *testing.T) {
+	rows := QPThrashing(Scale{TestTiny: true})
+	if len(rows) != 3 { // 1 cap x 3 algorithms
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]QPThrashRow{}
+	for _, r := range rows {
+		byName[r.Algorithm] = r
+	}
+	// The competitors maintain loopback QPs; ALock does not — its distinct
+	// QP working set must be strictly smaller.
+	if byName["alock"].DistinctQPs >= byName["spinlock"].DistinctQPs {
+		t.Errorf("alock QPs (%d) not fewer than spinlock's (%d)",
+			byName["alock"].DistinctQPs, byName["spinlock"].DistinctQPs)
+	}
+}
+
+func TestFigure4DriverTiny(t *testing.T) {
+	rows := Figure4(Scale{TestTiny: true})
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.PerLocality) != 3 {
+			t.Fatalf("row missing localities: %+v", r)
+		}
+		if r.AvgSpeedup <= 0 {
+			t.Fatalf("nonpositive speedup: %+v", r)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// qpthrash.go implements the QP-thrashing experiment suggested by
+// Section 2: commodity RNICs cache only ~450 QP contexts, and systems that
+// use loopback maintain a QP from every thread to its own node on top of
+// the cross-node connections — so ALock "limits QP thrashing by removing
+// 1/n QPs from the system". This driver sweeps the QPC cache capacity
+// around the cluster's QP working set and reports each algorithm's miss
+// rate and throughput. It is an extension: the paper argues the effect,
+// this measures it under the model.
+package harness
+
+import (
+	"alock/internal/model"
+)
+
+// QPThrashRow is one (cache capacity, algorithm) measurement.
+type QPThrashRow struct {
+	CacheCap   int
+	Algorithm  string
+	Throughput float64
+	// MissRate is QPC misses per verb across all NICs.
+	MissRate float64
+	// DistinctQPs is the cluster-wide QP working set the algorithm
+	// created; ALock's should be smaller by the loopback connections
+	// (one per thread) the competitors maintain.
+	DistinctQPs int64
+}
+
+// QPThrashing sweeps the QPC cache capacity for ALock and the loopback
+// competitors on the largest cluster. The cross-node QP working set of a
+// 16-node x 8-thread cluster is ~232 QPs per NIC (8*15 outgoing + 15*8
+// incoming — ALock creates no loopback QPs); the competitors add 8
+// loopback QPs per node and touch them constantly.
+func QPThrashing(s Scale) []QPThrashRow {
+	warm, meas := s.windows()
+	threads := 8
+	if s.Quick {
+		threads = 4
+	}
+	caps := []int{64, 128, 256, 450}
+	if s.Quick {
+		caps = []int{64, 256}
+	}
+	if s.TestTiny {
+		threads = 2
+		caps = []int{16}
+	}
+	_ = meas
+	var rows []QPThrashRow
+	for _, cacheCap := range caps {
+		for _, algo := range EvalAlgorithms {
+			m := model.CX3()
+			m.QPCCacheCap = cacheCap
+			// Every algorithm performs the same number of operations (the
+			// horizon is effectively unbounded): distinct-QP counts are
+			// then comparable across algorithms rather than confounded by
+			// how far each got before a time cutoff.
+			r := MustRun(Config{
+				Algorithm:      algo,
+				Nodes:          s.bigCluster(),
+				ThreadsPerNode: threads,
+				Locks:          1000,
+				LocalityPct:    90,
+				Model:          m,
+				WarmupNS:       warm,
+				MeasureNS:      1 << 40,
+				TargetOps:      s.targetOps() * 3,
+				Seed:           s.seed(),
+			})
+			missRate := 0.0
+			if r.NIC.Verbs > 0 {
+				missRate = float64(r.NIC.QPCMisses) / float64(r.NIC.Verbs)
+			}
+			rows = append(rows, QPThrashRow{
+				CacheCap:    cacheCap,
+				Algorithm:   algo,
+				Throughput:  r.Throughput,
+				MissRate:    missRate,
+				DistinctQPs: r.NIC.DistinctQPs,
+			})
+		}
+	}
+	return rows
+}

@@ -1,0 +1,161 @@
+package locks_test
+
+import (
+	"strings"
+	"testing"
+
+	"alock/internal/locks"
+	"alock/internal/locktest"
+)
+
+func TestSpinlockMutualExclusion(t *testing.T) {
+	locktest.CheckMutualExclusion(t, locks.SpinProvider{}, locktest.DefaultMutexConfig())
+}
+
+func TestSpinlockHighContention(t *testing.T) {
+	cfg := locktest.DefaultMutexConfig()
+	cfg.Locks = 1
+	cfg.Iters = 60
+	locktest.CheckMutualExclusion(t, locks.SpinProvider{}, cfg)
+}
+
+func TestMCSMutualExclusion(t *testing.T) {
+	locktest.CheckMutualExclusion(t, locks.MCSProvider{}, locktest.DefaultMutexConfig())
+}
+
+func TestMCSHighContention(t *testing.T) {
+	cfg := locktest.DefaultMutexConfig()
+	cfg.Locks = 1
+	cfg.Iters = 60
+	locktest.CheckMutualExclusion(t, locks.MCSProvider{}, cfg)
+}
+
+func TestMCSFIFOUnderSingleQueue(t *testing.T) {
+	// MCS is FIFO: with one lock and threads re-entering, no thread can
+	// be overtaken twice in a row by the same competitor... the cheap
+	// checkable property is progress balance: every thread completes its
+	// full quota (the harness already asserts this via TotalOps).
+	cfg := locktest.DefaultMutexConfig()
+	cfg.Locks = 1
+	cfg.ThreadsPerNode = 2
+	cfg.Iters = 100
+	locktest.CheckMutualExclusion(t, locks.MCSProvider{}, cfg)
+}
+
+func TestFilterMutualExclusion(t *testing.T) {
+	cfg := locktest.DefaultMutexConfig()
+	cfg.Nodes = 2
+	cfg.ThreadsPerNode = 2
+	cfg.Locks = 1
+	cfg.Iters = 25 // O(n) remote ops per acquire: keep it small
+	prov := locks.NewFilterProvider(cfg.Nodes * cfg.ThreadsPerNode)
+	locktest.CheckMutualExclusion(t, prov, cfg)
+}
+
+func TestBakeryMutualExclusion(t *testing.T) {
+	cfg := locktest.DefaultMutexConfig()
+	cfg.Nodes = 2
+	cfg.ThreadsPerNode = 2
+	cfg.Locks = 1
+	cfg.Iters = 25
+	prov := locks.NewBakeryProvider(cfg.Nodes * cfg.ThreadsPerNode)
+	locktest.CheckMutualExclusion(t, prov, cfg)
+}
+
+// TestNaiveMixedLockViolatesTable1 is the negative control: a lock that
+// mixes local CAS and remote rCAS on one word MUST break once remote RMW
+// tearing is modeled. If this test ever "fails" (the naive lock staying
+// correct), the engine has stopped modeling Table 1 and every other
+// correctness result is suspect.
+func TestNaiveMixedLockViolatesTable1(t *testing.T) {
+	cfg := locktest.DefaultMutexConfig()
+	cfg.Locks = 1
+	cfg.Nodes = 2
+	cfg.ThreadsPerNode = 3
+	cfg.Iters = 400
+	cfg.Model.TornGapNS = 300 // generous window
+	res := locktest.RunMutex(locks.NaiveMixedProvider{}, cfg)
+	violated := res.CounterSum != res.TotalOps || res.OwnerTramples > 0
+	if !violated {
+		t.Fatal("naive mixed-RMW lock did not violate mutual exclusion under torn rCAS; " +
+			"the Table 1 model is not being exercised")
+	}
+}
+
+// TestNaiveMixedLockFineWithoutTearing sanity-checks the control's
+// control: with tearing off (atomic rCAS — NOT real RDMA), the naive lock
+// is a perfectly good spinlock.
+func TestNaiveMixedLockFineWithoutTearing(t *testing.T) {
+	cfg := locktest.DefaultMutexConfig()
+	cfg.Model.TornRCAS = false
+	cfg.Model.TornGapNS = 0
+	locktest.CheckMutualExclusion(t, locks.NaiveMixedProvider{}, cfg)
+}
+
+// TestALockImmuneToTearing is the headline correctness claim: ALock never
+// mixes RMW classes on one word, so tearing cannot hurt it. (Also covered
+// in internal/core's tests; repeated here next to the negative control.)
+func TestALockImmuneToTearing(t *testing.T) {
+	cfg := locktest.DefaultMutexConfig()
+	cfg.Locks = 1
+	cfg.Nodes = 2
+	cfg.ThreadsPerNode = 3
+	cfg.Iters = 400
+	cfg.Model.TornGapNS = 300
+	locktest.CheckMutualExclusion(t, locks.NewALockProvider(), cfg)
+}
+
+func TestRegistryNames(t *testing.T) {
+	names := locks.Names()
+	if len(names) != 7 {
+		t.Fatalf("Names() = %v", names)
+	}
+	for _, name := range names {
+		opts := locks.Options{Threads: 4}
+		p, err := locks.ByName(name, opts)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if p.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, p.Name())
+		}
+	}
+}
+
+func TestRegistryUnknown(t *testing.T) {
+	_, err := locks.ByName("ticket", locks.Options{})
+	if err == nil || !strings.Contains(err.Error(), "unknown algorithm") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRegistryFilterNeedsThreads(t *testing.T) {
+	if _, err := locks.ByName("filter", locks.Options{}); err == nil {
+		t.Fatal("filter without thread count should error")
+	}
+	if _, err := locks.ByName("bakery", locks.Options{}); err == nil {
+		t.Fatal("bakery without thread count should error")
+	}
+}
+
+func TestAllCorrectAlgorithmsUnderOneConfig(t *testing.T) {
+	// Every non-broken algorithm passes the same mid-contention check.
+	cfg := locktest.DefaultMutexConfig()
+	cfg.Iters = 40
+	threads := cfg.Nodes * cfg.ThreadsPerNode
+	for _, name := range locks.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			if name == "filter" || name == "bakery" {
+				// O(n) algorithms get a smaller dose elsewhere.
+				t.Skip("covered by dedicated smaller tests")
+			}
+			prov, err := locks.ByName(name, locks.Options{Threads: threads})
+			if err != nil {
+				t.Fatal(err)
+			}
+			locktest.CheckMutualExclusion(t, prov, cfg)
+		})
+	}
+}

@@ -1,0 +1,198 @@
+package locks
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"alock/internal/api"
+	"alock/internal/core"
+	"alock/internal/mem"
+	"alock/internal/ptr"
+)
+
+// Provider constructs per-thread lock handles for one algorithm. A single
+// Provider instance is shared by all threads of one experiment.
+//
+// Prepare runs once, before any thread starts, and may allocate per-lock
+// side state (the filter and bakery baselines need O(threads) words per
+// lock). NewHandle runs inside each thread and may allocate per-thread
+// descriptors via the thread's own Ctx.
+type Provider interface {
+	Name() string
+	Prepare(space *mem.Space, locks []ptr.Ptr)
+	NewHandle(ctx api.Ctx) api.Locker
+}
+
+// ALockProvider supplies the paper's ALock under a given budget
+// configuration.
+type ALockProvider struct {
+	Cfg core.Config
+}
+
+// NewALockProvider returns a provider with the paper's default budgets
+// (local 5, remote 20; Section 6.1).
+func NewALockProvider() *ALockProvider { return &ALockProvider{Cfg: core.DefaultConfig()} }
+
+// Name implements Provider.
+func (p *ALockProvider) Name() string {
+	if p.Cfg.ForceRemote {
+		return "alock-symmetric"
+	}
+	return "alock"
+}
+
+// Prepare implements Provider (no shared per-lock state: an ALock is fully
+// contained in its 64-byte line).
+func (p *ALockProvider) Prepare(*mem.Space, []ptr.Ptr) {}
+
+// NewHandle implements Provider.
+func (p *ALockProvider) NewHandle(ctx api.Ctx) api.Locker {
+	return core.NewHandle(ctx, p.Cfg)
+}
+
+// SpinProvider supplies the RDMA spinlock competitor.
+type SpinProvider struct{}
+
+// Name implements Provider.
+func (SpinProvider) Name() string { return "spinlock" }
+
+// Prepare implements Provider.
+func (SpinProvider) Prepare(*mem.Space, []ptr.Ptr) {}
+
+// NewHandle implements Provider.
+func (SpinProvider) NewHandle(ctx api.Ctx) api.Locker { return NewSpinHandle(ctx) }
+
+// MCSProvider supplies the RDMA MCS queue lock competitor.
+type MCSProvider struct{}
+
+// Name implements Provider.
+func (MCSProvider) Name() string { return "mcs" }
+
+// Prepare implements Provider.
+func (MCSProvider) Prepare(*mem.Space, []ptr.Ptr) {}
+
+// NewHandle implements Provider.
+func (MCSProvider) NewHandle(ctx api.Ctx) api.Locker { return NewMCSHandle(ctx) }
+
+// trackedProvider wraps ALockProvider to retain handles for stats
+// harvesting after a run.
+type trackedALockProvider struct {
+	*ALockProvider
+	mu      sync.Mutex
+	handles []*core.Handle
+}
+
+func (p *trackedALockProvider) NewHandle(ctx api.Ctx) api.Locker {
+	h := core.NewHandle(ctx, p.Cfg)
+	p.mu.Lock()
+	p.handles = append(p.handles, h)
+	p.mu.Unlock()
+	return h
+}
+
+// AggregateStats sums the core stats over all handles created so far.
+func (p *trackedALockProvider) AggregateStats() core.Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var s core.Stats
+	for _, h := range p.handles {
+		hs := h.Stats()
+		s.Acquires += hs.Acquires
+		s.Passes += hs.Passes
+		s.Reacquires += hs.Reacquires
+		s.LocalOps += hs.LocalOps
+		s.RemoteOps += hs.RemoteOps
+	}
+	return s
+}
+
+// StatsAggregator is implemented by providers that can report algorithm-
+// internal counters after a run.
+type StatsAggregator interface {
+	AggregateStats() core.Stats
+}
+
+// NewTrackedALockProvider returns an ALock provider that also satisfies
+// StatsAggregator.
+func NewTrackedALockProvider(cfg core.Config) Provider {
+	return &trackedALockProvider{ALockProvider: &ALockProvider{Cfg: cfg}}
+}
+
+// Options parameterizes ByName.
+type Options struct {
+	// ALockConfig is used by the alock variants. Zero value means the
+	// paper's defaults.
+	ALockConfig core.Config
+	// Threads is the total thread count, required by the filter and
+	// bakery baselines.
+	Threads int
+}
+
+// Names lists every constructible algorithm, sorted.
+func Names() []string {
+	names := []string{
+		"alock", "alock-nobudget", "alock-symmetric",
+		"spinlock", "mcs", "filter", "bakery",
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName constructs the named algorithm's provider.
+//
+//	alock           — the paper's ALock (budgets from opts, default 5/20)
+//	alock-nobudget  — ablation: effectively unbounded budgets
+//	alock-symmetric — ablation: every access forced into the remote cohort
+//	spinlock        — competitor: repeat rCAS (all RDMA, loopback included)
+//	mcs             — competitor: RDMA MCS queue lock (all RDMA)
+//	filter          — related work: n-thread Peterson filter over RDMA
+//	bakery          — related work: Lamport's bakery over RDMA
+func ByName(name string, opts Options) (Provider, error) {
+	cfg := opts.ALockConfig
+	if cfg.LocalBudget == 0 && cfg.RemoteBudget == 0 {
+		def := core.DefaultConfig()
+		def.ForceRemote = cfg.ForceRemote
+		cfg = def
+	}
+	switch name {
+	case "alock":
+		return NewTrackedALockProvider(cfg), nil
+	case "alock-nobudget":
+		nb := cfg
+		// Budgets so large they never reach zero within any experiment:
+		// passing continues indefinitely, removing the fairness mechanism.
+		nb.LocalBudget = 1 << 40
+		nb.RemoteBudget = 1 << 40
+		return &nobudgetProvider{Provider: NewTrackedALockProvider(nb)}, nil
+	case "alock-symmetric":
+		sym := cfg
+		sym.ForceRemote = true
+		return &symmetricProvider{Provider: NewTrackedALockProvider(sym)}, nil
+	case "spinlock":
+		return SpinProvider{}, nil
+	case "mcs":
+		return MCSProvider{}, nil
+	case "filter":
+		if opts.Threads < 1 {
+			return nil, fmt.Errorf("locks: %q requires Options.Threads", name)
+		}
+		return NewFilterProvider(opts.Threads), nil
+	case "bakery":
+		if opts.Threads < 1 {
+			return nil, fmt.Errorf("locks: %q requires Options.Threads", name)
+		}
+		return NewBakeryProvider(opts.Threads), nil
+	default:
+		return nil, fmt.Errorf("locks: unknown algorithm %q (have %v)", name, Names())
+	}
+}
+
+// nobudgetProvider / symmetricProvider rename wrapped ALock providers.
+type nobudgetProvider struct{ Provider }
+
+func (nobudgetProvider) Name() string { return "alock-nobudget" }
+
+type symmetricProvider struct{ Provider }
+
+func (symmetricProvider) Name() string { return "alock-symmetric" }

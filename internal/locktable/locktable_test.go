@@ -1,0 +1,222 @@
+package locktable
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"alock/internal/mem"
+)
+
+func TestPartitionEqual(t *testing.T) {
+	space := mem.NewSpace(5, 1<<16)
+	tab := New(space, 100)
+	if tab.Len() != 100 || tab.Nodes() != 5 {
+		t.Fatalf("len/nodes = %d/%d", tab.Len(), tab.Nodes())
+	}
+	for n := 0; n < 5; n++ {
+		if got := len(tab.LocksOn(n)); got != 20 {
+			t.Errorf("node %d owns %d locks, want 20", n, got)
+		}
+	}
+}
+
+func TestPartitionUnevenWithinOne(t *testing.T) {
+	space := mem.NewSpace(3, 1<<16)
+	tab := New(space, 20)
+	min, max := tab.Len(), 0
+	for n := 0; n < 3; n++ {
+		c := len(tab.LocksOn(n))
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("partition imbalance %d", max-min)
+	}
+}
+
+func TestHomeNodeMatchesPointer(t *testing.T) {
+	space := mem.NewSpace(4, 1<<16)
+	tab := New(space, 40)
+	for i := 0; i < tab.Len(); i++ {
+		if tab.Ptr(i).NodeID() != tab.HomeNode(i) {
+			t.Fatalf("lock %d: pointer node %d != home %d", i, tab.Ptr(i).NodeID(), tab.HomeNode(i))
+		}
+		if tab.HomeNode(i) != i%4 {
+			t.Fatalf("lock %d homed on %d, want round-robin %d", i, tab.HomeNode(i), i%4)
+		}
+	}
+}
+
+func TestLocksDistinct(t *testing.T) {
+	space := mem.NewSpace(2, 1<<18)
+	tab := New(space, 200)
+	seen := map[uint64]bool{}
+	for i := 0; i < tab.Len(); i++ {
+		w := tab.Ptr(i).Word()
+		if seen[w] {
+			t.Fatalf("duplicate lock pointer %v", tab.Ptr(i))
+		}
+		seen[w] = true
+	}
+}
+
+func TestPickLocalityDistribution(t *testing.T) {
+	space := mem.NewSpace(5, 1<<18)
+	tab := New(space, 100)
+	rng := rand.New(rand.NewSource(1))
+	const trials = 50000
+	for _, pct := range []int{0, 50, 85, 95, 100} {
+		local := 0
+		for i := 0; i < trials; i++ {
+			idx := tab.Pick(rng, 2, pct)
+			if tab.HomeNode(idx) == 2 {
+				local++
+			}
+		}
+		got := float64(local) / trials * 100
+		if got < float64(pct)-2 || got > float64(pct)+2 {
+			t.Errorf("locality %d%%: observed %.1f%%", pct, got)
+		}
+	}
+}
+
+func TestPickUniformAmongLocal(t *testing.T) {
+	space := mem.NewSpace(2, 1<<18)
+	tab := New(space, 10)
+	rng := rand.New(rand.NewSource(2))
+	counts := map[int]int{}
+	for i := 0; i < 20000; i++ {
+		idx := tab.Pick(rng, 0, 100)
+		counts[idx]++
+	}
+	for idx, c := range counts {
+		if tab.HomeNode(idx) != 0 {
+			t.Fatalf("100%% locality picked remote lock %d", idx)
+		}
+		if c < 3200 || c > 4800 { // 5 local locks, expect ~4000 each
+			t.Errorf("lock %d picked %d times (expect ~4000)", idx, c)
+		}
+	}
+}
+
+func TestPickSingleNodeAllLocal(t *testing.T) {
+	space := mem.NewSpace(1, 1<<16)
+	tab := New(space, 10)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		idx := tab.Pick(rng, 0, 0) // wants remote, none exists
+		if tab.HomeNode(idx) != 0 {
+			t.Fatal("impossible")
+		}
+	}
+}
+
+func TestFewerLocksThanNodes(t *testing.T) {
+	space := mem.NewSpace(4, 1<<16)
+	tab := New(space, 2) // nodes 2,3 own nothing
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		idx := tab.Pick(rng, 3, 100) // wants local, has none: falls back
+		if tab.HomeNode(idx) == 3 {
+			t.Fatal("node 3 owns no locks")
+		}
+		_ = idx
+	}
+}
+
+func TestNewPanicsOnBadSize(t *testing.T) {
+	space := mem.NewSpace(2, 1<<12)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(space, 0)
+}
+
+// Property: Pick always returns a valid index whose home matches the
+// locality request whenever the request is satisfiable.
+func TestQuickPickRespectsLocality(t *testing.T) {
+	space := mem.NewSpace(4, 1<<20)
+	tab := New(space, 37)
+	f := func(seed int64, rawNode, rawPct uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		node := int(rawNode) % 4
+		pct := int(rawPct) % 101
+		idx := tab.Pick(rng, node, pct)
+		if idx < 0 || idx >= tab.Len() {
+			return false
+		}
+		if pct == 100 && len(tab.LocksOn(node)) > 0 && tab.HomeNode(idx) != node {
+			return false
+		}
+		if pct == 0 && len(tab.LocksOn(node)) < tab.Len() && tab.HomeNode(idx) == node {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPickSkewedConcentrates(t *testing.T) {
+	space := mem.NewSpace(4, 1<<18)
+	tab := New(space, 100)
+	rng := rand.New(rand.NewSource(5))
+	sk := tab.NewSkew(rng, 1, 1.5)
+	if sk == nil {
+		t.Fatal("NewSkew(1.5) returned nil")
+	}
+	counts := map[int]int{}
+	const trials = 30000
+	for i := 0; i < trials; i++ {
+		counts[tab.PickSkewed(rng, 1, 100, sk)]++
+	}
+	hot := tab.LocksOn(1)[0]
+	if counts[hot] < trials/5 {
+		t.Errorf("hottest lock got %d of %d picks; expected strong concentration", counts[hot], trials)
+	}
+	for idx := range counts {
+		if tab.HomeNode(idx) != 1 {
+			t.Fatalf("100%% locality skew picked remote lock %d", idx)
+		}
+	}
+}
+
+func TestPickSkewedRespectsLocality(t *testing.T) {
+	space := mem.NewSpace(4, 1<<18)
+	tab := New(space, 100)
+	rng := rand.New(rand.NewSource(6))
+	sk := tab.NewSkew(rng, 2, 2.0)
+	local := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if tab.HomeNode(tab.PickSkewed(rng, 2, 80, sk)) == 2 {
+			local++
+		}
+	}
+	got := float64(local) / trials * 100
+	if got < 77 || got > 83 {
+		t.Errorf("skewed locality = %.1f%%, want ~80%%", got)
+	}
+}
+
+func TestNewSkewNilForUniform(t *testing.T) {
+	space := mem.NewSpace(2, 1<<14)
+	tab := New(space, 10)
+	rng := rand.New(rand.NewSource(7))
+	if tab.NewSkew(rng, 0, 0) != nil || tab.NewSkew(rng, 0, 1.0) != nil {
+		t.Fatal("s <= 1 must return nil (uniform)")
+	}
+	// PickSkewed with nil skew falls back to Pick.
+	idx := tab.PickSkewed(rng, 0, 100, nil)
+	if tab.HomeNode(idx) != 0 {
+		t.Fatal("fallback pick broke locality")
+	}
+}

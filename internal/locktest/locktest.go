@@ -1,0 +1,210 @@
+// Package locktest provides shared correctness harnesses for every lock
+// algorithm in the repository. It is imported only by test files.
+//
+// The central check is mutual exclusion under the deterministic simulator
+// with Table 1 tearing enabled: threads repeatedly acquire a lock and
+// perform a deliberately non-atomic read-modify-write on a counter plus an
+// ownership handshake. Any interleaving of two critical sections loses an
+// increment or trips the ownership check, so a correct run proves the lock
+// serialized every critical section under that schedule.
+package locktest
+
+import (
+	"testing"
+
+	"alock/internal/api"
+	"alock/internal/locks"
+	"alock/internal/model"
+	"alock/internal/ptr"
+	"alock/internal/sim"
+)
+
+// MutexConfig parameterizes CheckMutualExclusion.
+type MutexConfig struct {
+	Nodes          int
+	ThreadsPerNode int
+	Locks          int
+	Iters          int // lock/unlock pairs per thread
+	LocalityPct    int // percentage of operations targeting the own node
+	Seed           int64
+	Model          model.Params
+}
+
+// DefaultMutexConfig returns a small-but-contended configuration with
+// tearing enabled.
+func DefaultMutexConfig() MutexConfig {
+	m := model.Uniform(7)
+	m.TornRCAS = true
+	m.TornGapNS = 90
+	return MutexConfig{
+		Nodes:          3,
+		ThreadsPerNode: 3,
+		Locks:          2,
+		Iters:          120,
+		LocalityPct:    60,
+		Seed:           1,
+		Model:          m,
+	}
+}
+
+// Result reports what the harness observed.
+type Result struct {
+	TotalOps      int64
+	CounterSum    int64
+	OwnerTramples int64
+	Entries       [][]int // per lock: sequence of acquiring thread IDs
+}
+
+// RunMutex executes the mutual-exclusion workload and returns observations
+// without judging them (used by both the positive checks and the negative
+// Table 1 demonstrations).
+func RunMutex(prov locks.Provider, cfg MutexConfig) Result {
+	e := sim.New(cfg.Nodes, 1<<20, cfg.Model, cfg.Seed)
+	space := e.Space()
+
+	lockPtrs := make([]ptr.Ptr, cfg.Locks)
+	counterPtrs := make([]ptr.Ptr, cfg.Locks)
+	ownerPtrs := make([]ptr.Ptr, cfg.Locks)
+	for i := range lockPtrs {
+		node := i % cfg.Nodes
+		lockPtrs[i] = space.AllocLine(node)
+		counterPtrs[i] = space.AllocLine(node)
+		ownerPtrs[i] = space.AllocLine(node)
+	}
+	prov.Prepare(space, lockPtrs)
+
+	res := Result{Entries: make([][]int, cfg.Locks)}
+
+	for n := 0; n < cfg.Nodes; n++ {
+		for k := 0; k < cfg.ThreadsPerNode; k++ {
+			node := n
+			e.Spawn(node, func(ctx api.Ctx) {
+				h := prov.NewHandle(ctx)
+				rw := rwFor(ctx)
+				for it := 0; it < cfg.Iters; it++ {
+					li := pickLock(ctx, cfg, lockPtrs)
+					l := lockPtrs[li]
+					h.Lock(l)
+					// Critical section: ownership handshake plus a torn
+					// counter increment. Data accesses use the thread's
+					// own access class, like real protected data would.
+					tag := uint64(ctx.ThreadID()) + 1
+					if rw.read(ctx, ownerPtrs[li]) != 0 {
+						res.OwnerTramples++
+					}
+					rw.write(ctx, ownerPtrs[li], tag)
+					c := rw.read(ctx, counterPtrs[li])
+					rw.write(ctx, counterPtrs[li], c+1)
+					if rw.read(ctx, ownerPtrs[li]) != tag {
+						res.OwnerTramples++
+					}
+					rw.write(ctx, ownerPtrs[li], 0)
+					res.Entries[li] = append(res.Entries[li], ctx.ThreadID())
+					h.Unlock(l)
+					res.TotalOps++
+				}
+			})
+		}
+	}
+	e.Run(1 << 62)
+
+	// Sum the counters after all threads exit.
+	e.Spawn(0, func(ctx api.Ctx) {
+		for i := range counterPtrs {
+			res.CounterSum += int64(ctx.Read(counterPtrs[i]))
+		}
+	})
+	e.Run(1 << 62)
+	return res
+}
+
+// CheckMutualExclusion fails t unless every critical section was perfectly
+// serialized.
+func CheckMutualExclusion(t *testing.T, prov locks.Provider, cfg MutexConfig) {
+	t.Helper()
+	res := RunMutex(prov, cfg)
+	want := int64(cfg.Nodes * cfg.ThreadsPerNode * cfg.Iters)
+	if res.TotalOps != want {
+		t.Fatalf("%s: completed %d ops, want %d", prov.Name(), res.TotalOps, want)
+	}
+	if res.CounterSum != want {
+		t.Errorf("%s: lost updates — counter sum %d, want %d (mutual exclusion violated)",
+			prov.Name(), res.CounterSum, want)
+	}
+	if res.OwnerTramples != 0 {
+		t.Errorf("%s: %d ownership violations (overlapping critical sections)",
+			prov.Name(), res.OwnerTramples)
+	}
+}
+
+// TrimToContended cuts the entry sequence at the last point where both
+// classes were still producing entries, removing the tail where one side
+// had already finished its workload and the other ran uncontended (run
+// length bounds only apply while the other cohort is actually waiting).
+func TrimToContended(entries []int, class func(tid int) int) []int {
+	last := map[int]int{}
+	for i, tid := range entries {
+		last[class(tid)] = i
+	}
+	cut := len(entries)
+	for _, idx := range last {
+		if idx+1 < cut {
+			cut = idx + 1
+		}
+	}
+	return entries[:cut]
+}
+
+// MaxRun returns the longest run of consecutive entries whose classifier
+// returns the same value — used for fairness assertions.
+func MaxRun(entries []int, class func(tid int) int) int {
+	maxRun, run, prev := 0, 0, -1
+	for _, tid := range entries {
+		c := class(tid)
+		if c == prev {
+			run++
+		} else {
+			run, prev = 1, c
+		}
+		if run > maxRun {
+			maxRun = run
+		}
+	}
+	return maxRun
+}
+
+// rw routes protected-data accesses through the thread's own access class.
+type rw struct{ node int }
+
+func rwFor(ctx api.Ctx) rw { return rw{node: ctx.NodeID()} }
+
+func (r rw) read(ctx api.Ctx, p ptr.Ptr) uint64 {
+	if p.NodeID() == r.node {
+		return ctx.Read(p)
+	}
+	return ctx.RRead(p)
+}
+
+func (r rw) write(ctx api.Ctx, p ptr.Ptr, v uint64) {
+	if p.NodeID() == r.node {
+		ctx.Write(p, v)
+		return
+	}
+	ctx.RWrite(p, v)
+}
+
+func pickLock(ctx api.Ctx, cfg MutexConfig, lockPtrs []ptr.Ptr) int {
+	if cfg.Locks == 1 {
+		return 0
+	}
+	local := ctx.Rand().Intn(100) < cfg.LocalityPct
+	for tries := 0; ; tries++ {
+		i := ctx.Rand().Intn(cfg.Locks)
+		if (lockPtrs[i].NodeID() == ctx.NodeID()) == local {
+			return i
+		}
+		if tries > 64 {
+			return i // this node may own no (or all) locks
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Package mem implements the RDMA-accessible memory substrate.
+//
+// In the paper's system model (Section 4), all data and metadata live in an
+// RDMA-accessible shared memory partitioned among the nodes. This package
+// models that partition: each node owns a Region of 8-byte words, and a
+// Space aggregates the per-node regions of a cluster into a single address
+// space navigated by ptr.Ptr values.
+//
+// The unit of access is the 8-byte word — the granularity at which RDMA
+// atomics and (single cache line) local/remote atomicity are defined
+// (Table 1 of the paper). Engines perform loads, stores and CAS directly on
+// word addresses obtained from WordAddr; the allocator in this package only
+// hands out placement, it never touches word contents after zeroing.
+//
+// Allocation is 64-byte aligned by default, matching the paper's padding of
+// every piece of lock metadata to a cache line to prevent false sharing
+// (Figure 3).
+package mem
+
+import (
+	"fmt"
+	"sync"
+
+	"alock/internal/ptr"
+)
+
+// WordsPerCacheLine is the number of 8-byte words in a 64-byte cache line,
+// the alignment unit for all lock metadata in the paper.
+const WordsPerCacheLine = 8
+
+// Region is one node's RDMA-accessible memory: a fixed array of 8-byte
+// words plus a thread-safe allocator over it.
+//
+// Word 0 of every region is reserved at construction so that no object is
+// ever placed at offset 0; this keeps ptr.Null (node 0, offset 0)
+// unambiguous everywhere.
+type Region struct {
+	node  int
+	words []uint64
+
+	mu   sync.Mutex
+	next uint64           // bump pointer (in words)
+	free map[int][]uint64 // size class (words) -> freed offsets
+	used map[uint64]int   // live offset -> size in words
+}
+
+// NewRegion creates a region of `words` 8-byte words owned by `node`.
+// The minimum size is one cache line; word 0 is reserved.
+func NewRegion(node, words int) *Region {
+	if words < WordsPerCacheLine {
+		words = WordsPerCacheLine
+	}
+	return &Region{
+		node:  node,
+		words: make([]uint64, words),
+		next:  WordsPerCacheLine, // burn line 0: keeps offset 0 unallocated
+		free:  make(map[int][]uint64),
+		used:  make(map[uint64]int),
+	}
+}
+
+// Node returns the ID of the node owning this region.
+func (r *Region) Node() int { return r.node }
+
+// Size returns the region capacity in words.
+func (r *Region) Size() int { return len(r.words) }
+
+// WordAddr returns the address of the word at `offset`, for direct atomic
+// access by an engine. It panics if offset is out of range — an out-of-range
+// RDMA access is a programming error in this system, not a runtime
+// condition to be handled.
+func (r *Region) WordAddr(offset uint64) *uint64 {
+	if offset >= uint64(len(r.words)) {
+		panic(fmt.Sprintf("mem: node %d offset %#x out of range (region %d words)",
+			r.node, offset, len(r.words)))
+	}
+	return &r.words[offset]
+}
+
+// roundUp rounds n up to a multiple of align (align must be a power of two).
+func roundUp(n, align uint64) uint64 {
+	return (n + align - 1) &^ (align - 1)
+}
+
+// Alloc allocates `words` words aligned to `alignWords` and returns a Ptr
+// to the first word. Freed blocks of the same rounded size are reused.
+// The block is zeroed. Alloc panics if the region is exhausted: the
+// simulated cluster is provisioned up front and exhaustion means the
+// experiment configuration is wrong.
+func (r *Region) Alloc(words, alignWords int) ptr.Ptr {
+	if words <= 0 {
+		panic("mem: Alloc of non-positive size")
+	}
+	if alignWords <= 0 {
+		alignWords = 1
+	}
+	if alignWords&(alignWords-1) != 0 {
+		panic(fmt.Sprintf("mem: alignment %d not a power of two", alignWords))
+	}
+	// Round the block size up to the alignment so that freelist reuse
+	// preserves alignment for all future users of the block.
+	size := int(roundUp(uint64(words), uint64(alignWords)))
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	if list := r.free[size]; len(list) > 0 {
+		off := list[len(list)-1]
+		r.free[size] = list[:len(list)-1]
+		r.used[off] = size
+		r.zeroLocked(off, size)
+		return ptr.Pack(r.node, off)
+	}
+
+	off := roundUp(r.next, uint64(alignWords))
+	if off+uint64(size) > uint64(len(r.words)) {
+		panic(fmt.Sprintf("mem: node %d region exhausted (want %d words at %#x, cap %d)",
+			r.node, size, off, len(r.words)))
+	}
+	r.next = off + uint64(size)
+	r.used[off] = size
+	r.zeroLocked(off, size)
+	return ptr.Pack(r.node, off)
+}
+
+// AllocLine allocates one zeroed, 64-byte-aligned cache line — the shape of
+// every descriptor and lock in the paper (Figure 3).
+func (r *Region) AllocLine() ptr.Ptr {
+	return r.Alloc(WordsPerCacheLine, WordsPerCacheLine)
+}
+
+// Free returns a previously allocated block to the region's freelist.
+// Freeing an unknown pointer panics (double free / wild free).
+func (r *Region) Free(p ptr.Ptr) {
+	if p.NodeID() != r.node {
+		panic(fmt.Sprintf("mem: Free of %v on region for node %d", p, r.node))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	size, ok := r.used[p.Offset()]
+	if !ok {
+		panic(fmt.Sprintf("mem: Free of unallocated pointer %v", p))
+	}
+	delete(r.used, p.Offset())
+	r.free[size] = append(r.free[size], p.Offset())
+}
+
+// LiveBlocks returns the number of currently allocated blocks, for tests
+// and leak accounting.
+func (r *Region) LiveBlocks() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.used)
+}
+
+// zeroLocked zeroes size words at off. Caller holds r.mu.
+func (r *Region) zeroLocked(off uint64, size int) {
+	for i := uint64(0); i < uint64(size); i++ {
+		r.words[off+i] = 0
+	}
+}
+
+// Space is the cluster-wide RDMA-accessible address space: one Region per
+// node, indexed by node ID.
+type Space struct {
+	regions []*Region
+}
+
+// NewSpace creates a Space with `nodes` regions of `wordsPerNode` words each.
+func NewSpace(nodes, wordsPerNode int) *Space {
+	if nodes <= 0 || nodes > ptr.MaxNodes {
+		panic(fmt.Sprintf("mem: node count %d out of range (1..%d)", nodes, ptr.MaxNodes))
+	}
+	s := &Space{regions: make([]*Region, nodes)}
+	for i := range s.regions {
+		s.regions[i] = NewRegion(i, wordsPerNode)
+	}
+	return s
+}
+
+// Nodes returns the number of nodes in the space.
+func (s *Space) Nodes() int { return len(s.regions) }
+
+// Region returns node `id`'s region.
+func (s *Space) Region(id int) *Region {
+	if id < 0 || id >= len(s.regions) {
+		panic(fmt.Sprintf("mem: node %d out of range (space has %d nodes)", id, len(s.regions)))
+	}
+	return s.regions[id]
+}
+
+// WordAddr resolves a Ptr to the address of its backing word.
+func (s *Space) WordAddr(p ptr.Ptr) *uint64 {
+	return s.Region(p.NodeID()).WordAddr(p.Offset())
+}
+
+// Alloc allocates on the given node. See Region.Alloc.
+func (s *Space) Alloc(node, words, alignWords int) ptr.Ptr {
+	return s.Region(node).Alloc(words, alignWords)
+}
+
+// AllocLine allocates one cache line on the given node. See Region.AllocLine.
+func (s *Space) AllocLine(node int) ptr.Ptr {
+	return s.Region(node).AllocLine()
+}
+
+// Free releases p back to its node's region.
+func (s *Space) Free(p ptr.Ptr) {
+	s.Region(p.NodeID()).Free(p)
+}

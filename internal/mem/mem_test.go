@@ -1,0 +1,251 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"alock/internal/ptr"
+)
+
+func TestAllocAlignment(t *testing.T) {
+	r := NewRegion(1, 4096)
+	for i := 0; i < 32; i++ {
+		p := r.AllocLine()
+		if p.Offset()%WordsPerCacheLine != 0 {
+			t.Fatalf("AllocLine returned unaligned offset %#x", p.Offset())
+		}
+		if p.NodeID() != 1 {
+			t.Fatalf("AllocLine node = %d, want 1", p.NodeID())
+		}
+	}
+}
+
+func TestAllocNeverReturnsNull(t *testing.T) {
+	// Node 0 offset 0 is the Null pointer; the region must never hand it out.
+	r := NewRegion(0, 4096)
+	for i := 0; i < 64; i++ {
+		if p := r.Alloc(1, 1); p.IsNull() {
+			t.Fatal("Alloc returned the Null pointer")
+		}
+	}
+}
+
+func TestAllocDistinctNonOverlapping(t *testing.T) {
+	r := NewRegion(2, 1<<14)
+	type blk struct{ off, size uint64 }
+	var blks []blk
+	sizes := []int{1, 3, 8, 8, 16, 5}
+	for _, sz := range sizes {
+		p := r.Alloc(sz, 8)
+		blks = append(blks, blk{p.Offset(), uint64(sz)})
+	}
+	for i := range blks {
+		for j := i + 1; j < len(blks); j++ {
+			a, b := blks[i], blks[j]
+			if a.off < b.off+b.size && b.off < a.off+a.size {
+				t.Fatalf("blocks overlap: %+v and %+v", a, b)
+			}
+		}
+	}
+}
+
+func TestFreeReuse(t *testing.T) {
+	r := NewRegion(0, 4096)
+	p := r.AllocLine()
+	addr := r.WordAddr(p.Offset())
+	*addr = 0xdead
+	r.Free(p)
+	q := r.AllocLine()
+	if q.Offset() != p.Offset() {
+		t.Fatalf("freed line not reused: got %#x want %#x", q.Offset(), p.Offset())
+	}
+	if *r.WordAddr(q.Offset()) != 0 {
+		t.Fatal("reused block not zeroed")
+	}
+}
+
+func TestFreeUnknownPanics(t *testing.T) {
+	r := NewRegion(0, 4096)
+	defer func() {
+		if recover() == nil {
+			t.Error("Free of unallocated pointer did not panic")
+		}
+	}()
+	r.Free(ptr.Pack(0, 64))
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	r := NewRegion(0, 4096)
+	p := r.AllocLine()
+	r.Free(p)
+	defer func() {
+		if recover() == nil {
+			t.Error("double Free did not panic")
+		}
+	}()
+	r.Free(p)
+}
+
+func TestFreeWrongNodePanics(t *testing.T) {
+	r := NewRegion(1, 4096)
+	defer func() {
+		if recover() == nil {
+			t.Error("Free of foreign-node pointer did not panic")
+		}
+	}()
+	r.Free(ptr.Pack(2, 64))
+}
+
+func TestExhaustionPanics(t *testing.T) {
+	r := NewRegion(0, 16) // one line reserved + one allocatable
+	r.AllocLine()
+	defer func() {
+		if recover() == nil {
+			t.Error("allocation past region end did not panic")
+		}
+	}()
+	r.AllocLine()
+}
+
+func TestWordAddrOutOfRangePanics(t *testing.T) {
+	r := NewRegion(0, 64)
+	defer func() {
+		if recover() == nil {
+			t.Error("WordAddr out of range did not panic")
+		}
+	}()
+	r.WordAddr(64)
+}
+
+func TestLiveBlocks(t *testing.T) {
+	r := NewRegion(0, 4096)
+	if r.LiveBlocks() != 0 {
+		t.Fatalf("fresh region LiveBlocks = %d", r.LiveBlocks())
+	}
+	p := r.AllocLine()
+	q := r.AllocLine()
+	if r.LiveBlocks() != 2 {
+		t.Fatalf("LiveBlocks = %d, want 2", r.LiveBlocks())
+	}
+	r.Free(p)
+	r.Free(q)
+	if r.LiveBlocks() != 0 {
+		t.Fatalf("LiveBlocks after frees = %d, want 0", r.LiveBlocks())
+	}
+}
+
+func TestSpaceResolution(t *testing.T) {
+	s := NewSpace(4, 1024)
+	if s.Nodes() != 4 {
+		t.Fatalf("Nodes() = %d", s.Nodes())
+	}
+	p := s.AllocLine(3)
+	if p.NodeID() != 3 {
+		t.Fatalf("AllocLine(3) on node %d", p.NodeID())
+	}
+	*s.WordAddr(p) = 42
+	if *s.Region(3).WordAddr(p.Offset()) != 42 {
+		t.Fatal("WordAddr did not resolve to node 3's region")
+	}
+	s.Free(p)
+}
+
+func TestSpaceBadNodeCountPanics(t *testing.T) {
+	for _, n := range []int{0, -1, ptr.MaxNodes + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSpace(%d) did not panic", n)
+				}
+			}()
+			NewSpace(n, 64)
+		}()
+	}
+}
+
+func TestConcurrentAlloc(t *testing.T) {
+	r := NewRegion(0, 1<<16)
+	var wg sync.WaitGroup
+	const workers, per = 8, 64
+	offsets := make([][]uint64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				offsets[w] = append(offsets[w], r.AllocLine().Offset())
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool)
+	for _, list := range offsets {
+		for _, off := range list {
+			if seen[off] {
+				t.Fatalf("offset %#x allocated twice", off)
+			}
+			seen[off] = true
+		}
+	}
+}
+
+// Property: any sequence of aligned allocations yields aligned,
+// pairwise-disjoint blocks.
+func TestQuickAllocDisjoint(t *testing.T) {
+	f := func(rawSizes []uint8) bool {
+		r := NewRegion(0, 1<<18)
+		type blk struct{ off, size uint64 }
+		var blks []blk
+		for _, raw := range rawSizes {
+			sz := int(raw%32) + 1
+			p := r.Alloc(sz, 8)
+			if p.Offset()%8 != 0 {
+				return false
+			}
+			// Size is rounded up to alignment inside Alloc.
+			rounded := uint64((sz + 7) &^ 7)
+			blks = append(blks, blk{p.Offset(), rounded})
+		}
+		for i := range blks {
+			for j := i + 1; j < len(blks); j++ {
+				a, b := blks[i], blks[j]
+				if a.off < b.off+b.size && b.off < a.off+a.size {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: alloc/free/alloc of the same size class reuses memory and the
+// reused block is always zeroed.
+func TestQuickReuseZeroed(t *testing.T) {
+	f := func(vals []uint64) bool {
+		r := NewRegion(0, 1<<16)
+		var ps []ptr.Ptr
+		for range vals {
+			ps = append(ps, r.AllocLine())
+		}
+		for i, p := range ps {
+			*r.WordAddr(p.Offset()) = vals[i] | 1 // ensure nonzero
+			r.Free(p)
+		}
+		for range ps {
+			p := r.AllocLine()
+			for w := uint64(0); w < WordsPerCacheLine; w++ {
+				if *r.WordAddr(p.Offset() + w) != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,91 @@
+// Package ptr implements the 64-bit RDMA pointer representation used
+// throughout the ALock system.
+//
+// Following Section 6 of the paper, an rdma_ptr is a compact 8-byte value
+// that is friendly to RDMA atomic operations: the first (most significant)
+// 4 bits embed the ID of the node where the referenced memory resides, and
+// the remaining 60 bits hold the word offset of the object within that
+// node's RDMA-accessible region.
+//
+// A Ptr is an opaque value; use Pack to build one and NodeID/Offset to
+// destructure it. The zero Ptr is the distinguished Null pointer (node 0,
+// offset 0); by convention the first word of every node's region is reserved
+// so that no allocated object ever has offset 0, which keeps Null
+// unambiguous.
+package ptr
+
+import (
+	"fmt"
+)
+
+// Ptr is an RDMA pointer: 4 bits of node ID followed by 60 bits of offset.
+// It is represented as a plain uint64 so that it can be stored in — and
+// atomically swapped through — a single RDMA-accessible word.
+type Ptr uint64
+
+// Layout constants for the node/offset split.
+const (
+	// NodeBits is the number of high-order bits reserved for the node ID.
+	NodeBits = 4
+	// OffsetBits is the number of low-order bits holding the word offset.
+	OffsetBits = 64 - NodeBits
+
+	// MaxNodes is the number of distinct nodes addressable by a Ptr.
+	MaxNodes = 1 << NodeBits // 16
+	// MaxOffset is the largest representable offset.
+	MaxOffset = (uint64(1) << OffsetBits) - 1
+
+	nodeShift  = OffsetBits
+	offsetMask = MaxOffset
+)
+
+// Null is the distinguished nil RDMA pointer.
+const Null Ptr = 0
+
+// Pack builds a Ptr from a node ID and a word offset.
+// It panics if node or offset are out of range; both conditions indicate a
+// programming error in the allocator layer, never a data-dependent failure.
+func Pack(node int, offset uint64) Ptr {
+	if node < 0 || node >= MaxNodes {
+		panic(fmt.Sprintf("ptr: node %d out of range [0,%d)", node, MaxNodes))
+	}
+	if offset > MaxOffset {
+		panic(fmt.Sprintf("ptr: offset %#x exceeds %d bits", offset, OffsetBits))
+	}
+	return Ptr(uint64(node)<<nodeShift | offset)
+}
+
+// NodeID returns the ID of the node on which the referenced memory resides.
+func (p Ptr) NodeID() int { return int(uint64(p) >> nodeShift) }
+
+// Offset returns the word offset of the referenced memory within its node's
+// RDMA-accessible region.
+func (p Ptr) Offset() uint64 { return uint64(p) & offsetMask }
+
+// IsNull reports whether p is the Null pointer.
+func (p Ptr) IsNull() bool { return p == Null }
+
+// Add returns a Ptr referencing the word `words` past p on the same node.
+// It panics on offset overflow.
+func (p Ptr) Add(words uint64) Ptr {
+	off := p.Offset() + words
+	if off > MaxOffset || off < p.Offset() {
+		panic(fmt.Sprintf("ptr: Add overflows offset (%#x + %d)", p.Offset(), words))
+	}
+	return Pack(p.NodeID(), off)
+}
+
+// Word returns the raw uint64 representation, suitable for storing the
+// pointer itself into an RDMA-accessible word (e.g. an MCS queue tail).
+func (p Ptr) Word() uint64 { return uint64(p) }
+
+// FromWord reinterprets a raw word as a Ptr. It is the inverse of Word.
+func FromWord(w uint64) Ptr { return Ptr(w) }
+
+// String renders the pointer as n<node>+0x<offset>, or "null".
+func (p Ptr) String() string {
+	if p.IsNull() {
+		return "null"
+	}
+	return fmt.Sprintf("n%d+%#x", p.NodeID(), p.Offset())
+}

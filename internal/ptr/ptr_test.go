@@ -1,0 +1,161 @@
+package ptr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackRoundTrip(t *testing.T) {
+	cases := []struct {
+		node   int
+		offset uint64
+	}{
+		{0, 0},
+		{0, 1},
+		{1, 0},
+		{15, MaxOffset},
+		{7, 0xdeadbeef},
+		{3, 1 << 40},
+	}
+	for _, c := range cases {
+		p := Pack(c.node, c.offset)
+		if got := p.NodeID(); got != c.node {
+			t.Errorf("Pack(%d,%#x).NodeID() = %d", c.node, c.offset, got)
+		}
+		if got := p.Offset(); got != c.offset {
+			t.Errorf("Pack(%d,%#x).Offset() = %#x", c.node, c.offset, got)
+		}
+	}
+}
+
+func TestNullProperties(t *testing.T) {
+	if !Null.IsNull() {
+		t.Fatal("Null.IsNull() = false")
+	}
+	if Null.NodeID() != 0 || Null.Offset() != 0 {
+		t.Fatalf("Null decomposes to (%d,%d), want (0,0)", Null.NodeID(), Null.Offset())
+	}
+	if Pack(0, 0) != Null {
+		t.Fatal("Pack(0,0) != Null")
+	}
+	if Pack(0, 1).IsNull() {
+		t.Fatal("Pack(0,1) reported null")
+	}
+	if Pack(1, 0).IsNull() {
+		t.Fatal("Pack(1,0) reported null")
+	}
+}
+
+func TestWordRoundTrip(t *testing.T) {
+	p := Pack(9, 0x123456)
+	if FromWord(p.Word()) != p {
+		t.Fatalf("FromWord(Word()) = %v, want %v", FromWord(p.Word()), p)
+	}
+}
+
+func TestAdd(t *testing.T) {
+	p := Pack(5, 100)
+	q := p.Add(28)
+	if q.NodeID() != 5 || q.Offset() != 128 {
+		t.Fatalf("Add(28) = %v", q)
+	}
+	if p.Offset() != 100 {
+		t.Fatal("Add mutated receiver")
+	}
+}
+
+func TestPackPanicsOnBadNode(t *testing.T) {
+	for _, node := range []int{-1, MaxNodes, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Pack(%d, 0) did not panic", node)
+				}
+			}()
+			Pack(node, 0)
+		}()
+	}
+}
+
+func TestPackPanicsOnBadOffset(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Pack(0, MaxOffset+1) did not panic")
+		}
+	}()
+	Pack(0, MaxOffset+1)
+}
+
+func TestAddPanicsOnOverflow(t *testing.T) {
+	p := Pack(2, MaxOffset-1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Add past MaxOffset did not panic")
+		}
+	}()
+	p.Add(2)
+}
+
+func TestString(t *testing.T) {
+	if got := Null.String(); got != "null" {
+		t.Errorf("Null.String() = %q", got)
+	}
+	if got := Pack(3, 0x40).String(); got != "n3+0x40" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// Property: encode/decode round-trips for all valid (node, offset) pairs.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(rawNode uint8, rawOff uint64) bool {
+		node := int(rawNode) % MaxNodes
+		off := rawOff & MaxOffset
+		p := Pack(node, off)
+		return p.NodeID() == node && p.Offset() == off && FromWord(p.Word()) == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: distinct (node, offset) pairs give distinct pointers (Pack is
+// injective on its valid domain).
+func TestQuickInjective(t *testing.T) {
+	f := func(n1, n2 uint8, o1, o2 uint64) bool {
+		a := Pack(int(n1)%MaxNodes, o1&MaxOffset)
+		b := Pack(int(n2)%MaxNodes, o2&MaxOffset)
+		same := int(n1)%MaxNodes == int(n2)%MaxNodes && o1&MaxOffset == o2&MaxOffset
+		return (a == b) == same
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NodeID is always in range regardless of the raw word.
+func TestQuickFromWordNodeRange(t *testing.T) {
+	f := func(w uint64) bool {
+		p := FromWord(w)
+		return p.NodeID() >= 0 && p.NodeID() < MaxNodes && p.Offset() <= MaxOffset
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPack(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	nodes := make([]int, 1024)
+	offs := make([]uint64, 1024)
+	for i := range nodes {
+		nodes[i] = r.Intn(MaxNodes)
+		offs[i] = r.Uint64() & MaxOffset
+	}
+	b.ResetTimer()
+	var sink Ptr
+	for i := 0; i < b.N; i++ {
+		sink = Pack(nodes[i&1023], offs[i&1023])
+	}
+	_ = sink
+}

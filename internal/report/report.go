@@ -1,0 +1,334 @@
+// Package report renders harness results as the rows and series the paper
+// reports: aligned text tables for the terminal and CSV for replotting.
+// One renderer exists per table/figure of the evaluation.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"alock/internal/harness"
+	"alock/internal/stats"
+)
+
+// writeTable renders rows as an aligned text table with a header.
+func writeTable(w io.Writer, title string, header []string, rows [][]string) {
+	fmt.Fprintf(w, "\n== %s ==\n", title)
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+}
+
+// ops formats a throughput in ops/sec with engineering units.
+func ops(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// ns formats a duration in nanoseconds with engineering units.
+func ns(v int64) string {
+	switch {
+	case v >= 1_000_000:
+		return fmt.Sprintf("%.2fms", float64(v)/1e6)
+	case v >= 1_000:
+		return fmt.Sprintf("%.2fus", float64(v)/1e3)
+	default:
+		return fmt.Sprintf("%dns", v)
+	}
+}
+
+// Figure1 renders the loopback-congestion experiment.
+func Figure1(w io.Writer, pts []harness.Fig1Point) {
+	var rows [][]string
+	for _, p := range pts {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Threads),
+			ops(p.Throughput),
+			ns(p.MaxBacklog),
+		})
+	}
+	writeTable(w, "Figure 1: RDMA spinlock, 1k locks, 1 node (loopback congestion)",
+		[]string{"threads", "throughput(ops/s)", "max NIC backlog"}, rows)
+}
+
+// Figure1CSV emits threads,throughput rows.
+func Figure1CSV(w io.Writer, pts []harness.Fig1Point) {
+	fmt.Fprintln(w, "figure,threads,throughput_ops,max_backlog_ns")
+	for _, p := range pts {
+		fmt.Fprintf(w, "fig1,%d,%.1f,%d\n", p.Threads, p.Throughput, p.MaxBacklog)
+	}
+}
+
+// Figure4 renders the budget study.
+func Figure4(w io.Writer, rows4 []harness.Fig4Row) {
+	var rows [][]string
+	for _, r := range rows4 {
+		var locs []int
+		for l := range r.PerLocality {
+			locs = append(locs, l)
+		}
+		sort.Ints(locs)
+		var per []string
+		for _, l := range locs {
+			per = append(per, fmt.Sprintf("%d%%:%.3f", l, r.PerLocality[l]))
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", r.Locks),
+			fmt.Sprintf("%d", r.RemoteBudget),
+			fmt.Sprintf("%d", r.LocalBudget),
+			strings.Join(per, " "),
+			fmt.Sprintf("%.3fx", r.AvgSpeedup),
+		})
+	}
+	writeTable(w, "Figure 4: speedup vs baseline remote budget 5 (local budget 5)",
+		[]string{"locks", "remote budget", "local budget", "per-locality speedup", "avg speedup"}, rows)
+}
+
+// Figure5 renders the throughput grid.
+func Figure5(w io.Writer, panels []harness.Fig5Panel) {
+	for _, p := range panels {
+		title := fmt.Sprintf("Figure 5(%s): %d nodes, %d locks, %d%% locality",
+			p.ID, p.Nodes, p.Locks, p.LocalityPct)
+		header := []string{"threads/node"}
+		for _, s := range p.Series {
+			header = append(header, s.Algorithm+"(ops/s)")
+		}
+		if len(p.Series) == 0 {
+			continue
+		}
+		var rows [][]string
+		for i, th := range p.Series[0].Threads {
+			row := []string{fmt.Sprintf("%d", th)}
+			for _, s := range p.Series {
+				row = append(row, ops(s.Throughput[i]))
+			}
+			rows = append(rows, row)
+		}
+		writeTable(w, title, header, rows)
+	}
+}
+
+// Figure5CSV emits one row per (panel, algorithm, threads).
+func Figure5CSV(w io.Writer, panels []harness.Fig5Panel) {
+	fmt.Fprintln(w, "figure,panel,nodes,locks,locality_pct,algorithm,threads_per_node,throughput_ops")
+	for _, p := range panels {
+		for _, s := range p.Series {
+			for i, th := range s.Threads {
+				fmt.Fprintf(w, "fig5,%s,%d,%d,%d,%s,%d,%.1f\n",
+					p.ID, p.Nodes, p.Locks, p.LocalityPct, s.Algorithm, th, s.Throughput[i])
+			}
+		}
+	}
+}
+
+// Figure5Locality renders the ALock locality sweep.
+func Figure5Locality(w io.Writer, pts []harness.Fig5LocalityPoint) {
+	var rows [][]string
+	for i, p := range pts {
+		delta := "-"
+		if i > 0 && pts[i-1].Throughput > 0 {
+			delta = fmt.Sprintf("%+.0f%%", (p.Throughput/pts[i-1].Throughput-1)*100)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d%%", p.LocalityPct), ops(p.Throughput), delta,
+		})
+	}
+	writeTable(w, "Figure 5 supplement: ALock locality sweep (5 nodes, 1000 locks, 8 thr/node)",
+		[]string{"locality", "throughput(ops/s)", "delta vs previous"}, rows)
+}
+
+// Figure6 renders the latency grid (summaries plus optional CDH dump).
+func Figure6(w io.Writer, panels []harness.Fig6Panel) {
+	for _, p := range panels {
+		title := fmt.Sprintf("Figure 6(%s): 10 nodes, 8 thr/node, %d locks, %d%% locality",
+			p.ID, p.Locks, p.LocalityPct)
+		var rows [][]string
+		for _, s := range p.Series {
+			rows = append(rows, []string{
+				s.Algorithm,
+				ns(int64(s.Summary.MeanNS)),
+				ns(s.Summary.P50NS),
+				ns(s.Summary.P90NS),
+				ns(s.Summary.P99NS),
+				ns(s.Summary.P999NS),
+				ns(s.Summary.MaxNS),
+			})
+		}
+		writeTable(w, title,
+			[]string{"algorithm", "mean", "p50", "p90", "p99", "p99.9", "max"}, rows)
+	}
+}
+
+// Figure6CSV dumps the full CDFs, one row per (panel, algorithm, point).
+func Figure6CSV(w io.Writer, panels []harness.Fig6Panel) {
+	fmt.Fprintln(w, "figure,panel,locks,locality_pct,algorithm,latency_ns,cdf")
+	for _, p := range panels {
+		for _, s := range p.Series {
+			for _, pt := range s.CDF {
+				fmt.Fprintf(w, "fig6,%s,%d,%d,%s,%d,%.6f\n",
+					p.ID, p.Locks, p.LocalityPct, s.Algorithm, pt.ValueNS, pt.F)
+			}
+		}
+	}
+}
+
+// Table1 renders the measured atomicity matrix next to the paper's.
+func Table1(w io.Writer, cells []harness.Table1Cell) {
+	expected := map[string]bool{
+		"Read/Read": true, "Read/Write": true, "Read/CAS": true,
+		"Write/Read": true, "Write/Write": true, "Write/CAS": false,
+		"RMW/Read": true, "RMW/Write": true, "RMW/CAS": false,
+	}
+	var rows [][]string
+	for _, c := range cells {
+		key := c.LocalClass + "/" + c.RemoteOp
+		verdict := "MATCH"
+		if expected[key] != c.Atomic {
+			verdict = "MISMATCH"
+		}
+		rows = append(rows, []string{
+			c.LocalClass, c.RemoteOp,
+			yesNo(c.Atomic), yesNo(expected[key]), verdict,
+		})
+	}
+	writeTable(w, "Table 1: atomicity between 8-byte local and remote accesses",
+		[]string{"local access", "remote op", "measured", "paper", "verdict"}, rows)
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "Yes"
+	}
+	return "No"
+}
+
+// Ablations renders the design-choice ablation table.
+func Ablations(w io.Writer, rows0 []harness.AblationRow) {
+	base := 0.0
+	for _, r := range rows0 {
+		if r.Algorithm == "alock" {
+			base = r.Throughput
+		}
+	}
+	var rows [][]string
+	for _, r := range rows0 {
+		rel := "-"
+		if base > 0 {
+			rel = fmt.Sprintf("%.2fx", r.Throughput/base)
+		}
+		rows = append(rows, []string{r.Algorithm, ops(r.Throughput), rel, ns(r.P99NS)})
+	}
+	writeTable(w, "Ablations: 8 nodes, 8 thr/node, 100 locks, 90% locality",
+		[]string{"algorithm", "throughput(ops/s)", "vs alock", "p99 latency"}, rows)
+}
+
+// Headlines renders the paper-vs-measured headline ratios.
+func Headlines(w io.Writer, h harness.HeadlineRatios) {
+	rows := [][]string{
+		{"high contention, ALock vs MCS", "up to 29x", fmt.Sprintf("%.1fx", h.HighContentionVsMCS)},
+		{"high contention, ALock vs spinlock", "up to 24x", fmt.Sprintf("%.1fx", h.HighContentionVsSpin)},
+		{"100% locality, ALock vs MCS", "up to 24x", fmt.Sprintf("%.1fx", h.FullLocalityVsMCS)},
+		{"100% locality, ALock vs spinlock", "up to 22x", fmt.Sprintf("%.1fx", h.FullLocalityVsSpin)},
+		{"low contention, ALock vs MCS", "up to 3.8x", fmt.Sprintf("%.1fx", h.LowContentionVsMCS)},
+		{"low contention, ALock vs spinlock", "up to 3.3x", fmt.Sprintf("%.1fx", h.LowContentionVsSpin)},
+	}
+	writeTable(w, "Headline ratios: paper vs this reproduction",
+		[]string{"claim", "paper", "measured"}, rows)
+}
+
+// Summary pretty-prints a one-off harness result (cmd/alockbench).
+func Summary(w io.Writer, r harness.Result) {
+	fmt.Fprintf(w, "algorithm      : %s\n", r.Config.Algorithm)
+	fmt.Fprintf(w, "cluster        : %d nodes x %d threads\n", r.Config.Nodes, r.Config.ThreadsPerNode)
+	fmt.Fprintf(w, "locks          : %d (%d%% locality)\n", r.Config.Locks, r.Config.LocalityPct)
+	fmt.Fprintf(w, "ops recorded   : %d over %s\n", r.Ops, ns(r.SpanNS))
+	fmt.Fprintf(w, "throughput     : %s ops/s\n", ops(r.Throughput))
+	fmt.Fprintf(w, "latency        : mean=%s p50=%s p99=%s p99.9=%s max=%s\n",
+		ns(int64(r.Latency.MeanNS)), ns(r.Latency.P50NS), ns(r.Latency.P99NS),
+		ns(r.Latency.P999NS), ns(r.Latency.MaxNS))
+	fmt.Fprintf(w, "fabric         : %d verbs, %d QPC misses, %d slowdowns, max backlog %s\n",
+		r.NIC.Verbs, r.NIC.QPCMisses, r.NIC.Slowdowns, ns(r.NIC.MaxBacklogNS))
+	if r.Lock.Acquires > 0 {
+		fmt.Fprintf(w, "alock internals: %d acquires (%d local / %d remote), %d passes, %d reacquires\n",
+			r.Lock.Acquires, r.Lock.LocalOps, r.Lock.RemoteOps, r.Lock.Passes, r.Lock.Reacquires)
+	}
+	fmt.Fprintf(w, "events         : %d simulator events\n", r.Events)
+}
+
+// CDFSparkline renders a tiny ASCII CDF for terminal output.
+func CDFSparkline(pts []stats.Point, width int) string {
+	if len(pts) == 0 || width <= 0 {
+		return ""
+	}
+	marks := []rune("▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	for i := 0; i < width; i++ {
+		q := float64(i+1) / float64(width)
+		// Find first point with F >= q.
+		v := pts[len(pts)-1].F
+		for _, p := range pts {
+			if p.F >= q {
+				v = p.F
+				break
+			}
+		}
+		idx := int(v*float64(len(marks)-1) + 0.5)
+		if idx >= len(marks) {
+			idx = len(marks) - 1
+		}
+		b.WriteRune(marks[idx])
+	}
+	return b.String()
+}
+
+// QPThrashing renders the QP context-cache sweep (Section 2 extension).
+func QPThrashing(w io.Writer, rows0 []harness.QPThrashRow) {
+	var rows [][]string
+	for _, r := range rows0 {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", r.CacheCap),
+			r.Algorithm,
+			ops(r.Throughput),
+			fmt.Sprintf("%.1f%%", r.MissRate*100),
+			fmt.Sprintf("%d", r.DistinctQPs),
+		})
+	}
+	writeTable(w, "QP thrashing: QPC cache capacity sweep (16 nodes, 1000 locks, 90% locality)",
+		[]string{"QPC cache", "algorithm", "throughput(ops/s)", "QPC miss rate", "distinct QPs"}, rows)
+}

@@ -1,0 +1,172 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"alock/internal/harness"
+	"alock/internal/stats"
+)
+
+func TestFigure1Render(t *testing.T) {
+	var b strings.Builder
+	Figure1(&b, []harness.Fig1Point{
+		{Threads: 1, Throughput: 500_000, MaxBacklog: 0},
+		{Threads: 8, Throughput: 1_200_000, MaxBacklog: 12_000},
+	})
+	out := b.String()
+	for _, frag := range []string{"Figure 1", "threads", "500.0k", "1.20M", "12.00us"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q in:\n%s", frag, out)
+		}
+	}
+}
+
+func TestFigure1CSV(t *testing.T) {
+	var b strings.Builder
+	Figure1CSV(&b, []harness.Fig1Point{{Threads: 2, Throughput: 10, MaxBacklog: 3}})
+	if !strings.Contains(b.String(), "fig1,2,10.0,3") {
+		t.Errorf("csv = %q", b.String())
+	}
+	if !strings.HasPrefix(b.String(), "figure,threads") {
+		t.Error("missing header")
+	}
+}
+
+func TestFigure4Render(t *testing.T) {
+	var b strings.Builder
+	Figure4(&b, []harness.Fig4Row{
+		{RemoteBudget: 5, LocalBudget: 5, Locks: 100,
+			PerLocality: map[int]float64{85: 1, 90: 1, 95: 1}, AvgSpeedup: 1},
+		{RemoteBudget: 20, LocalBudget: 5, Locks: 100,
+			PerLocality: map[int]float64{85: 1.1, 90: 1.2, 95: 1.3}, AvgSpeedup: 1.2},
+	})
+	out := b.String()
+	for _, frag := range []string{"Figure 4", "1.200x", "85%:1.100"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q in:\n%s", frag, out)
+		}
+	}
+}
+
+func TestFigure5RenderAndCSV(t *testing.T) {
+	panels := []harness.Fig5Panel{{
+		ID: "a", Nodes: 5, Locks: 20, LocalityPct: 90,
+		Series: []harness.Fig5Series{
+			{Algorithm: "alock", Threads: []int{1, 2}, Throughput: []float64{1e6, 2e6}},
+			{Algorithm: "mcs", Threads: []int{1, 2}, Throughput: []float64{5e5, 4e5}},
+		},
+	}}
+	var b strings.Builder
+	Figure5(&b, panels)
+	out := b.String()
+	for _, frag := range []string{"Figure 5(a)", "alock(ops/s)", "2.00M", "400.0k"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q in:\n%s", frag, out)
+		}
+	}
+	b.Reset()
+	Figure5CSV(&b, panels)
+	if !strings.Contains(b.String(), "fig5,a,5,20,90,mcs,2,400000.0") {
+		t.Errorf("csv = %q", b.String())
+	}
+}
+
+func TestFigure6Render(t *testing.T) {
+	panels := []harness.Fig6Panel{{
+		ID: "a", Locks: 20, LocalityPct: 100,
+		Series: []harness.Fig6Series{{
+			Algorithm: "alock",
+			Summary:   stats.Summary{Count: 10, MeanNS: 150, P50NS: 100, P90NS: 300, P99NS: 900, P999NS: 1500, MaxNS: 2000},
+			CDF:       []stats.Point{{ValueNS: 100, F: 0.5}, {ValueNS: 2000, F: 1}},
+		}},
+	}}
+	var b strings.Builder
+	Figure6(&b, panels)
+	out := b.String()
+	for _, frag := range []string{"Figure 6(a)", "p99.9", "1.50us", "2.00us"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q in:\n%s", frag, out)
+		}
+	}
+	b.Reset()
+	Figure6CSV(&b, panels)
+	if !strings.Contains(b.String(), "fig6,a,20,100,alock,100,0.500000") {
+		t.Errorf("csv = %q", b.String())
+	}
+}
+
+func TestTable1RenderVerdicts(t *testing.T) {
+	var b strings.Builder
+	Table1(&b, []harness.Table1Cell{
+		{LocalClass: "Write", RemoteOp: "CAS", Atomic: false}, // paper: No -> MATCH
+		{LocalClass: "Read", RemoteOp: "Read", Atomic: false}, // paper: Yes -> MISMATCH
+	})
+	out := b.String()
+	if !strings.Contains(out, "MATCH") || !strings.Contains(out, "MISMATCH") {
+		t.Errorf("verdicts missing:\n%s", out)
+	}
+}
+
+func TestAblationsRender(t *testing.T) {
+	var b strings.Builder
+	Ablations(&b, []harness.AblationRow{
+		{Algorithm: "alock", Throughput: 2e6, P99NS: 1000},
+		{Algorithm: "mcs", Throughput: 1e6, P99NS: 9000},
+	})
+	out := b.String()
+	if !strings.Contains(out, "0.50x") {
+		t.Errorf("relative column missing:\n%s", out)
+	}
+}
+
+func TestHeadlinesRender(t *testing.T) {
+	var b strings.Builder
+	Headlines(&b, harness.HeadlineRatios{HighContentionVsMCS: 12.5})
+	out := b.String()
+	if !strings.Contains(out, "up to 29x") || !strings.Contains(out, "12.5x") {
+		t.Errorf("headline table wrong:\n%s", out)
+	}
+}
+
+func TestSummaryRender(t *testing.T) {
+	var b strings.Builder
+	Summary(&b, harness.Result{
+		Config: harness.Config{Algorithm: "alock", Nodes: 2, ThreadsPerNode: 3,
+			Locks: 10, LocalityPct: 80},
+		Ops: 100, SpanNS: 1_000_000, Throughput: 100_000,
+		Latency: stats.Summary{Count: 100, MeanNS: 500, P50NS: 400, P99NS: 2000, P999NS: 3000, MaxNS: 4000},
+	})
+	out := b.String()
+	for _, frag := range []string{"alock", "2 nodes x 3 threads", "100.0k ops/s"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q in:\n%s", frag, out)
+		}
+	}
+}
+
+func TestUnitFormatting(t *testing.T) {
+	if got := ops(999); got != "999" {
+		t.Errorf("ops(999) = %q", got)
+	}
+	if got := ops(1500); got != "1.5k" {
+		t.Errorf("ops(1500) = %q", got)
+	}
+	if got := ns(999); got != "999ns" {
+		t.Errorf("ns(999) = %q", got)
+	}
+	if got := ns(1_500_000); got != "1.50ms" {
+		t.Errorf("ns(1.5ms) = %q", got)
+	}
+}
+
+func TestCDFSparkline(t *testing.T) {
+	pts := []stats.Point{{ValueNS: 1, F: 0.2}, {ValueNS: 2, F: 0.6}, {ValueNS: 3, F: 1.0}}
+	s := CDFSparkline(pts, 8)
+	if len([]rune(s)) != 8 {
+		t.Fatalf("sparkline width = %d", len([]rune(s)))
+	}
+	if CDFSparkline(nil, 8) != "" {
+		t.Fatal("nil points should render empty")
+	}
+}

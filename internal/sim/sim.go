@@ -1,0 +1,446 @@
+// Package sim is a deterministic discrete-event simulation engine for the
+// RDMA cluster.
+//
+// Simulated threads are ordinary goroutines running ordinary blocking Go
+// code against the api.Ctx interface, but exactly one of them executes at a
+// time: every memory operation suspends the thread until its completion
+// event fires on the virtual clock, and the scheduler hands control back in
+// strict (time, sequence) order. Memory effects therefore apply in a single
+// global order — the engine is sequentially consistent at event granularity,
+// which is the memory model the paper's algorithms require once the
+// prescribed fences are in place (§5.2).
+//
+// Determinism: given the same seed, workload and model, every run produces
+// bit-identical schedules, throughputs and latencies. Ties on the virtual
+// clock are broken by event sequence number; per-thread RNGs are derived
+// from the engine seed; no host-machine timing leaks in.
+//
+// Costs come from internal/model, and every remote operation is routed
+// through the requester's and responder's internal/nic instances, which is
+// where loopback congestion and QP thrashing arise.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"alock/internal/api"
+	"alock/internal/mem"
+	"alock/internal/model"
+	"alock/internal/nic"
+	"alock/internal/ptr"
+)
+
+// event is a scheduled wake-up of one thread.
+type event struct {
+	at  int64  // virtual time
+	seq uint64 // tie-breaker: insertion order
+	th  *Thread
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is one simulated cluster run.
+type Engine struct {
+	space *mem.Space
+	p     model.Params
+	nics  []*nic.NIC
+	seed  int64
+
+	heap    eventHeap
+	now     int64
+	seq     uint64
+	stopAt  int64
+	stopped bool
+
+	threads []*Thread
+	yield   chan struct{} // running thread -> scheduler handoff
+
+	// tornHeld marks words whose remote-RMW read half has executed but
+	// whose write half has not; other *remote* operations on such a word
+	// stall (the responder NIC serializes remote atomics) while *local*
+	// operations pass straight through — the Table 1 asymmetry.
+	tornHeld map[ptr.Ptr]bool
+
+	// loopInFlight / remoteInFlight count the operations of each class
+	// currently occupying each node's NIC; the congestion model inflates
+	// verb service with these (each in-flight op is a concurrent DMA
+	// stream competing for the host's PCIe link).
+	loopInFlight   []int
+	remoteInFlight []int
+
+	events    uint64
+	maxEvents uint64
+}
+
+// Option configures a new Engine.
+type Option func(*Engine)
+
+// WithMaxEvents overrides the runaway-simulation guard (default 2^33).
+func WithMaxEvents(n uint64) Option {
+	return func(e *Engine) { e.maxEvents = n }
+}
+
+// New creates an engine for a cluster of `nodes` nodes, each with
+// wordsPerNode words of RDMA-accessible memory, under cost model p.
+func New(nodes, wordsPerNode int, p model.Params, seed int64, opts ...Option) *Engine {
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("sim: invalid model: %v", err))
+	}
+	e := &Engine{
+		space:          mem.NewSpace(nodes, wordsPerNode),
+		p:              p,
+		nics:           make([]*nic.NIC, nodes),
+		seed:           seed,
+		yield:          make(chan struct{}),
+		tornHeld:       make(map[ptr.Ptr]bool),
+		loopInFlight:   make([]int, nodes),
+		remoteInFlight: make([]int, nodes),
+		stopAt:         1<<63 - 1,
+		maxEvents:      1 << 33,
+	}
+	for i := range e.nics {
+		e.nics[i] = nic.New(i, p)
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Space exposes the cluster memory for setup code (e.g. allocating a lock
+// table before threads start). It must not be touched while Run is active.
+func (e *Engine) Space() *mem.Space { return e.space }
+
+// Model returns the engine's cost model.
+func (e *Engine) Model() model.Params { return e.p }
+
+// NIC returns node i's RNIC model (for stats inspection).
+func (e *Engine) NIC(i int) *nic.NIC { return e.nics[i] }
+
+// Now returns the current virtual time in nanoseconds.
+func (e *Engine) Now() int64 { return e.now }
+
+// RequestStop makes Stopped() return true from this point on, regardless
+// of the time horizon. It may be called from inside a simulated thread
+// (e.g. by a measurement harness once it has collected enough operations).
+func (e *Engine) RequestStop() { e.stopped = true }
+
+// Events returns the number of events processed so far.
+func (e *Engine) Events() uint64 { return e.events }
+
+// threadSeedMix decorrelates per-thread RNG streams (golden-ratio mix,
+// truncated to a positive int64).
+const threadSeedMix int64 = 0x1e3779b97f4a7c15
+
+// Spawn registers a simulated thread on `node` running fn. All spawns must
+// happen before Run. Threads are started at virtual time 0 in spawn order.
+func (e *Engine) Spawn(node int, fn func(api.Ctx)) *Thread {
+	if node < 0 || node >= e.space.Nodes() {
+		panic(fmt.Sprintf("sim: Spawn on node %d of %d", node, e.space.Nodes()))
+	}
+	t := &Thread{
+		e:      e,
+		id:     len(e.threads),
+		node:   node,
+		resume: make(chan struct{}),
+		rng:    rand.New(rand.NewSource(e.seed ^ (int64(len(e.threads))+1)*threadSeedMix)),
+		fn:     fn,
+	}
+	e.threads = append(e.threads, t)
+	e.schedule(e.now, t) // start at the current virtual time
+	return t
+}
+
+// schedule enqueues a wake-up for t at virtual time `at`.
+func (e *Engine) schedule(at int64, t *Thread) {
+	e.seq++
+	heap.Push(&e.heap, event{at: at, seq: e.seq, th: t})
+}
+
+// Run drives the simulation until every thread has exited. Threads observe
+// Stopped() == true once the virtual clock reaches stopAt and are expected
+// to wind down (finishing in-flight critical sections so queues drain).
+// Run panics if the event budget is exceeded, which indicates a livelock in
+// the simulated system.
+func (e *Engine) Run(stopAt int64) {
+	e.stopAt = stopAt
+	e.stopped = e.now >= stopAt
+	// Launch any not-yet-started thread goroutines; each waits for its
+	// first resume. (Run may be called again after adding threads to an
+	// already-finished engine, e.g. to inspect final memory state.)
+	for _, t := range e.threads {
+		if !t.started {
+			t.started = true
+			go t.main()
+		}
+	}
+	for e.heap.Len() > 0 {
+		ev := heap.Pop(&e.heap).(event)
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.at
+		if e.now >= e.stopAt {
+			e.stopped = true
+		}
+		e.events++
+		if e.events > e.maxEvents {
+			panic(fmt.Sprintf("sim: exceeded %d events at t=%dns — livelock?", e.maxEvents, e.now))
+		}
+		ev.th.resume <- struct{}{}
+		<-e.yield // wait until the thread blocks again or exits
+	}
+	// All events drained: every thread must have exited.
+	for _, t := range e.threads {
+		if !t.exited {
+			panic(fmt.Sprintf("sim: thread %d blocked forever (deadlock)", t.id))
+		}
+	}
+}
+
+// Thread is one simulated thread; it implements api.Ctx.
+type Thread struct {
+	e       *Engine
+	id      int
+	node    int
+	resume  chan struct{}
+	rng     *rand.Rand
+	fn      func(api.Ctx)
+	started bool
+	exited  bool
+}
+
+var _ api.Ctx = (*Thread)(nil)
+
+func (t *Thread) main() {
+	<-t.resume // initial event at t=0
+	t.fn(t)
+	t.exited = true
+	t.e.yield <- struct{}{}
+}
+
+// block suspends the thread until virtual time `at`.
+//
+// Fast path: if no other event is scheduled at or before `at`, no thread
+// could observably run in the interval, so the running thread advances the
+// clock itself and keeps going without a scheduler handoff. This preserves
+// the exact event ordering semantics (any pending event with time <= at
+// forces the slow path) while collapsing uncontended operation sequences
+// into zero context switches.
+func (t *Thread) block(at int64) {
+	e := t.e
+	if at < e.now {
+		at = e.now
+	}
+	if (len(e.heap) == 0 || e.heap[0].at > at) && e.events <= e.maxEvents {
+		e.now = at
+		if e.now >= e.stopAt {
+			e.stopped = true
+		}
+		e.events++
+		return
+	}
+	e.schedule(at, t)
+	e.yield <- struct{}{}
+	<-t.resume
+}
+
+// NodeID implements api.Ctx.
+func (t *Thread) NodeID() int { return t.node }
+
+// ThreadID implements api.Ctx.
+func (t *Thread) ThreadID() int { return t.id }
+
+// Now implements api.Ctx.
+func (t *Thread) Now() int64 { return t.e.now }
+
+// Stopped implements api.Ctx.
+func (t *Thread) Stopped() bool { return t.e.stopped }
+
+// Rand implements api.Ctx.
+func (t *Thread) Rand() *rand.Rand { return t.rng }
+
+// Alloc implements api.Ctx: allocation lands on the thread's own node.
+func (t *Thread) Alloc(words, align int) ptr.Ptr {
+	return t.e.space.Alloc(t.node, words, align)
+}
+
+// Free implements api.Ctx.
+func (t *Thread) Free(p ptr.Ptr) { t.e.space.Free(p) }
+
+// --- Local (shared-memory) operations ---
+
+// Read implements api.Ctx.
+func (t *Thread) Read(p ptr.Ptr) uint64 {
+	t.block(t.e.now + t.e.p.LocalReadNS)
+	return *t.e.space.WordAddr(p)
+}
+
+// Write implements api.Ctx.
+func (t *Thread) Write(p ptr.Ptr, v uint64) {
+	t.block(t.e.now + t.e.p.LocalWriteNS)
+	*t.e.space.WordAddr(p) = v
+}
+
+// CAS implements api.Ctx. Note that a local CAS deliberately ignores any
+// in-flight torn remote RMW on the same word: local RMW is not atomic with
+// remote RMW (Table 1), and modeling that is the point.
+func (t *Thread) CAS(p ptr.Ptr, old, new uint64) uint64 {
+	t.block(t.e.now + t.e.p.LocalCASNS)
+	addr := t.e.space.WordAddr(p)
+	prev := *addr
+	if prev == old {
+		*addr = new
+	}
+	return prev
+}
+
+// Fence implements api.Ctx. The engine is sequentially consistent at event
+// granularity, so the fence only costs time.
+func (t *Thread) Fence() {
+	t.block(t.e.now + t.e.p.FenceNS)
+}
+
+// Pause implements api.Ctx: bounded exponential spin back-off.
+func (t *Thread) Pause(iter int) {
+	d := t.e.p.SpinPollMinNS
+	for i := 0; i < iter && d < t.e.p.SpinPollMaxNS; i++ {
+		d <<= 1
+	}
+	if d > t.e.p.SpinPollMaxNS {
+		d = t.e.p.SpinPollMaxNS
+	}
+	t.block(t.e.now + d)
+}
+
+// Work implements api.Ctx.
+func (t *Thread) Work(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t.block(t.e.now + d.Nanoseconds())
+}
+
+// --- Remote (RDMA one-sided) operations ---
+
+// verbTimes routes one verb through the fabric: TX on the requester NIC,
+// wire to the responder, RX/execute on the responder NIC, wire back.
+// It returns the virtual time the verb executes at the responder and the
+// time the completion reaches the requester, plus a release function the
+// caller must invoke when the operation finishes (it retires the op from
+// the in-flight congestion accounting).
+func (t *Thread) verbTimes(p ptr.Ptr) (execAt, doneAt int64, release func()) {
+	e := t.e
+	src, dst := t.node, p.NodeID()
+	qp := nic.QP{SrcNode: src, SrcThread: t.id, DstNode: dst}
+	wire := e.p.RemoteWireNS
+	// Failure injection: transient fabric delay spikes, drawn from the
+	// thread's deterministic stream so runs stay reproducible.
+	if e.p.JitterProb > 0 && t.rng.Float64() < e.p.JitterProb {
+		wire += e.p.JitterNS
+	}
+	loopback := src == dst
+	if loopback {
+		// Loopback (§1): the thread reaches its own node's memory through
+		// its own RNIC; both verb halves occupy the same NIC, the only
+		// wire is PCIe, and both halves count as PCIe-hungry loopback
+		// traffic for the congestion model.
+		wire = e.p.LoopbackWireNS
+		e.loopInFlight[src]++
+		release = func() { e.loopInFlight[src]-- }
+		txDone := e.nics[src].Submit(e.now, qp, true, e.loopInFlight[src])
+		arrive := txDone + wire
+		rxDone := e.nics[src].Submit(arrive, qp, true, e.loopInFlight[src])
+		return rxDone, rxDone + wire, release
+	}
+	e.remoteInFlight[src]++
+	e.remoteInFlight[dst]++
+	release = func() {
+		e.remoteInFlight[src]--
+		e.remoteInFlight[dst]--
+	}
+	txDone := e.nics[src].Submit(e.now, qp, false, e.remoteInFlight[src])
+	arrive := txDone + wire
+	rxDone := e.nics[dst].Submit(arrive, qp, false, e.remoteInFlight[dst])
+	return rxDone, rxDone + wire, release
+}
+
+// RRead implements api.Ctx.
+func (t *Thread) RRead(p ptr.Ptr) uint64 {
+	execAt, doneAt, release := t.verbTimes(p)
+	t.block(execAt)
+	v := *t.e.space.WordAddr(p)
+	t.block(doneAt)
+	release()
+	return v
+}
+
+// RWrite implements api.Ctx.
+func (t *Thread) RWrite(p ptr.Ptr, v uint64) {
+	execAt, doneAt, release := t.verbTimes(p)
+	t.block(execAt)
+	*t.e.space.WordAddr(p) = v
+	t.block(doneAt)
+	release()
+}
+
+// RCAS implements api.Ctx.
+//
+// Without tearing, the compare-and-swap executes atomically at the
+// responder. With tearing enabled (model.TornRCAS), the read half executes
+// first and the write half TornGapNS later; other remote operations on the
+// word stall in between (the responder NIC serializes remote atomics), but
+// local operations slide right into the window — reproducing Table 1's
+// "remote CAS is not atomic with local Write/RMW".
+func (t *Thread) RCAS(p ptr.Ptr, old, new uint64) uint64 {
+	execAt, doneAt, release := t.verbTimes(p)
+	t.block(execAt)
+	if !t.e.p.TornRCAS {
+		addr := t.e.space.WordAddr(p)
+		prev := *addr
+		if prev == old {
+			*addr = new
+		}
+		t.block(doneAt)
+		release()
+		return prev
+	}
+	// Torn path: wait until no other remote RMW holds the word.
+	for t.e.tornHeld[p] {
+		t.block(t.e.now + t.e.p.SpinPollMinNS)
+	}
+	t.e.tornHeld[p] = true
+	addr := t.e.space.WordAddr(p)
+	prev := *addr // read half
+	t.block(t.e.now + t.e.p.TornGapNS)
+	if prev == old { // write half: blind from local memory's perspective
+		*addr = new
+	}
+	delete(t.e.tornHeld, p)
+	if doneAt < t.e.now {
+		doneAt = t.e.now
+	}
+	t.block(doneAt)
+	release()
+	return prev
+}

@@ -1,0 +1,118 @@
+// Package workload drives the lock-table benchmark of Section 6: each
+// application thread repeatedly picks a lock — local with the configured
+// locality probability — performs one Lock, an optional critical-section
+// body, and one Unlock, which together constitute one "operation" in every
+// figure of the paper.
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"alock/internal/api"
+	"alock/internal/locktable"
+	"alock/internal/stats"
+)
+
+// Spec describes one thread's workload.
+type Spec struct {
+	// LocalityPct is the percentage of operations targeting locks homed on
+	// the thread's own node (the paper sweeps 85, 90, 95, 100).
+	LocalityPct int
+	// CSWork is the simulated critical-section body duration.
+	CSWork time.Duration
+	// Think is the simulated time between operations (outside the lock).
+	Think time.Duration
+	// WarmupNS: operations completing before this engine time are executed
+	// but not recorded.
+	WarmupNS int64
+	// MaxOps, if positive, bounds the recorded operations of this thread;
+	// combined with Collector.RequestStop it lets the harness cut runs
+	// short once enough samples exist.
+	MaxOps int64
+	// ZipfS, when > 1, skews lock popularity within each locality class
+	// with a Zipf(s) rank distribution (hot-key extension; the paper's
+	// workloads are uniform).
+	ZipfS float64
+}
+
+// Validate rejects nonsensical specs.
+func (s Spec) Validate() error {
+	if s.LocalityPct < 0 || s.LocalityPct > 100 {
+		return fmt.Errorf("workload: locality %d%% out of range", s.LocalityPct)
+	}
+	if s.CSWork < 0 || s.Think < 0 {
+		return fmt.Errorf("workload: negative durations")
+	}
+	if s.ZipfS != 0 && s.ZipfS <= 1 {
+		return fmt.Errorf("workload: ZipfS must be > 1 (got %v)", s.ZipfS)
+	}
+	return nil
+}
+
+// ThreadResult is what one thread's loop produced.
+type ThreadResult struct {
+	Ops        int64 // recorded (post-warmup) operations
+	TotalOps   int64 // including warmup
+	Latency    stats.Hist
+	FirstRecNS int64 // engine time of first recorded completion
+	LastRecNS  int64 // engine time of last recorded completion
+}
+
+// StopRequester is the subset of the engine the loop needs to end a run
+// early; internal/sim.Engine implements it.
+type StopRequester interface{ RequestStop() }
+
+// Run executes the operation loop until ctx.Stopped(). Every operation is
+// one Lock + CS + Unlock on a lock drawn from the table per the locality
+// spec. Latency is the full Lock-to-Unlock-return span, as in the paper
+// ("operations that encompass both one lock and one unlock operation").
+//
+// If stopper is non-nil and opsDone (shared across threads) reaches
+// targetOps, the run is cut short — throughput remains unbiased because it
+// is computed from recorded spans, not from the nominal horizon.
+func Run(ctx api.Ctx, h api.Locker, table *locktable.Table, spec Spec,
+	opsDone *int64, targetOps int64, stopper StopRequester) ThreadResult {
+
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	var res ThreadResult
+	rng := ctx.Rand()
+	skew := table.NewSkew(rng, ctx.NodeID(), spec.ZipfS)
+	for !ctx.Stopped() {
+		idx := table.PickSkewed(rng, ctx.NodeID(), spec.LocalityPct, skew)
+		l := table.Ptr(idx)
+
+		start := ctx.Now()
+		h.Lock(l)
+		if spec.CSWork > 0 {
+			ctx.Work(spec.CSWork)
+		}
+		h.Unlock(l)
+		end := ctx.Now()
+
+		res.TotalOps++
+		if start >= spec.WarmupNS {
+			res.Ops++
+			res.Latency.Add(end - start)
+			if res.FirstRecNS == 0 {
+				res.FirstRecNS = end
+			}
+			res.LastRecNS = end
+			if opsDone != nil {
+				*opsDone++ // engine-serialized: sim runs one thread at a time
+				if stopper != nil && targetOps > 0 && *opsDone >= targetOps {
+					stopper.RequestStop()
+				}
+			}
+			if spec.MaxOps > 0 && res.Ops >= spec.MaxOps {
+				break
+			}
+		}
+		if spec.Think > 0 {
+			ctx.Work(spec.Think)
+		}
+	}
+	return res
+}

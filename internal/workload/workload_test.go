@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"alock/internal/api"
+	"alock/internal/locks"
+	"alock/internal/locktable"
+	"alock/internal/model"
+	"alock/internal/sim"
+)
+
+func TestSpecValidate(t *testing.T) {
+	good := Spec{LocalityPct: 90}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Spec{
+		{LocalityPct: -1},
+		{LocalityPct: 101},
+		{LocalityPct: 50, CSWork: -time.Nanosecond},
+		{LocalityPct: 50, Think: -time.Nanosecond},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func runLoop(t *testing.T, spec Spec, horizon int64) ThreadResult {
+	t.Helper()
+	e := sim.New(2, 1<<18, model.Uniform(10), 1)
+	table := locktable.New(e.Space(), 10)
+	prov := locks.NewALockProvider()
+	var res ThreadResult
+	e.Spawn(0, func(ctx api.Ctx) {
+		h := prov.NewHandle(ctx)
+		res = Run(ctx, h, table, spec, nil, 0, nil)
+	})
+	e.Run(horizon)
+	return res
+}
+
+func TestWarmupExcluded(t *testing.T) {
+	res := runLoop(t, Spec{LocalityPct: 100, WarmupNS: 50_000}, 100_000)
+	if res.TotalOps <= res.Ops {
+		t.Fatalf("warmup ops not excluded: total=%d recorded=%d", res.TotalOps, res.Ops)
+	}
+	if res.Ops == 0 {
+		t.Fatal("no recorded ops")
+	}
+	if res.FirstRecNS < 50_000 {
+		t.Fatalf("first recorded completion %d inside warmup", res.FirstRecNS)
+	}
+}
+
+func TestLatencyRecorded(t *testing.T) {
+	res := runLoop(t, Spec{LocalityPct: 100}, 80_000)
+	if res.Latency.Count() != res.Ops {
+		t.Fatalf("latency count %d != ops %d", res.Latency.Count(), res.Ops)
+	}
+	if res.Latency.Min() <= 0 {
+		t.Fatal("latencies must be positive")
+	}
+	if res.LastRecNS < res.FirstRecNS {
+		t.Fatal("recording span inverted")
+	}
+}
+
+func TestCSWorkLengthensOps(t *testing.T) {
+	fast := runLoop(t, Spec{LocalityPct: 100}, 200_000)
+	slow := runLoop(t, Spec{LocalityPct: 100, CSWork: 2 * time.Microsecond}, 200_000)
+	if slow.Latency.Mean() < fast.Latency.Mean()+1500 {
+		t.Fatalf("CS work not reflected: fast mean %.0f, slow mean %.0f",
+			fast.Latency.Mean(), slow.Latency.Mean())
+	}
+}
+
+func TestThinkReducesOpsNotLatency(t *testing.T) {
+	busy := runLoop(t, Spec{LocalityPct: 100}, 200_000)
+	idle := runLoop(t, Spec{LocalityPct: 100, Think: 5 * time.Microsecond}, 200_000)
+	if idle.TotalOps >= busy.TotalOps {
+		t.Fatalf("think time did not reduce op count: %d vs %d", idle.TotalOps, busy.TotalOps)
+	}
+}
+
+func TestMaxOpsBounds(t *testing.T) {
+	res := runLoop(t, Spec{LocalityPct: 100, MaxOps: 7}, 1<<40)
+	if res.Ops != 7 {
+		t.Fatalf("MaxOps=7 recorded %d", res.Ops)
+	}
+}
+
+func TestSharedCounterStopsRun(t *testing.T) {
+	e := sim.New(2, 1<<18, model.Uniform(10), 1)
+	table := locktable.New(e.Space(), 10)
+	prov := locks.NewALockProvider()
+	var opsDone int64
+	results := make([]ThreadResult, 4)
+	for i := 0; i < 4; i++ {
+		slot := i
+		e.Spawn(i%2, func(ctx api.Ctx) {
+			h := prov.NewHandle(ctx)
+			results[slot] = Run(ctx, h, table, Spec{LocalityPct: 50}, &opsDone, 100, e)
+		})
+	}
+	e.Run(1 << 40) // would run forever without the target
+	var total int64
+	for _, r := range results {
+		total += r.Ops
+	}
+	if total < 100 || total > 104 {
+		t.Fatalf("total recorded ops = %d, want ~100", total)
+	}
+}
+
+func TestBadSpecPanics(t *testing.T) {
+	e := sim.New(1, 1<<12, model.Uniform(1), 1)
+	table := locktable.New(e.Space(), 2)
+	prov := locks.NewALockProvider()
+	e.Spawn(0, func(ctx api.Ctx) {
+		defer func() {
+			if recover() == nil {
+				t.Error("invalid spec did not panic")
+			}
+		}()
+		Run(ctx, prov.NewHandle(ctx), table, Spec{LocalityPct: -5}, nil, 0, nil)
+	})
+	e.Run(1 << 40)
+}
