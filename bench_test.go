@@ -63,7 +63,7 @@ func BenchmarkTable1Atomicity(b *testing.B) {
 func BenchmarkFigure1Loopback(b *testing.B) {
 	var pts []harness.Fig1Point
 	for i := 0; i < b.N; i++ {
-		pts = harness.Figure1(harness.Scale{Quick: true, Seed: int64(i + 1)})
+		pts = harness.Figure1(harness.Scale{Quick: true, Seed: int64(i + 1)}, harness.RunSerial)
 	}
 	peak := 0.0
 	for _, p := range pts {
@@ -83,7 +83,7 @@ func BenchmarkFigure1Loopback(b *testing.B) {
 func BenchmarkFigure4Budget(b *testing.B) {
 	var rows []harness.Fig4Row
 	for i := 0; i < b.N; i++ {
-		rows = harness.Figure4(harness.Scale{Quick: true, Seed: int64(i + 1)})
+		rows = harness.Figure4(harness.Scale{Quick: true, Seed: int64(i + 1)}, harness.RunSerial)
 	}
 	b.ReportMetric(rows[len(rows)-1].AvgSpeedup, "speedup_rb20")
 }
@@ -192,7 +192,7 @@ func BenchmarkFigure5LowContention(b *testing.B) {
 func BenchmarkFigure5LocalitySweep(b *testing.B) {
 	var pts []harness.Fig5LocalityPoint
 	for i := 0; i < b.N; i++ {
-		pts = harness.Figure5LocalitySweep(harness.Scale{Quick: true, Seed: int64(i + 1)})
+		pts = harness.Figure5LocalitySweep(harness.Scale{Quick: true, Seed: int64(i + 1)}, harness.RunSerial)
 	}
 	if len(pts) >= 3 && pts[0].Throughput > 0 && pts[1].Throughput > 0 {
 		b.ReportMetric(pts[1].Throughput/pts[0].Throughput, "90v85")

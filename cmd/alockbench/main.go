@@ -1,12 +1,15 @@
-// Command alockbench runs a single lock-table experiment on the
-// deterministic RDMA cluster simulator and prints its throughput, latency
-// distribution and fabric statistics.
+// Command alockbench runs lock-table experiments on the deterministic RDMA
+// cluster simulator: a single configuration assembled from flags, or a
+// named scenario from the registry fanned out across all cores.
 //
 // Examples:
 //
 //	alockbench -algo alock -nodes 10 -threads 8 -locks 100 -locality 90
 //	alockbench -algo spinlock -nodes 1 -threads 16 -locks 1000
 //	alockbench -algo alock -local-budget 5 -remote-budget 20 -cdf
+//	alockbench -algo alock -burst-on 150us -burst-off 100us
+//	alockbench -list-scenarios
+//	alockbench -scenario bursty-arrivals -quick -parallel 8
 //
 // Algorithms: alock, alock-nobudget, alock-symmetric, spinlock, mcs,
 // filter, bakery.
@@ -21,6 +24,8 @@ import (
 
 	"alock/internal/harness"
 	"alock/internal/report"
+	"alock/internal/scenario"
+	"alock/internal/sweep"
 )
 
 func main() {
@@ -41,8 +46,29 @@ func main() {
 		cdf      = flag.Bool("cdf", false, "dump the full latency CDF as CSV")
 		asJSON   = flag.Bool("json", false, "emit the full result as JSON instead of text")
 		zipf     = flag.Float64("zipf", 0, "Zipf skew s (>1) for hot-key popularity (0 = uniform)")
+		burstOn  = flag.Duration("burst-on", 0, "bursty arrivals: on-phase duration (0 = steady)")
+		burstOff = flag.Duration("burst-off", 0, "bursty arrivals: off-phase duration")
+		homeSkew = flag.Int("home-skew", 0, "percent of the lock table homed on node 0 (0 = equal partition)")
+
+		scenName  = flag.String("scenario", "", "run a named scenario instead of a single config")
+		listScens = flag.Bool("list-scenarios", false, "list registered scenarios and exit")
+		parallel  = flag.Int("parallel", 0, "concurrent simulations for -scenario (0 = all cores)")
+		quick     = flag.Bool("quick", false, "reduced scenario scale (fewer points)")
 	)
 	flag.Parse()
+
+	if *listScens {
+		fmt.Println("registered scenarios:")
+		for _, sc := range scenario.All() {
+			fmt.Printf("  %-28s %s\n", sc.Name, sc.Description)
+		}
+		return
+	}
+
+	if *scenName != "" {
+		runScenario(*scenName, *quick, *seed, *parallel, *asJSON)
+		return
+	}
 
 	cfg := harness.Config{
 		Algorithm:      *algo,
@@ -58,6 +84,9 @@ func main() {
 		CSWork:         *cs,
 		Think:          *think,
 		ZipfS:          *zipf,
+		BurstOn:        *burstOn,
+		BurstOff:       *burstOff,
+		HomeSkewPct:    *homeSkew,
 		Seed:           *seed,
 	}
 	res, err := harness.Run(cfg)
@@ -81,4 +110,28 @@ func main() {
 			fmt.Printf("%d,%.6f\n", pt.ValueNS, pt.F)
 		}
 	}
+}
+
+func runScenario(name string, quick bool, seed int64, parallel int, asJSON bool) {
+	sc, ok := scenario.Get(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "alockbench: unknown scenario %q (try -list-scenarios)\n", name)
+		os.Exit(1)
+	}
+	cfgs := sc.Expand(harness.Scale{Quick: quick, Seed: seed})
+	results, err := sweep.Runner{Parallel: parallel}.Run(cfgs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "alockbench: %v\n", err)
+		os.Exit(1)
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintf(os.Stderr, "alockbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	report.Sweep(os.Stdout, fmt.Sprintf("Scenario %s: %s", sc.Name, sc.Description), results)
 }

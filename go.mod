@@ -1,0 +1,3 @@
+module alock
+
+go 1.24

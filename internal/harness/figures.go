@@ -97,9 +97,48 @@ func (s Scale) seed() int64 {
 	return 1
 }
 
+// Exported accessors so scenario expansions outside this package can build
+// config grids at a given scale with the same knobs the figure drivers use.
+
+// ThreadCounts returns the per-node thread counts the scale sweeps.
+func (s Scale) ThreadCounts() []int { return s.threads() }
+
+// NodeCounts returns the cluster sizes the scale sweeps.
+func (s Scale) NodeCounts() []int { return s.nodes() }
+
+// TargetOpsCount returns the per-run recorded-operation target.
+func (s Scale) TargetOpsCount() int64 { return s.targetOps() }
+
+// Windows returns the warmup and measurement windows in nanoseconds.
+func (s Scale) Windows() (warmup, measure int64) { return s.windows() }
+
+// BigClusterNodes returns the stand-in for the paper's 20-node cluster.
+func (s Scale) BigClusterNodes() int { return s.bigCluster() }
+
+// DefaultSeed returns the effective seed (Seed, or 1 when unset).
+func (s Scale) DefaultSeed() int64 { return s.seed() }
+
 // Algorithms compared in Figures 5 and 6 (Section 6: ALock vs the RDMA
 // spinlock and the RDMA-ported MCS lock).
 var EvalAlgorithms = []string{"alock", "spinlock", "mcs"}
+
+// RunMany executes a batch of configurations and returns results in input
+// order: results[i] is cfgs[i]'s outcome. RunSerial is the in-process
+// implementation; internal/sweep.Runner provides the parallel one. Every
+// figure driver enumerates its full config grid up front and hands it to a
+// RunMany, so the same driver code runs serial or fanned out over all cores
+// with bit-identical results (each run is an independent seeded simulation).
+type RunMany func([]Config) []Result
+
+// RunSerial is the canonical serial RunMany: one config after another on
+// the calling goroutine.
+func RunSerial(cfgs []Config) []Result {
+	out := make([]Result, len(cfgs))
+	for i, c := range cfgs {
+		out[i] = MustRun(c)
+	}
+	return out
+}
 
 // --- Figure 1 ---
 
@@ -110,19 +149,15 @@ type Fig1Point struct {
 	MaxBacklog int64   // worst NIC queueing delay observed (ns)
 }
 
-// Figure1 reproduces the Section 2 loopback experiment: an RDMA spinlock
-// over 1000 locks on a single machine, all operations through the local
-// RNIC. Throughput must peak at a few threads and then decline as
-// loopback traffic congests the card.
-func Figure1(s Scale) []Fig1Point {
+// Figure1Configs enumerates the Section 2 loopback experiment: an RDMA
+// spinlock over 1000 locks on a single machine, all operations through the
+// local RNIC, across thread counts.
+func Figure1Configs(s Scale) []Config {
 	warm, meas := s.windows()
-	counts := []int{1, 2, 3, 4, 6, 8, 12, 16}
-	if s.Quick {
-		counts = []int{1, 2, 4, 8, 16}
-	}
-	var pts []Fig1Point
+	counts := fig1Threads(s)
+	cfgs := make([]Config, 0, len(counts))
 	for _, th := range counts {
-		r := MustRun(Config{
+		cfgs = append(cfgs, Config{
 			Algorithm:      "spinlock",
 			Nodes:          1,
 			ThreadsPerNode: th,
@@ -133,11 +168,29 @@ func Figure1(s Scale) []Fig1Point {
 			TargetOps:      s.targetOps(),
 			Seed:           s.seed(),
 		})
-		pts = append(pts, Fig1Point{
-			Threads:    th,
+	}
+	return cfgs
+}
+
+func fig1Threads(s Scale) []int {
+	if s.Quick {
+		return []int{1, 2, 4, 8, 16}
+	}
+	return []int{1, 2, 3, 4, 6, 8, 12, 16}
+}
+
+// Figure1 reproduces the loopback experiment. Throughput must peak at a few
+// threads and then decline as loopback traffic congests the card.
+func Figure1(s Scale, run RunMany) []Fig1Point {
+	counts := fig1Threads(s)
+	rs := run(Figure1Configs(s))
+	pts := make([]Fig1Point, len(rs))
+	for i, r := range rs {
+		pts[i] = Fig1Point{
+			Threads:    counts[i],
 			Throughput: r.Throughput,
 			MaxBacklog: r.NIC.MaxBacklogNS,
-		})
+		}
 	}
 	return pts
 }
@@ -162,10 +215,11 @@ type Fig4Row struct {
 // medium-contention table size (100 locks) and additionally the
 // high-contention table (20 locks), where the effect is stronger in this
 // reproduction's cost model.
-func Figure4(s Scale) []Fig4Row {
+func Figure4(s Scale, run RunMany) []Fig4Row {
 	warm, meas := s.windows()
 	localities := []int{85, 90, 95}
 	budgets := []int64{5, 10, 20}
+	lockSizes := []int{100, 20}
 	threads := 12
 	if s.Quick {
 		threads = 6
@@ -178,17 +232,21 @@ func Figure4(s Scale) []Fig4Row {
 		threads = 2
 		seeds = []int64{1}
 	}
-	var rows []Fig4Row
-	for _, locksN := range []int{100, 20} {
-		// throughput[budget][locality], seed-averaged to denoise the
-		// few-percent effect being measured.
-		tput := map[int64]map[int]float64{}
+
+	// Flat enumeration of the (locks, budget, locality, seed) grid, with a
+	// key per config so results reassemble regardless of execution order.
+	type key struct {
+		locks int
+		b     int64
+		loc   int
+	}
+	var cfgs []Config
+	var keys []key
+	for _, locksN := range lockSizes {
 		for _, b := range budgets {
-			tput[b] = map[int]float64{}
 			for _, loc := range localities {
-				var sum float64
 				for _, seed := range seeds {
-					r := MustRun(Config{
+					cfgs = append(cfgs, Config{
 						Algorithm:      "alock",
 						Nodes:          s.bigCluster(),
 						ThreadsPerNode: threads,
@@ -201,17 +259,28 @@ func Figure4(s Scale) []Fig4Row {
 						TargetOps:      s.targetOps(),
 						Seed:           s.seed() * seed,
 					})
-					sum += r.Throughput
+					keys = append(keys, key{locksN, b, loc})
 				}
-				tput[b][loc] = sum / float64(len(seeds))
 			}
 		}
+	}
+	rs := run(cfgs)
+
+	// throughput[(locks, budget, locality)], seed-averaged to denoise the
+	// few-percent effect being measured.
+	tput := map[key]float64{}
+	for i, r := range rs {
+		tput[keys[i]] += r.Throughput / float64(len(seeds))
+	}
+
+	var rows []Fig4Row
+	for _, locksN := range lockSizes {
 		for _, b := range budgets {
 			row := Fig4Row{RemoteBudget: b, LocalBudget: 5, Locks: locksN,
 				PerLocality: map[int]float64{}}
 			var sum float64
 			for _, loc := range localities {
-				sp := tput[b][loc] / tput[5][loc]
+				sp := tput[key{locksN, b, loc}] / tput[key{locksN, 5, loc}]
 				row.PerLocality[loc] = sp
 				sum += sp
 			}
@@ -245,8 +314,7 @@ type Fig5Panel struct {
 // locality) plus the isolated 100%-locality panels (d/h/l at 20 locks),
 // each comparing ALock against the spinlock and MCS competitors across
 // thread counts.
-func Figure5(s Scale) []Fig5Panel {
-	warm, meas := s.windows()
+func Figure5(s Scale, run RunMany) []Fig5Panel {
 	ids := [][]string{
 		{"a", "b", "c", "d"},
 		{"e", "f", "g", "h"},
@@ -262,39 +330,63 @@ func Figure5(s Scale) []Fig5Panel {
 		{1000, 90}, // low contention
 		{20, 100},  // 100% locality, isolated panels
 	}
+
+	// Panel skeletons plus the flat config grid: each panel contributes
+	// one contiguous Fig5PanelConfigs block, reassembled by block below.
 	var panels []Fig5Panel
+	var cfgs []Config
 	for ni, nodes := range s.nodes() {
 		idRow := ids[ni%len(ids)]
 		for si, sh := range shapes {
-			p := Fig5Panel{
+			panels = append(panels, Fig5Panel{
 				ID:          idRow[si],
 				Nodes:       nodes,
 				Locks:       sh.locks,
 				LocalityPct: sh.locality,
+			})
+			cfgs = append(cfgs, Fig5PanelConfigs(s, nodes, sh.locks, sh.locality)...)
+		}
+	}
+
+	rs := run(cfgs)
+	threads := s.threads()
+	perPanel := len(EvalAlgorithms) * len(threads)
+	for pi := range panels {
+		block := rs[pi*perPanel : (pi+1)*perPanel]
+		for ai, algo := range EvalAlgorithms {
+			ser := Fig5Series{Algorithm: algo, Threads: threads}
+			for ti := range threads {
+				ser.Throughput = append(ser.Throughput, block[ai*len(threads)+ti].Throughput)
 			}
-			for _, algo := range EvalAlgorithms {
-				ser := Fig5Series{Algorithm: algo}
-				for _, th := range s.threads() {
-					r := MustRun(Config{
-						Algorithm:      algo,
-						Nodes:          nodes,
-						ThreadsPerNode: th,
-						Locks:          sh.locks,
-						LocalityPct:    sh.locality,
-						WarmupNS:       warm,
-						MeasureNS:      meas,
-						TargetOps:      s.targetOps(),
-						Seed:           s.seed(),
-					})
-					ser.Threads = append(ser.Threads, th)
-					ser.Throughput = append(ser.Throughput, r.Throughput)
-				}
-				p.Series = append(p.Series, ser)
-			}
-			panels = append(panels, p)
+			panels[pi].Series = append(panels[pi].Series, ser)
 		}
 	}
 	return panels
+}
+
+// Fig5PanelConfigs enumerates one Figure 5 panel — a fixed cluster size,
+// contention and locality — across the evaluation algorithms and the
+// scale's thread counts. Both Figure5 and the paper/fig5-* scenarios build
+// on it, so the named scenarios cannot drift from the figure's grid.
+func Fig5PanelConfigs(s Scale, nodes, locks, localityPct int) []Config {
+	warm, meas := s.windows()
+	var cfgs []Config
+	for _, algo := range EvalAlgorithms {
+		for _, th := range s.threads() {
+			cfgs = append(cfgs, Config{
+				Algorithm:      algo,
+				Nodes:          nodes,
+				ThreadsPerNode: th,
+				Locks:          locks,
+				LocalityPct:    localityPct,
+				WarmupNS:       warm,
+				MeasureNS:      meas,
+				TargetOps:      s.targetOps(),
+				Seed:           s.seed(),
+			})
+		}
+	}
+	return cfgs
 }
 
 // Fig5LocalitySweep supplements the low-contention panels with ALock's
@@ -307,15 +399,16 @@ type Fig5LocalityPoint struct {
 
 // Figure5LocalitySweep measures ALock at 5 nodes, 1000 locks, 8 threads
 // per node across localities.
-func Figure5LocalitySweep(s Scale) []Fig5LocalityPoint {
+func Figure5LocalitySweep(s Scale, run RunMany) []Fig5LocalityPoint {
 	warm, meas := s.windows()
 	nodes, threads := 5, 8
 	if s.TestTiny {
 		nodes, threads = 3, 2
 	}
-	var pts []Fig5LocalityPoint
-	for _, loc := range []int{85, 90, 95, 100} {
-		r := MustRun(Config{
+	localities := []int{85, 90, 95, 100}
+	cfgs := make([]Config, 0, len(localities))
+	for _, loc := range localities {
+		cfgs = append(cfgs, Config{
 			Algorithm:      "alock",
 			Nodes:          nodes,
 			ThreadsPerNode: threads,
@@ -326,7 +419,11 @@ func Figure5LocalitySweep(s Scale) []Fig5LocalityPoint {
 			TargetOps:      s.targetOps(),
 			Seed:           s.seed(),
 		})
-		pts = append(pts, Fig5LocalityPoint{LocalityPct: loc, Throughput: r.Throughput})
+	}
+	rs := run(cfgs)
+	pts := make([]Fig5LocalityPoint, len(rs))
+	for i, r := range rs {
+		pts[i] = Fig5LocalityPoint{LocalityPct: localities[i], Throughput: r.Throughput}
 	}
 	return pts
 }
@@ -350,22 +447,21 @@ type Fig6Panel struct {
 	Series      []Fig6Series
 }
 
-// Figure6 reproduces the latency CDF grid.
-func Figure6(s Scale) []Fig6Panel {
+// Figure6Configs enumerates the latency-CDF grid — rows are locality
+// (100/95/90/85%), columns contention (20/100/1000 locks), one config per
+// evaluation algorithm — in panel order. Shared by Figure6 and the
+// paper/fig6-latency scenario.
+func Figure6Configs(s Scale) []Config {
 	warm, meas := s.windows()
-	ids := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l"}
-	var panels []Fig6Panel
-	i := 0
+	threads := 8
+	if s.TestTiny {
+		threads = 2
+	}
+	var cfgs []Config
 	for _, loc := range []int{100, 95, 90, 85} {
 		for _, locksN := range []int{20, 100, 1000} {
-			p := Fig6Panel{ID: ids[i], Locks: locksN, LocalityPct: loc}
-			i++
 			for _, algo := range EvalAlgorithms {
-				threads := 8
-				if s.TestTiny {
-					threads = 2
-				}
-				r := MustRun(Config{
+				cfgs = append(cfgs, Config{
 					Algorithm:      algo,
 					Nodes:          s.fig6Nodes(),
 					ThreadsPerNode: threads,
@@ -376,14 +472,31 @@ func Figure6(s Scale) []Fig6Panel {
 					TargetOps:      s.targetOps(),
 					Seed:           s.seed(),
 				})
-				p.Series = append(p.Series, Fig6Series{
-					Algorithm: algo,
-					Summary:   r.Latency,
-					CDF:       r.CDF,
-				})
 			}
-			panels = append(panels, p)
 		}
+	}
+	return cfgs
+}
+
+// Figure6 reproduces the latency CDF grid.
+func Figure6(s Scale, run RunMany) []Fig6Panel {
+	ids := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l"}
+	var panels []Fig6Panel
+	for _, loc := range []int{100, 95, 90, 85} {
+		for _, locksN := range []int{20, 100, 1000} {
+			panels = append(panels, Fig6Panel{
+				ID: ids[len(panels)], Locks: locksN, LocalityPct: loc,
+			})
+		}
+	}
+	rs := run(Figure6Configs(s))
+	for i, r := range rs {
+		p := &panels[i/len(EvalAlgorithms)]
+		p.Series = append(p.Series, Fig6Series{
+			Algorithm: EvalAlgorithms[i%len(EvalAlgorithms)],
+			Summary:   r.Latency,
+			CDF:       r.CDF,
+		})
 	}
 	return panels
 }
@@ -439,15 +552,16 @@ type AblationRow struct {
 // Ablations quantifies the design choices DESIGN.md calls out: the budget
 // (alock vs alock-nobudget) and the asymmetric cohort split (alock vs
 // alock-symmetric vs mcs).
-func Ablations(s Scale) []AblationRow {
+func Ablations(s Scale, run RunMany) []AblationRow {
 	warm, meas := s.windows()
-	var rows []AblationRow
 	nodes, threads := 8, 8
 	if s.TestTiny {
 		nodes, threads = 3, 2
 	}
-	for _, algo := range []string{"alock", "alock-nobudget", "alock-symmetric", "mcs"} {
-		r := MustRun(Config{
+	algos := []string{"alock", "alock-nobudget", "alock-symmetric", "mcs"}
+	cfgs := make([]Config, 0, len(algos))
+	for _, algo := range algos {
+		cfgs = append(cfgs, Config{
 			Algorithm:      algo,
 			Nodes:          nodes,
 			ThreadsPerNode: threads,
@@ -458,11 +572,15 @@ func Ablations(s Scale) []AblationRow {
 			TargetOps:      s.targetOps(),
 			Seed:           s.seed(),
 		})
-		rows = append(rows, AblationRow{
-			Algorithm:  algo,
+	}
+	rs := run(cfgs)
+	rows := make([]AblationRow, len(rs))
+	for i, r := range rs {
+		rows[i] = AblationRow{
+			Algorithm:  algos[i],
 			Throughput: r.Throughput,
 			P99NS:      r.Latency.P99NS,
-		})
+		}
 	}
 	return rows
 }

@@ -53,6 +53,13 @@ type Config struct {
 	// ZipfS, when > 1, skews lock popularity with a Zipf(s) rank
 	// distribution within each locality class (hot-key extension).
 	ZipfS float64
+	// BurstOn/BurstOff, when both positive, run each thread through on/off
+	// arrival phases instead of open-throttle issue (bursty extension).
+	BurstOn, BurstOff time.Duration
+	// HomeSkewPct, when > 0, homes that percentage of the lock table on
+	// node 0 instead of the paper's equal partition (skewed-home
+	// extension).
+	HomeSkewPct int
 	// Seed makes the run reproducible.
 	Seed int64
 	// WordsPerNode sizes each node's memory region (0 = 1Mi words = 8 MiB).
@@ -94,6 +101,13 @@ func (c Config) Validate() error {
 	}
 	if c.MeasureNS <= 0 || c.WarmupNS < 0 {
 		return fmt.Errorf("harness: bad windows warmup=%d measure=%d", c.WarmupNS, c.MeasureNS)
+	}
+	if c.HomeSkewPct < 0 || c.HomeSkewPct > 100 {
+		return fmt.Errorf("harness: home skew %d%%", c.HomeSkewPct)
+	}
+	if c.BurstOn < 0 || c.BurstOff < 0 || (c.BurstOn > 0) != (c.BurstOff > 0) {
+		return fmt.Errorf("harness: burst phases need both on and off (on=%v off=%v)",
+			c.BurstOn, c.BurstOff)
 	}
 	return c.Model.Validate()
 }
@@ -152,7 +166,11 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	e := sim.New(cfg.Nodes, cfg.WordsPerNode, cfg.Model, cfg.Seed)
-	table := locktable.New(e.Space(), cfg.Locks)
+	layout := locktable.RoundRobinHome
+	if cfg.HomeSkewPct > 0 {
+		layout = locktable.SkewedHome(0, cfg.HomeSkewPct)
+	}
+	table := locktable.NewWithLayout(e.Space(), cfg.Locks, layout)
 	prov.Prepare(e.Space(), table.All())
 
 	spec := workload.Spec{
@@ -161,6 +179,8 @@ func Run(cfg Config) (Result, error) {
 		Think:       cfg.Think,
 		WarmupNS:    cfg.WarmupNS,
 		ZipfS:       cfg.ZipfS,
+		BurstOnNS:   cfg.BurstOn.Nanoseconds(),
+		BurstOffNS:  cfg.BurstOff.Nanoseconds(),
 	}
 
 	results := make([]workload.ThreadResult, threads)

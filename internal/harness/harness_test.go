@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 // quickCfg returns a fast configuration for functional tests.
@@ -132,6 +133,50 @@ func TestBudgetsForwarded(t *testing.T) {
 	}
 }
 
+func TestBurstAndHomeSkewConfigs(t *testing.T) {
+	burst := quickCfg("alock")
+	burst.BurstOn = 30 * time.Microsecond
+	burst.BurstOff = 30 * time.Microsecond
+	burst.TargetOps = 0 // run the full window so the duty cycle bites
+	steady := quickCfg("alock")
+	steady.TargetOps = 0
+	rb, err := Run(burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Run(steady)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Ops == 0 {
+		t.Fatal("bursty run recorded nothing")
+	}
+	if rb.Ops >= rs.Ops {
+		t.Errorf("50%% duty cycle did not reduce ops: bursty=%d steady=%d", rb.Ops, rs.Ops)
+	}
+
+	skew := quickCfg("alock")
+	skew.HomeSkewPct = 70
+	rk, err := Run(skew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rk.Ops == 0 {
+		t.Fatal("skewed-home run recorded nothing")
+	}
+
+	bad := quickCfg("alock")
+	bad.BurstOn = time.Microsecond // off phase missing
+	if _, err := Run(bad); err == nil {
+		t.Error("half-specified burst accepted")
+	}
+	bad2 := quickCfg("alock")
+	bad2.HomeSkewPct = 101
+	if _, err := Run(bad2); err == nil {
+		t.Error("home skew 101%% accepted")
+	}
+}
+
 // --- Table 1 ---
 
 func TestTable1MatchesPaper(t *testing.T) {
@@ -156,7 +201,7 @@ func TestTable1MatchesPaper(t *testing.T) {
 // --- Figure shapes (quick scale) ---
 
 func TestFigure1Shape(t *testing.T) {
-	pts := Figure1(Scale{Quick: true})
+	pts := Figure1(Scale{Quick: true}, RunSerial)
 	if len(pts) < 4 {
 		t.Fatalf("too few points: %d", len(pts))
 	}
@@ -182,7 +227,7 @@ func TestFigure4Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	rows := Figure4(Scale{Quick: true})
+	rows := Figure4(Scale{Quick: true}, RunSerial)
 	if len(rows) != 6 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -263,7 +308,7 @@ func TestQuickRunAccounting(t *testing.T) {
 // --- Driver structure tests (TestTiny scale) ---
 
 func TestFigure5DriverStructure(t *testing.T) {
-	panels := Figure5(Scale{TestTiny: true})
+	panels := Figure5(Scale{TestTiny: true}, RunSerial)
 	if len(panels) != 8 { // 2 node counts x 4 shapes
 		t.Fatalf("panels = %d", len(panels))
 	}
@@ -290,7 +335,7 @@ func TestFigure5DriverStructure(t *testing.T) {
 }
 
 func TestFigure6DriverStructure(t *testing.T) {
-	panels := Figure6(Scale{TestTiny: true})
+	panels := Figure6(Scale{TestTiny: true}, RunSerial)
 	if len(panels) != 12 { // 4 localities x 3 contentions
 		t.Fatalf("panels = %d", len(panels))
 	}
@@ -314,7 +359,7 @@ func TestFigure6DriverStructure(t *testing.T) {
 }
 
 func TestFigure5LocalitySweepDriver(t *testing.T) {
-	pts := Figure5LocalitySweep(Scale{TestTiny: true})
+	pts := Figure5LocalitySweep(Scale{TestTiny: true}, RunSerial)
 	if len(pts) != 4 {
 		t.Fatalf("points = %d", len(pts))
 	}
@@ -327,7 +372,7 @@ func TestFigure5LocalitySweepDriver(t *testing.T) {
 }
 
 func TestAblationsDriver(t *testing.T) {
-	rows := Ablations(Scale{TestTiny: true})
+	rows := Ablations(Scale{TestTiny: true}, RunSerial)
 	if len(rows) != 4 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -343,7 +388,7 @@ func TestAblationsDriver(t *testing.T) {
 }
 
 func TestQPThrashingDriver(t *testing.T) {
-	rows := QPThrashing(Scale{TestTiny: true})
+	rows := QPThrashing(Scale{TestTiny: true}, RunSerial)
 	if len(rows) != 3 { // 1 cap x 3 algorithms
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -360,7 +405,7 @@ func TestQPThrashingDriver(t *testing.T) {
 }
 
 func TestFigure4DriverTiny(t *testing.T) {
-	rows := Figure4(Scale{TestTiny: true})
+	rows := Figure4(Scale{TestTiny: true}, RunSerial)
 	if len(rows) != 6 {
 		t.Fatalf("rows = %d", len(rows))
 	}

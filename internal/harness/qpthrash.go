@@ -30,7 +30,7 @@ type QPThrashRow struct {
 // 16-node x 8-thread cluster is ~232 QPs per NIC (8*15 outgoing + 15*8
 // incoming — ALock creates no loopback QPs); the competitors add 8
 // loopback QPs per node and touch them constantly.
-func QPThrashing(s Scale) []QPThrashRow {
+func QPThrashing(s Scale, run RunMany) []QPThrashRow {
 	warm, meas := s.windows()
 	threads := 8
 	if s.Quick {
@@ -45,6 +45,7 @@ func QPThrashing(s Scale) []QPThrashRow {
 		caps = []int{16}
 	}
 	_ = meas
+	var cfgs []Config
 	var rows []QPThrashRow
 	for _, cacheCap := range caps {
 		for _, algo := range EvalAlgorithms {
@@ -54,7 +55,7 @@ func QPThrashing(s Scale) []QPThrashRow {
 			// horizon is effectively unbounded): distinct-QP counts are
 			// then comparable across algorithms rather than confounded by
 			// how far each got before a time cutoff.
-			r := MustRun(Config{
+			cfgs = append(cfgs, Config{
 				Algorithm:      algo,
 				Nodes:          s.bigCluster(),
 				ThreadsPerNode: threads,
@@ -66,18 +67,17 @@ func QPThrashing(s Scale) []QPThrashRow {
 				TargetOps:      s.targetOps() * 3,
 				Seed:           s.seed(),
 			})
-			missRate := 0.0
-			if r.NIC.Verbs > 0 {
-				missRate = float64(r.NIC.QPCMisses) / float64(r.NIC.Verbs)
-			}
-			rows = append(rows, QPThrashRow{
-				CacheCap:    cacheCap,
-				Algorithm:   algo,
-				Throughput:  r.Throughput,
-				MissRate:    missRate,
-				DistinctQPs: r.NIC.DistinctQPs,
-			})
+			rows = append(rows, QPThrashRow{CacheCap: cacheCap, Algorithm: algo})
 		}
+	}
+	for i, r := range run(cfgs) {
+		missRate := 0.0
+		if r.NIC.Verbs > 0 {
+			missRate = float64(r.NIC.QPCMisses) / float64(r.NIC.Verbs)
+		}
+		rows[i].Throughput = r.Throughput
+		rows[i].MissRate = missRate
+		rows[i].DistinctQPs = r.NIC.DistinctQPs
 	}
 	return rows
 }

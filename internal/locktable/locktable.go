@@ -32,9 +32,48 @@ type Table struct {
 	notByNode [][]int // notByNode[n] = indices of locks homed elsewhere
 }
 
+// HomeFunc maps a lock index to its home node given the table and cluster
+// sizes; it lets layouts beyond the paper's equal partition (e.g. a
+// skewed-home table) reuse all table machinery.
+type HomeFunc func(i, n, nodes int) int
+
+// RoundRobinHome is the paper's layout: lock i lives on node i % nodes (an
+// equal partition up to ±1 per node).
+func RoundRobinHome(i, n, nodes int) int { return i % nodes }
+
+// SkewedHome returns a layout where hotPct percent of the locks (rounded
+// down, exact for any table size) are homed on hotNode and the remainder
+// round-robin over the other nodes — one node holds a disproportionate
+// share of the table, modeling a primary shard or an unbalanced
+// partitioner (extension beyond the paper's equal split). Threads on the
+// hot node see far more local locks; everyone else's "remote" traffic
+// funnels into the hot node's NIC.
+func SkewedHome(hotNode, hotPct int) HomeFunc {
+	return func(i, n, nodes int) int {
+		if nodes == 1 {
+			return 0
+		}
+		hot := hotNode % nodes
+		hotCount := n * hotPct / 100
+		if i < hotCount {
+			return hot
+		}
+		other := (i - hotCount) % (nodes - 1)
+		if other >= hot {
+			other++
+		}
+		return other
+	}
+}
+
 // New allocates n locks round-robin across the space's nodes (an equal
 // partition up to ±1 per node, as in the paper).
 func New(space *mem.Space, n int) *Table {
+	return NewWithLayout(space, n, RoundRobinHome)
+}
+
+// NewWithLayout allocates n locks placed by the given home function.
+func NewWithLayout(space *mem.Space, n int, home HomeFunc) *Table {
 	if n <= 0 {
 		panic(fmt.Sprintf("locktable: table size %d must be positive", n))
 	}
@@ -45,7 +84,10 @@ func New(space *mem.Space, n int) *Table {
 		notByNode: make([][]int, space.Nodes()),
 	}
 	for i := 0; i < n; i++ {
-		node := i % t.nodes
+		node := home(i, n, t.nodes)
+		if node < 0 || node >= t.nodes {
+			panic(fmt.Sprintf("locktable: layout homed lock %d on node %d of %d", i, node, t.nodes))
+		}
 		t.locks[i] = space.AllocLine(node)
 		t.byNode[node] = append(t.byNode[node], i)
 		for other := 0; other < t.nodes; other++ {
@@ -93,8 +135,8 @@ func (t *Table) Pick(rng *rand.Rand, node, localityPct int) int {
 		// Every lock is local to this node; locality is forced to 100%.
 		return local[rng.Intn(len(local))]
 	}
-	// Draw uniformly among remote locks by rejection over the dense
-	// round-robin layout: lock i is local iff i % nodes == node.
+	// Draw uniformly among remote locks by rejection: works for any home
+	// layout, and terminates because remoteCount > 0 here.
 	for {
 		i := rng.Intn(len(t.locks))
 		if t.HomeNode(i) != node {

@@ -220,3 +220,78 @@ func TestNewSkewNilForUniform(t *testing.T) {
 		t.Fatal("fallback pick broke locality")
 	}
 }
+
+func TestSkewedHomeLayout(t *testing.T) {
+	space := mem.NewSpace(4, 1<<18)
+	tab := NewWithLayout(space, 200, SkewedHome(0, 60))
+	hot := len(tab.LocksOn(0))
+	if hot != 120 {
+		t.Fatalf("hot node owns %d of 200 locks, want exactly 120 (60%%)", hot)
+	}
+	total := 0
+	for n := 0; n < tab.Nodes(); n++ {
+		own := len(tab.LocksOn(n))
+		total += own
+		if n != 0 && own == 0 {
+			t.Errorf("node %d owns no locks", n)
+		}
+	}
+	if total != tab.Len() {
+		t.Fatalf("ownership does not partition the table: %d != %d", total, tab.Len())
+	}
+	// Home assignments must match the allocated pointers.
+	for i := 0; i < tab.Len(); i++ {
+		if tab.HomeNode(i) != tab.Ptr(i).NodeID() {
+			t.Fatalf("lock %d home mismatch", i)
+		}
+	}
+}
+
+func TestSkewedHomeSmallTable(t *testing.T) {
+	// Regression: the hot fraction must hold for tables smaller than 100
+	// locks (the paper's high-contention size is 20).
+	space := mem.NewSpace(4, 1<<18)
+	tab := NewWithLayout(space, 20, SkewedHome(0, 60))
+	if hot := len(tab.LocksOn(0)); hot != 12 {
+		t.Fatalf("hot node owns %d of 20 locks, want exactly 12 (60%%)", hot)
+	}
+	for n := 1; n < tab.Nodes(); n++ {
+		if len(tab.LocksOn(n)) == 0 {
+			t.Errorf("node %d owns no locks", n)
+		}
+	}
+}
+
+func TestSkewedHomeSingleNode(t *testing.T) {
+	space := mem.NewSpace(1, 1<<14)
+	tab := NewWithLayout(space, 20, SkewedHome(0, 60))
+	if len(tab.LocksOn(0)) != 20 {
+		t.Fatal("single-node skewed layout must home everything locally")
+	}
+}
+
+func TestPickWorksUnderSkewedHome(t *testing.T) {
+	space := mem.NewSpace(4, 1<<18)
+	tab := NewWithLayout(space, 100, SkewedHome(0, 80))
+	rng := rand.New(rand.NewSource(9))
+	// A thread on the hot node: locality still honored despite owning 80%.
+	local := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if tab.HomeNode(tab.Pick(rng, 0, 70)) == 0 {
+			local++
+		}
+	}
+	got := float64(local) / trials * 100
+	if got < 67 || got > 73 {
+		t.Errorf("hot-node locality = %.1f%%, want ~70%%", got)
+	}
+	// A thread elsewhere: remote picks must reach the hot node's locks.
+	sawHot := false
+	for i := 0; i < 1000 && !sawHot; i++ {
+		sawHot = tab.HomeNode(tab.Pick(rng, 2, 0)) == 0
+	}
+	if !sawHot {
+		t.Error("remote picks never reached the hot node")
+	}
+}

@@ -317,6 +317,53 @@ func CDFSparkline(pts []stats.Point, width int) string {
 	return b.String()
 }
 
+// Sweep renders an arbitrary batch of results — a scenario expansion — as
+// one row per run, with the config knobs that differ between runs spelled
+// out alongside throughput and tail latency.
+func Sweep(w io.Writer, title string, results []harness.Result) {
+	var rows [][]string
+	for _, r := range results {
+		c := r.Config
+		extras := ""
+		if c.ZipfS > 0 {
+			extras += fmt.Sprintf(" zipf=%.1f", c.ZipfS)
+		}
+		if c.BurstOn > 0 {
+			extras += fmt.Sprintf(" burst=%v/%v", c.BurstOn, c.BurstOff)
+		}
+		if c.HomeSkewPct > 0 {
+			extras += fmt.Sprintf(" homeskew=%d%%", c.HomeSkewPct)
+		}
+		if c.CSWork > 0 || c.Think > 0 {
+			extras += fmt.Sprintf(" cs=%v think=%v", c.CSWork, c.Think)
+		}
+		rows = append(rows, []string{
+			c.Algorithm,
+			fmt.Sprintf("%dx%d", c.Nodes, c.ThreadsPerNode),
+			fmt.Sprintf("%d", c.Locks),
+			fmt.Sprintf("%d%%", c.LocalityPct),
+			strings.TrimSpace(extras),
+			ops(r.Throughput),
+			ns(r.Latency.P50NS),
+			ns(r.Latency.P99NS),
+		})
+	}
+	writeTable(w, title,
+		[]string{"algorithm", "cluster", "locks", "locality", "workload", "throughput(ops/s)", "p50", "p99"}, rows)
+}
+
+// SweepCSV emits one CSV row per run of a scenario sweep.
+func SweepCSV(w io.Writer, name string, results []harness.Result) {
+	fmt.Fprintln(w, "scenario,algorithm,nodes,threads_per_node,locks,locality_pct,zipf_s,burst_on_ns,burst_off_ns,home_skew_pct,throughput_ops,p50_ns,p99_ns,ops")
+	for _, r := range results {
+		c := r.Config
+		fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d,%.2f,%d,%d,%d,%.1f,%d,%d,%d\n",
+			name, c.Algorithm, c.Nodes, c.ThreadsPerNode, c.Locks, c.LocalityPct,
+			c.ZipfS, c.BurstOn.Nanoseconds(), c.BurstOff.Nanoseconds(), c.HomeSkewPct,
+			r.Throughput, r.Latency.P50NS, r.Latency.P99NS, r.Ops)
+	}
+}
+
 // QPThrashing renders the QP context-cache sweep (Section 2 extension).
 func QPThrashing(w io.Writer, rows0 []harness.QPThrashRow) {
 	var rows [][]string

@@ -1,0 +1,79 @@
+// Package scenario is a registry of named, self-describing experiment
+// scenarios. A scenario expands to a slice of harness configurations —
+// anything from one run to a full paper-figure grid — which the sweep
+// runner executes in parallel. Scenarios make workloads first-class: the
+// CLIs list them by name (`-list-scenarios`), papers' sweeps and
+// extensions beyond the paper live side by side, and a new workload shape
+// is one Register call away.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"alock/internal/harness"
+)
+
+// Scenario is one named experiment family.
+type Scenario struct {
+	// Name identifies the scenario; paper reproductions are namespaced
+	// "paper/...", extensions are bare.
+	Name string
+	// Description is a one-line summary for -list-scenarios.
+	Description string
+	// Expand produces the scenario's configuration grid at the given
+	// scale. Expansion is pure: same scale, same configs.
+	Expand func(s harness.Scale) []harness.Config
+}
+
+var (
+	mu       sync.RWMutex
+	registry = map[string]Scenario{}
+)
+
+// Register adds a scenario to the registry; it panics on a duplicate or
+// unnamed scenario (registration is programmer intent, not user input).
+func Register(sc Scenario) {
+	if sc.Name == "" || sc.Expand == nil {
+		panic("scenario: Register needs a name and an Expand func")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := registry[sc.Name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate registration of %q", sc.Name))
+	}
+	registry[sc.Name] = sc
+}
+
+// Get looks a scenario up by name.
+func Get(name string) (Scenario, bool) {
+	mu.RLock()
+	defer mu.RUnlock()
+	sc, ok := registry[name]
+	return sc, ok
+}
+
+// Names returns every registered scenario name, sorted.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns every registered scenario, sorted by name.
+func All() []Scenario {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]Scenario, 0, len(registry))
+	for _, sc := range registry {
+		out = append(out, sc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

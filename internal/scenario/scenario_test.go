@@ -1,0 +1,106 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"alock/internal/harness"
+	"alock/internal/sweep"
+)
+
+func TestRegistryLookup(t *testing.T) {
+	names := Names()
+	if len(names) < 8 {
+		t.Fatalf("only %d scenarios registered: %v", len(names), names)
+	}
+	for _, want := range []string{
+		"paper/fig1-loopback",
+		"paper/fig5-high-contention",
+		"paper/fig6-latency",
+		"hotkey-zipf",
+		"bursty-arrivals",
+		"skewed-home",
+	} {
+		if _, ok := Get(want); !ok {
+			t.Errorf("scenario %q not registered", want)
+		}
+	}
+	if _, ok := Get("nope"); ok {
+		t.Error("bogus name resolved")
+	}
+}
+
+func TestAllSortedAndDescribed(t *testing.T) {
+	all := All()
+	for i, sc := range all {
+		if sc.Description == "" {
+			t.Errorf("%s has no description", sc.Name)
+		}
+		if i > 0 && all[i-1].Name >= sc.Name {
+			t.Errorf("All() not sorted: %q before %q", all[i-1].Name, sc.Name)
+		}
+	}
+}
+
+func TestExpansionsAreValidAndPure(t *testing.T) {
+	s := harness.Scale{TestTiny: true}
+	for _, sc := range All() {
+		cfgs := sc.Expand(s)
+		if len(cfgs) == 0 {
+			t.Errorf("%s expands to nothing", sc.Name)
+			continue
+		}
+		again := sc.Expand(s)
+		if len(again) != len(cfgs) {
+			t.Errorf("%s: expansion not pure (%d vs %d configs)", sc.Name, len(cfgs), len(again))
+		}
+		for i, c := range cfgs {
+			if c != again[i] {
+				t.Errorf("%s: config %d differs between expansions", sc.Name, i)
+				break
+			}
+		}
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndEmpty(t *testing.T) {
+	expectPanic := func(name string, sc Scenario) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register did not panic", name)
+			}
+		}()
+		Register(sc)
+	}
+	expectPanic("empty", Scenario{})
+	expectPanic("duplicate", Scenario{
+		Name:   "paper/fig1-loopback",
+		Expand: func(harness.Scale) []harness.Config { return nil },
+	})
+}
+
+// TestScenariosRunEndToEnd executes every scenario at smoke-test scale
+// through the parallel sweep runner: the full scenario → sweep → engine →
+// report path of the CLIs.
+func TestScenariosRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := harness.Scale{TestTiny: true}
+	for _, sc := range All() {
+		sc := sc
+		name := strings.ReplaceAll(sc.Name, "/", "_")
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			results, err := sweep.Runner{Parallel: 2}.Run(sc.Expand(s))
+			if err != nil {
+				t.Fatalf("%s: %v", sc.Name, err)
+			}
+			for i, r := range results {
+				if r.Ops == 0 {
+					t.Errorf("%s: run %d recorded no operations", sc.Name, i)
+				}
+			}
+		})
+	}
+}

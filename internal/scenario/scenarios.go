@@ -1,0 +1,162 @@
+// scenarios.go registers the built-in catalog: the paper's evaluation
+// sweeps (Section 6) as named scenarios, plus workload shapes beyond the
+// paper — hot-key skew, bursty arrivals, a skewed-home table, and a
+// think-heavy application profile.
+package scenario
+
+import (
+	"time"
+
+	"alock/internal/harness"
+	"alock/internal/locktable"
+)
+
+// fig5Grid expands one Figure 5 contention/locality shape over the scale's
+// node counts via the same panel enumeration the figure driver uses.
+func fig5Grid(locks, localityPct int) func(harness.Scale) []harness.Config {
+	return func(s harness.Scale) []harness.Config {
+		var cfgs []harness.Config
+		for _, nodes := range s.NodeCounts() {
+			cfgs = append(cfgs, harness.Fig5PanelConfigs(s, nodes, locks, localityPct)...)
+		}
+		return cfgs
+	}
+}
+
+func init() {
+	Register(Scenario{
+		Name:        "paper/fig1-loopback",
+		Description: "Section 2 loopback congestion: RDMA spinlock on one node across thread counts",
+		Expand:      harness.Figure1Configs,
+	})
+	Register(Scenario{
+		Name:        "paper/fig5-high-contention",
+		Description: "Figure 5 high-contention panels: 20 locks, 90% locality, all algorithms",
+		Expand:      fig5Grid(locktable.HighContentionLocks, 90),
+	})
+	Register(Scenario{
+		Name:        "paper/fig5-medium-contention",
+		Description: "Figure 5 medium-contention panels: 100 locks, 90% locality, all algorithms",
+		Expand:      fig5Grid(locktable.MediumContentionLocks, 90),
+	})
+	Register(Scenario{
+		Name:        "paper/fig5-low-contention",
+		Description: "Figure 5 low-contention panels: 1000 locks, 90% locality, all algorithms",
+		Expand:      fig5Grid(locktable.LowContentionLocks, 90),
+	})
+	Register(Scenario{
+		Name:        "paper/fig5-full-locality",
+		Description: "Figure 5 isolated panels: 20 locks, 100% locality, all algorithms",
+		Expand:      fig5Grid(locktable.HighContentionLocks, 100),
+	})
+	Register(Scenario{
+		Name:        "paper/fig6-latency",
+		Description: "Figure 6 latency-CDF grid: locality x contention at 8 threads/node",
+		Expand:      harness.Figure6Configs,
+	})
+
+	// --- Extensions beyond the paper ---
+
+	Register(Scenario{
+		Name:        "hotkey-zipf",
+		Description: "Zipf(1.5) hot-key popularity at medium contention: a few locks absorb most traffic",
+		Expand: func(s harness.Scale) []harness.Config {
+			warm, meas := s.Windows()
+			var cfgs []harness.Config
+			for _, algo := range harness.EvalAlgorithms {
+				for _, th := range s.ThreadCounts() {
+					cfgs = append(cfgs, harness.Config{
+						Algorithm:      algo,
+						Nodes:          s.BigClusterNodes(),
+						ThreadsPerNode: th,
+						Locks:          locktable.MediumContentionLocks,
+						LocalityPct:    90,
+						ZipfS:          1.5,
+						WarmupNS:       warm,
+						MeasureNS:      meas,
+						TargetOps:      s.TargetOpsCount(),
+						Seed:           s.DefaultSeed(),
+					})
+				}
+			}
+			return cfgs
+		},
+	})
+	Register(Scenario{
+		Name:        "bursty-arrivals",
+		Description: "on/off arrival phases (60% duty cycle): threads burst, idle, and re-collide",
+		Expand: func(s harness.Scale) []harness.Config {
+			warm, meas := s.Windows()
+			var cfgs []harness.Config
+			for _, algo := range harness.EvalAlgorithms {
+				for _, th := range s.ThreadCounts() {
+					cfgs = append(cfgs, harness.Config{
+						Algorithm:      algo,
+						Nodes:          s.BigClusterNodes(),
+						ThreadsPerNode: th,
+						Locks:          locktable.HighContentionLocks,
+						LocalityPct:    90,
+						BurstOn:        150 * time.Microsecond,
+						BurstOff:       100 * time.Microsecond,
+						WarmupNS:       warm,
+						MeasureNS:      meas,
+						TargetOps:      s.TargetOpsCount(),
+						Seed:           s.DefaultSeed(),
+					})
+				}
+			}
+			return cfgs
+		},
+	})
+	Register(Scenario{
+		Name:        "skewed-home",
+		Description: "60% of the lock table homed on node 0: one shard dominates, its NIC funnels the cluster",
+		Expand: func(s harness.Scale) []harness.Config {
+			warm, meas := s.Windows()
+			var cfgs []harness.Config
+			for _, algo := range harness.EvalAlgorithms {
+				for _, th := range s.ThreadCounts() {
+					cfgs = append(cfgs, harness.Config{
+						Algorithm:      algo,
+						Nodes:          s.BigClusterNodes(),
+						ThreadsPerNode: th,
+						Locks:          locktable.MediumContentionLocks,
+						LocalityPct:    90,
+						HomeSkewPct:    60,
+						WarmupNS:       warm,
+						MeasureNS:      meas,
+						TargetOps:      s.TargetOpsCount(),
+						Seed:           s.DefaultSeed(),
+					})
+				}
+			}
+			return cfgs
+		},
+	})
+	Register(Scenario{
+		Name:        "think-heavy",
+		Description: "application profile with 2us critical sections and 5us think time between ops",
+		Expand: func(s harness.Scale) []harness.Config {
+			warm, meas := s.Windows()
+			var cfgs []harness.Config
+			for _, algo := range harness.EvalAlgorithms {
+				for _, th := range s.ThreadCounts() {
+					cfgs = append(cfgs, harness.Config{
+						Algorithm:      algo,
+						Nodes:          s.BigClusterNodes(),
+						ThreadsPerNode: th,
+						Locks:          locktable.MediumContentionLocks,
+						LocalityPct:    90,
+						CSWork:         2 * time.Microsecond,
+						Think:          5 * time.Microsecond,
+						WarmupNS:       warm,
+						MeasureNS:      meas,
+						TargetOps:      s.TargetOpsCount(),
+						Seed:           s.DefaultSeed(),
+					})
+				}
+			}
+			return cfgs
+		},
+	})
+}

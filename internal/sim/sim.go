@@ -49,9 +49,9 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
 	ev := old[n-1]
@@ -65,6 +65,7 @@ type Engine struct {
 	p     model.Params
 	nics  []*nic.NIC
 	seed  int64
+	rngs  PartitionedRNG
 
 	heap    eventHeap
 	now     int64
@@ -72,8 +73,9 @@ type Engine struct {
 	stopAt  int64
 	stopped bool
 
-	threads []*Thread
-	yield   chan struct{} // running thread -> scheduler handoff
+	threads  []*Thread
+	launched int           // threads[:launched] have running goroutines
+	yield    chan struct{} // running thread -> scheduler handoff
 
 	// tornHeld marks words whose remote-RMW read half has executed but
 	// whose write half has not; other *remote* operations on such a word
@@ -111,6 +113,7 @@ func New(nodes, wordsPerNode int, p model.Params, seed int64, opts ...Option) *E
 		p:              p,
 		nics:           make([]*nic.NIC, nodes),
 		seed:           seed,
+		rngs:           NewPartitionedRNG(seed),
 		yield:          make(chan struct{}),
 		tornHeld:       make(map[ptr.Ptr]bool),
 		loopInFlight:   make([]int, nodes),
@@ -148,9 +151,9 @@ func (e *Engine) RequestStop() { e.stopped = true }
 // Events returns the number of events processed so far.
 func (e *Engine) Events() uint64 { return e.events }
 
-// threadSeedMix decorrelates per-thread RNG streams (golden-ratio mix,
-// truncated to a positive int64).
-const threadSeedMix int64 = 0x1e3779b97f4a7c15
+// RNG exposes the engine's partitioned randomness so setup code can derive
+// streams for its own subsystems without touching the thread streams.
+func (e *Engine) RNG() PartitionedRNG { return e.rngs }
 
 // Spawn registers a simulated thread on `node` running fn. All spawns must
 // happen before Run. Threads are started at virtual time 0 in spawn order.
@@ -158,12 +161,14 @@ func (e *Engine) Spawn(node int, fn func(api.Ctx)) *Thread {
 	if node < 0 || node >= e.space.Nodes() {
 		panic(fmt.Sprintf("sim: Spawn on node %d of %d", node, e.space.Nodes()))
 	}
+	id := len(e.threads)
 	t := &Thread{
 		e:      e,
-		id:     len(e.threads),
+		id:     id,
 		node:   node,
 		resume: make(chan struct{}),
-		rng:    rand.New(rand.NewSource(e.seed ^ (int64(len(e.threads))+1)*threadSeedMix)),
+		rng:    e.rngs.Stream(SubsystemThread, id),
+		fabric: e.rngs.Stream(SubsystemFabric, id),
 		fn:     fn,
 	}
 	e.threads = append(e.threads, t)
@@ -177,38 +182,81 @@ func (e *Engine) schedule(at int64, t *Thread) {
 	heap.Push(&e.heap, event{at: at, seq: e.seq, th: t})
 }
 
+// SetHorizon (re)arms the measurement horizon: Stopped() returns true from
+// the moment the virtual clock reaches stopAt. Step-driving callers use it
+// in place of Run's stopAt argument.
+func (e *Engine) SetHorizon(stopAt int64) {
+	e.stopAt = stopAt
+	e.stopped = e.now >= stopAt
+}
+
+// HasPendingEvents reports whether any thread wake-up remains scheduled.
+func (e *Engine) HasPendingEvents() bool { return e.heap.Len() > 0 }
+
+// PeekNextEventTime returns the virtual time of the earliest pending event
+// without processing it; ok is false when no event is pending.
+func (e *Engine) PeekNextEventTime() (at int64, ok bool) {
+	if e.heap.Len() == 0 {
+		return 0, false
+	}
+	return e.heap[0].at, true
+}
+
+// launchPending starts the goroutine of every spawned-but-not-yet-started
+// thread; each waits for its first resume. Threads are only ever appended,
+// so a high-water index keeps this O(new threads) on the event hot path.
+// (Threads may be added to an already-finished engine, e.g. to inspect
+// final memory state.)
+func (e *Engine) launchPending() {
+	for ; e.launched < len(e.threads); e.launched++ {
+		go e.threads[e.launched].main()
+	}
+}
+
+// ProcessNextEvent pops the earliest pending event, advances the virtual
+// clock to it, and runs its thread until that thread blocks again or exits.
+// It reports whether an event was processed (false means the heap is empty).
+// Panics on time regression or when the event budget is exceeded, which
+// indicates a livelock in the simulated system.
+func (e *Engine) ProcessNextEvent() bool {
+	if e.heap.Len() == 0 {
+		return false
+	}
+	e.launchPending()
+	ev := heap.Pop(&e.heap).(event)
+	if ev.at < e.now {
+		panic("sim: time went backwards")
+	}
+	e.now = ev.at
+	if e.now >= e.stopAt {
+		e.stopped = true
+	}
+	e.events++
+	if e.events > e.maxEvents {
+		panic(fmt.Sprintf("sim: exceeded %d events at t=%dns — livelock?", e.maxEvents, e.now))
+	}
+	ev.th.resume <- struct{}{}
+	<-e.yield // wait until the thread blocks again or exits
+	return true
+}
+
+// Step advances the simulation by exactly one event and reports whether
+// more events remain pending — `for e.Step() {}` drains the run. It is
+// ProcessNextEvent with a continuation-friendly return value for callers
+// that interleave their own logic between events.
+func (e *Engine) Step() bool {
+	return e.ProcessNextEvent() && e.HasPendingEvents()
+}
+
 // Run drives the simulation until every thread has exited. Threads observe
 // Stopped() == true once the virtual clock reaches stopAt and are expected
 // to wind down (finishing in-flight critical sections so queues drain).
-// Run panics if the event budget is exceeded, which indicates a livelock in
-// the simulated system.
+// It is the step primitives composed: SetHorizon, then ProcessNextEvent
+// until the event heap drains, then a deadlock check.
 func (e *Engine) Run(stopAt int64) {
-	e.stopAt = stopAt
-	e.stopped = e.now >= stopAt
-	// Launch any not-yet-started thread goroutines; each waits for its
-	// first resume. (Run may be called again after adding threads to an
-	// already-finished engine, e.g. to inspect final memory state.)
-	for _, t := range e.threads {
-		if !t.started {
-			t.started = true
-			go t.main()
-		}
-	}
-	for e.heap.Len() > 0 {
-		ev := heap.Pop(&e.heap).(event)
-		if ev.at < e.now {
-			panic("sim: time went backwards")
-		}
-		e.now = ev.at
-		if e.now >= e.stopAt {
-			e.stopped = true
-		}
-		e.events++
-		if e.events > e.maxEvents {
-			panic(fmt.Sprintf("sim: exceeded %d events at t=%dns — livelock?", e.maxEvents, e.now))
-		}
-		ev.th.resume <- struct{}{}
-		<-e.yield // wait until the thread blocks again or exits
+	e.SetHorizon(stopAt)
+	e.launchPending()
+	for e.ProcessNextEvent() {
 	}
 	// All events drained: every thread must have exited.
 	for _, t := range e.threads {
@@ -220,14 +268,17 @@ func (e *Engine) Run(stopAt int64) {
 
 // Thread is one simulated thread; it implements api.Ctx.
 type Thread struct {
-	e       *Engine
-	id      int
-	node    int
-	resume  chan struct{}
-	rng     *rand.Rand
-	fn      func(api.Ctx)
-	started bool
-	exited  bool
+	e      *Engine
+	id     int
+	node   int
+	resume chan struct{}
+	// rng is the thread's workload stream (api.Ctx.Rand); fabric feeds the
+	// wire-jitter failure injection. Separate PartitionedRNG streams, so
+	// algorithm-side draws never shift the fabric's failure schedule.
+	rng    *rand.Rand
+	fabric *rand.Rand
+	fn     func(api.Ctx)
+	exited bool
 }
 
 var _ api.Ctx = (*Thread)(nil)
@@ -355,8 +406,8 @@ func (t *Thread) verbTimes(p ptr.Ptr) (execAt, doneAt int64, release func()) {
 	qp := nic.QP{SrcNode: src, SrcThread: t.id, DstNode: dst}
 	wire := e.p.RemoteWireNS
 	// Failure injection: transient fabric delay spikes, drawn from the
-	// thread's deterministic stream so runs stay reproducible.
-	if e.p.JitterProb > 0 && t.rng.Float64() < e.p.JitterProb {
+	// thread's deterministic fabric stream so runs stay reproducible.
+	if e.p.JitterProb > 0 && t.fabric.Float64() < e.p.JitterProb {
 		wire += e.p.JitterNS
 	}
 	loopback := src == dst

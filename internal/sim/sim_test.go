@@ -364,6 +364,122 @@ func TestVerbJitterInjectsDelay(t *testing.T) {
 	}
 }
 
+func TestStepPrimitivesMatchRun(t *testing.T) {
+	// Driving the engine event by event through the step primitives must
+	// produce exactly the run Run produces: same final time, same event
+	// count, same memory effects.
+	build := func() (*Engine, ptr.Ptr) {
+		p := model.CX3()
+		e := New(2, 1024, p, 21)
+		w := e.Space().AllocLine(0)
+		for i := 0; i < 4; i++ {
+			node := i % 2
+			e.Spawn(node, func(ctx api.Ctx) {
+				for !ctx.Stopped() {
+					for {
+						old := ctx.RRead(w)
+						if ctx.RCAS(w, old, old+1) == old {
+							break
+						}
+					}
+				}
+			})
+		}
+		return e, w
+	}
+
+	ref, wRef := build()
+	ref.Run(200_000)
+
+	e, w := build()
+	e.SetHorizon(200_000)
+	steps := 0
+	var lastPeek int64 = -1
+	for e.HasPendingEvents() {
+		at, ok := e.PeekNextEventTime()
+		if !ok {
+			t.Fatal("HasPendingEvents true but PeekNextEventTime not ok")
+		}
+		if at < lastPeek {
+			t.Fatalf("event times regressed: %d after %d", at, lastPeek)
+		}
+		lastPeek = at
+		if !e.ProcessNextEvent() {
+			t.Fatal("ProcessNextEvent found no event despite pending")
+		}
+		steps++
+	}
+	if steps == 0 {
+		t.Fatal("no events processed")
+	}
+	if e.Now() != ref.Now() {
+		t.Fatalf("stepped Now=%d, Run Now=%d", e.Now(), ref.Now())
+	}
+	if e.Events() != ref.Events() {
+		t.Fatalf("stepped events=%d, Run events=%d", e.Events(), ref.Events())
+	}
+	var got, want uint64
+	e.Spawn(0, func(ctx api.Ctx) { got = ctx.Read(w) })
+	ref.Spawn(0, func(ctx api.Ctx) { want = ctx.Read(wRef) })
+	e.Run(1 << 41)
+	ref.Run(1 << 41)
+	if got != want {
+		t.Fatalf("stepped counter=%d, Run counter=%d", got, want)
+	}
+}
+
+func TestStepDrainsRun(t *testing.T) {
+	p := model.Uniform(10)
+	e := New(1, 1024, p, 1)
+	var iters int
+	e.Spawn(0, func(ctx api.Ctx) {
+		for !ctx.Stopped() {
+			ctx.Work(100 * time.Nanosecond)
+			iters++
+		}
+	})
+	e.SetHorizon(10_000)
+	for e.Step() {
+	}
+	if e.HasPendingEvents() {
+		t.Fatal("Step loop left pending events")
+	}
+	if iters < 90 || iters > 110 {
+		t.Fatalf("iterations before stop = %d, want ~100", iters)
+	}
+}
+
+func TestPartitionedRNGStreams(t *testing.T) {
+	p := NewPartitionedRNG(7)
+	// Same key: identical sequences.
+	a, b := p.Stream(SubsystemThread, 3), p.Stream(SubsystemThread, 3)
+	for i := 0; i < 16; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same key produced different streams")
+		}
+	}
+	// Distinct keys (across subsystem or index or seed) must not collide.
+	seeds := map[int64]string{}
+	for _, tc := range []struct {
+		name string
+		seed int64
+		sub  Subsystem
+		idx  int
+	}{
+		{"t0", 7, SubsystemThread, 0},
+		{"t1", 7, SubsystemThread, 1},
+		{"f0", 7, SubsystemFabric, 0},
+		{"f1", 7, SubsystemFabric, 1},
+		{"s2-t0", 8, SubsystemThread, 0},
+	} {
+		s := NewPartitionedRNG(tc.seed).SeedFor(tc.sub, tc.idx)
+		if prev, dup := seeds[s]; dup {
+			t.Fatalf("seed collision between %s and %s", prev, tc.name)
+		}
+		seeds[s] = tc.name
+	}
+}
+
 func TestVerbJitterDeterministic(t *testing.T) {
 	p := model.Uniform(10)
 	p.JitterProb = 0.3

@@ -1,0 +1,141 @@
+// Package sweep fans a batch of experiment configurations out across the
+// host's cores. Each configuration is one fully independent single-threaded
+// simulation (internal/sim serializes its simulated threads internally), so
+// a multi-config sweep — a paper figure, a scenario expansion, a parameter
+// study — is embarrassingly parallel: N workers each pull the next config,
+// run it to completion, and deposit the result at the config's input index.
+//
+// Determinism: a run's outcome depends only on its Config (the simulator is
+// seeded, never on wall time), so the result slice is bit-identical no
+// matter how many workers execute it or how the scheduler interleaves them.
+// Only wall-clock time changes with Parallel.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"alock/internal/harness"
+)
+
+// Progress describes one completed run, delivered to OnResult.
+type Progress struct {
+	// Index is the run's position in the input slice.
+	Index int
+	// Done and Total count completed vs submitted runs at callback time.
+	Done, Total int
+	// Result is the completed run's outcome (nil when the run failed).
+	Result *harness.Result
+	// Err is the run's error, if any.
+	Err error
+}
+
+// Runner executes batches of harness configurations in parallel.
+// The zero value runs on every core with no callbacks.
+type Runner struct {
+	// Parallel is the worker count; <= 0 means GOMAXPROCS.
+	Parallel int
+	// OnResult, when non-nil, is invoked once per completed run, serialized
+	// under an internal lock (callbacks never race). Completion order is
+	// nondeterministic; use Progress.Index to correlate.
+	OnResult func(Progress)
+	// Stop, when non-nil, is consulted after each completed run (under the
+	// same lock as OnResult); returning true prevents any not-yet-started
+	// run from being dispatched. Already-running configs finish normally.
+	// Skipped entries keep zero Results.
+	Stop func(Progress) bool
+}
+
+// workers resolves the effective worker count for n jobs.
+func (r Runner) workers(n int) int {
+	w := r.Parallel
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes every config and returns results in input order (results[i]
+// belongs to cfgs[i], regardless of completion order). The error is the
+// lowest-index run failure, or nil; runs after a failure still execute
+// (their results are valid), mirroring how a sweep with one bad cell should
+// not discard the rest of the grid.
+func (r Runner) Run(cfgs []harness.Config) ([]harness.Result, error) {
+	results := make([]harness.Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	if len(cfgs) == 0 {
+		return results, nil
+	}
+
+	var (
+		next    atomic.Int64 // next job index to claim
+		stopped atomic.Bool
+		done    int
+		cbMu    sync.Mutex // serializes OnResult/Stop and `done`
+		wg      sync.WaitGroup
+	)
+
+	worker := func() {
+		defer wg.Done()
+		for {
+			i := int(next.Add(1) - 1)
+			if i >= len(cfgs) || stopped.Load() {
+				return
+			}
+			res, err := harness.Run(cfgs[i])
+			results[i], errs[i] = res, err
+
+			cbMu.Lock()
+			done++
+			p := Progress{Index: i, Done: done, Total: len(cfgs), Err: err}
+			if err == nil {
+				p.Result = &results[i]
+			}
+			if r.OnResult != nil {
+				r.OnResult(p)
+			}
+			if r.Stop != nil && r.Stop(p) {
+				stopped.Store(true)
+			}
+			cbMu.Unlock()
+		}
+	}
+
+	w := r.workers(len(cfgs))
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go worker()
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("sweep: config %d: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
+// MustRun is Run that panics on error, for sweeps whose configs are
+// statically known to be valid (the figure drivers).
+func (r Runner) MustRun(cfgs []harness.Config) []harness.Result {
+	results, err := r.Run(cfgs)
+	if err != nil {
+		panic(err)
+	}
+	return results
+}
+
+// RunMany adapts the runner to the harness.RunMany callback the figure
+// drivers consume.
+func (r Runner) RunMany() harness.RunMany {
+	return func(cfgs []harness.Config) []harness.Result { return r.MustRun(cfgs) }
+}

@@ -1,0 +1,173 @@
+package sweep
+
+import (
+	"reflect"
+	"testing"
+
+	"alock/internal/harness"
+)
+
+// testConfigs is a small multi-config sweep covering several algorithms and
+// cluster shapes.
+func testConfigs() []harness.Config {
+	base := harness.Config{
+		Locks:       30,
+		LocalityPct: 90,
+		WarmupNS:    50_000,
+		MeasureNS:   400_000,
+		TargetOps:   3_000,
+		Seed:        1,
+	}
+	var cfgs []harness.Config
+	for _, algo := range []string{"alock", "spinlock", "mcs"} {
+		for _, nodes := range []int{2, 3} {
+			c := base
+			c.Algorithm = algo
+			c.Nodes = nodes
+			c.ThreadsPerNode = 3
+			cfgs = append(cfgs, c)
+		}
+	}
+	return cfgs
+}
+
+// stripEvents zeroes fields not part of the per-run statistics contract
+// (none currently — kept for future use) and returns a comparable view.
+func summarize(r harness.Result) map[string]any {
+	return map[string]any{
+		"ops":     r.Ops,
+		"span":    r.SpanNS,
+		"tput":    r.Throughput,
+		"latency": r.Latency,
+		"nic":     r.NIC,
+		"lock":    r.Lock,
+		"events":  r.Events,
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	cfgs := testConfigs()
+	serial, err := Runner{Parallel: 1}.Run(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Runner{Parallel: 8}.Run(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(cfgs) || len(parallel) != len(cfgs) {
+		t.Fatalf("result lengths: serial=%d parallel=%d want %d",
+			len(serial), len(parallel), len(cfgs))
+	}
+	for i := range cfgs {
+		a, b := summarize(serial[i]), summarize(parallel[i])
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("config %d: parallel run diverged from serial:\nserial:   %+v\nparallel: %+v",
+				i, a, b)
+		}
+	}
+}
+
+func TestRerunIsIdentical(t *testing.T) {
+	cfgs := testConfigs()
+	r := Runner{Parallel: 4}
+	first, err := r.Run(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := r.Run(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfgs {
+		if !reflect.DeepEqual(summarize(first[i]), summarize(second[i])) {
+			t.Errorf("config %d: same-seed re-run diverged", i)
+		}
+	}
+}
+
+func TestResultsInInputOrder(t *testing.T) {
+	cfgs := testConfigs()
+	results, err := Runner{Parallel: 8}.Run(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Config.Algorithm != cfgs[i].Algorithm || r.Config.Nodes != cfgs[i].Nodes {
+			t.Fatalf("results[%d] holds config %+v, want %+v",
+				i, r.Config, cfgs[i])
+		}
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	cfgs := testConfigs()
+	var seen []int
+	var lastDone int
+	r := Runner{
+		Parallel: 4,
+		OnResult: func(p Progress) {
+			seen = append(seen, p.Index)
+			if p.Done <= lastDone || p.Done > p.Total {
+				t.Errorf("non-monotonic Done: %d after %d (total %d)", p.Done, lastDone, p.Total)
+			}
+			lastDone = p.Done
+			if p.Err != nil || p.Result == nil {
+				t.Errorf("run %d: err=%v result=%v", p.Index, p.Err, p.Result)
+			}
+		},
+	}
+	if _, err := r.Run(cfgs); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(cfgs) {
+		t.Fatalf("callback fired %d times, want %d", len(seen), len(cfgs))
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	cfgs := testConfigs()
+	stopAfter := 2
+	r := Runner{
+		Parallel: 1, // serial so the stop point is deterministic
+		Stop:     func(p Progress) bool { return p.Done >= stopAfter },
+	}
+	results, err := r.Run(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var completed int
+	for _, res := range results {
+		if res.Ops > 0 {
+			completed++
+		}
+	}
+	if completed != stopAfter {
+		t.Fatalf("completed %d runs, want %d (early stop)", completed, stopAfter)
+	}
+}
+
+func TestBadConfigSurfacesError(t *testing.T) {
+	cfgs := testConfigs()
+	cfgs[1].Nodes = 99 // invalid: 4-bit node IDs
+	results, err := Runner{Parallel: 4}.Run(cfgs)
+	if err == nil {
+		t.Fatal("invalid config did not surface an error")
+	}
+	// The other runs must still have executed.
+	for i, r := range results {
+		if i == 1 {
+			continue
+		}
+		if r.Ops == 0 {
+			t.Errorf("run %d skipped despite unrelated failure", i)
+		}
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	results, err := Runner{}.Run(nil)
+	if err != nil || len(results) != 0 {
+		t.Fatalf("empty batch: results=%v err=%v", results, err)
+	}
+}

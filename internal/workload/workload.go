@@ -34,6 +34,14 @@ type Spec struct {
 	// with a Zipf(s) rank distribution (hot-key extension; the paper's
 	// workloads are uniform).
 	ZipfS float64
+	// BurstOnNS/BurstOffNS, when both positive, gate the loop through
+	// on/off phases: the thread issues operations for BurstOnNS, then goes
+	// idle for BurstOffNS, and repeats (bursty-arrival extension; the
+	// paper's threads run open-throttle). Each thread's first phase
+	// boundary is drawn from its deterministic stream so the cluster's
+	// bursts are staggered rather than lockstep.
+	BurstOnNS  int64
+	BurstOffNS int64
 }
 
 // Validate rejects nonsensical specs.
@@ -46,6 +54,13 @@ func (s Spec) Validate() error {
 	}
 	if s.ZipfS != 0 && s.ZipfS <= 1 {
 		return fmt.Errorf("workload: ZipfS must be > 1 (got %v)", s.ZipfS)
+	}
+	if s.BurstOnNS < 0 || s.BurstOffNS < 0 {
+		return fmt.Errorf("workload: negative burst phases on=%d off=%d", s.BurstOnNS, s.BurstOffNS)
+	}
+	if (s.BurstOnNS > 0) != (s.BurstOffNS > 0) {
+		return fmt.Errorf("workload: burst phases need both on and off (on=%d off=%d)",
+			s.BurstOnNS, s.BurstOffNS)
 	}
 	return nil
 }
@@ -80,7 +95,19 @@ func Run(ctx api.Ctx, h api.Locker, table *locktable.Table, spec Spec,
 	var res ThreadResult
 	rng := ctx.Rand()
 	skew := table.NewSkew(rng, ctx.NodeID(), spec.ZipfS)
+	// Bursty arrivals: phaseEnd is the engine time the current on-phase
+	// closes; the first boundary is staggered per thread.
+	burst := spec.BurstOnNS > 0
+	var phaseEnd int64
+	if burst {
+		phaseEnd = ctx.Now() + 1 + rng.Int63n(spec.BurstOnNS)
+	}
 	for !ctx.Stopped() {
+		if burst && ctx.Now() >= phaseEnd {
+			ctx.Work(time.Duration(spec.BurstOffNS))
+			phaseEnd = ctx.Now() + spec.BurstOnNS
+			continue
+		}
 		idx := table.PickSkewed(rng, ctx.NodeID(), spec.LocalityPct, skew)
 		l := table.Ptr(idx)
 

@@ -21,6 +21,9 @@ func TestSpecValidate(t *testing.T) {
 		{LocalityPct: 101},
 		{LocalityPct: 50, CSWork: -time.Nanosecond},
 		{LocalityPct: 50, Think: -time.Nanosecond},
+		{LocalityPct: 50, BurstOnNS: 1000},              // off phase missing
+		{LocalityPct: 50, BurstOffNS: 1000},             // on phase missing
+		{LocalityPct: 50, BurstOnNS: -1, BurstOffNS: 1}, // negative
 	}
 	for i, s := range bad {
 		if err := s.Validate(); err == nil {
@@ -83,6 +86,33 @@ func TestThinkReducesOpsNotLatency(t *testing.T) {
 	idle := runLoop(t, Spec{LocalityPct: 100, Think: 5 * time.Microsecond}, 200_000)
 	if idle.TotalOps >= busy.TotalOps {
 		t.Fatalf("think time did not reduce op count: %d vs %d", idle.TotalOps, busy.TotalOps)
+	}
+}
+
+func TestBurstPhasesReduceOps(t *testing.T) {
+	steady := runLoop(t, Spec{LocalityPct: 100}, 400_000)
+	// 50% duty cycle: ~half the steady operation count.
+	bursty := runLoop(t, Spec{
+		LocalityPct: 100,
+		BurstOnNS:   20_000,
+		BurstOffNS:  20_000,
+	}, 400_000)
+	if bursty.TotalOps >= steady.TotalOps*3/4 {
+		t.Fatalf("burst phases did not throttle: steady=%d bursty=%d",
+			steady.TotalOps, bursty.TotalOps)
+	}
+	if bursty.TotalOps < steady.TotalOps/5 {
+		t.Fatalf("burst throttled too hard for a 50%% duty cycle: steady=%d bursty=%d",
+			steady.TotalOps, bursty.TotalOps)
+	}
+}
+
+func TestBurstDeterministic(t *testing.T) {
+	spec := Spec{LocalityPct: 80, BurstOnNS: 15_000, BurstOffNS: 10_000}
+	a := runLoop(t, spec, 300_000)
+	b := runLoop(t, spec, 300_000)
+	if a.TotalOps != b.TotalOps || a.Ops != b.Ops {
+		t.Fatalf("bursty runs nondeterministic: %+v vs %+v", a, b)
 	}
 }
 
