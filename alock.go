@@ -74,6 +74,10 @@ type Ctx = api.Ctx
 // section on the lock object at the given pointer.
 type Locker = api.Locker
 
+// RWLocker is a Locker with an additional shared (read) acquire mode:
+// RLock holders may overlap each other but never a Lock holder.
+type RWLocker = api.RWLocker
+
 // Cohort identifies the paper's two access cohorts.
 type Cohort = api.Cohort
 

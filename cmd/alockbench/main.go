@@ -8,11 +8,14 @@
 //	alockbench -algo spinlock -nodes 1 -threads 16 -locks 1000
 //	alockbench -algo alock -local-budget 5 -remote-budget 20 -cdf
 //	alockbench -algo alock -burst-on 150us -burst-off 100us
+//	alockbench -algo rw-budget -read-pct 95
+//	alockbench -algo mcs -lease-prob 0.02 -lease-hold 25us
 //	alockbench -list-scenarios
-//	alockbench -scenario bursty-arrivals -quick -parallel 8
+//	alockbench -scenario rw/read-heavy -quick -parallel 8
 //
 // Algorithms: alock, alock-nobudget, alock-symmetric, spinlock, mcs,
-// filter, bakery.
+// filter, bakery, rw-budget, rw-wpref. Algorithms without native shared
+// mode run -read-pct workloads with reads degraded to exclusive.
 package main
 
 import (
@@ -49,6 +52,9 @@ func main() {
 		burstOn  = flag.Duration("burst-on", 0, "bursty arrivals: on-phase duration (0 = steady)")
 		burstOff = flag.Duration("burst-off", 0, "bursty arrivals: off-phase duration")
 		homeSkew = flag.Int("home-skew", 0, "percent of the lock table homed on node 0 (0 = equal partition)")
+		readPct  = flag.Int("read-pct", 0, "percent of operations acquiring shared/read mode (0 = exclusive only)")
+		leaseP   = flag.Float64("lease-prob", 0, "per-op probability of a lease-style long hold (0 = off)")
+		leaseH   = flag.Duration("lease-hold", 0, "duration of a lease hold")
 
 		scenName  = flag.String("scenario", "", "run a named scenario instead of a single config")
 		listScens = flag.Bool("list-scenarios", false, "list registered scenarios and exit")
@@ -87,6 +93,9 @@ func main() {
 		BurstOn:        *burstOn,
 		BurstOff:       *burstOff,
 		HomeSkewPct:    *homeSkew,
+		ReadPct:        *readPct,
+		LeaseProb:      *leaseP,
+		LeaseHold:      *leaseH,
 		Seed:           *seed,
 	}
 	res, err := harness.Run(cfg)
@@ -118,7 +127,7 @@ func runScenario(name string, quick bool, seed int64, parallel int, asJSON bool)
 		fmt.Fprintf(os.Stderr, "alockbench: unknown scenario %q (try -list-scenarios)\n", name)
 		os.Exit(1)
 	}
-	cfgs := sc.Expand(harness.Scale{Quick: quick, Seed: seed})
+	cfgs := sc.Configs(harness.Scale{Quick: quick, Seed: seed})
 	results, err := sweep.Runner{Parallel: parallel}.Run(cfgs)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "alockbench: %v\n", err)

@@ -84,7 +84,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "figures: unknown scenario %q (try -list-scenarios)\n", *scenName)
 			os.Exit(1)
 		}
-		cfgs := sc.Expand(scale)
+		cfgs := sc.Configs(scale)
 		fmt.Fprintf(out, "running scenario %s (%d configs)...\n", sc.Name, len(cfgs))
 		results, err := runner.Run(cfgs)
 		if err != nil {

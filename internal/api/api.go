@@ -136,3 +136,34 @@ type Locker interface {
 	Lock(l ptr.Ptr)
 	Unlock(l ptr.Ptr)
 }
+
+// RWLocker extends Locker with a shared (read) acquire mode: any number of
+// RLock holders may overlap, but a Lock (write) holder excludes everyone.
+// This is the operation axis the reader/writer workloads sweep; the paper's
+// evaluation itself only exercises the exclusive mode.
+type RWLocker interface {
+	Locker
+	// RLock acquires the lock at l in shared mode.
+	RLock(l ptr.Ptr)
+	// RUnlock releases a shared acquisition of the lock at l.
+	RUnlock(l ptr.Ptr)
+}
+
+// ExclusiveRW adapts any Locker to RWLocker by degrading shared acquires
+// to exclusive ones. It lets every exclusive-only algorithm run reader/
+// writer workloads as a baseline: correct, but readers serialize.
+type ExclusiveRW struct{ L Locker }
+
+var _ RWLocker = ExclusiveRW{}
+
+// Lock implements RWLocker.
+func (x ExclusiveRW) Lock(l ptr.Ptr) { x.L.Lock(l) }
+
+// Unlock implements RWLocker.
+func (x ExclusiveRW) Unlock(l ptr.Ptr) { x.L.Unlock(l) }
+
+// RLock implements RWLocker: a shared acquire degrades to exclusive.
+func (x ExclusiveRW) RLock(l ptr.Ptr) { x.L.Lock(l) }
+
+// RUnlock implements RWLocker.
+func (x ExclusiveRW) RUnlock(l ptr.Ptr) { x.L.Unlock(l) }

@@ -24,19 +24,42 @@ const MaxClusterNodes = 16
 
 // Scale selects between the full reproduction and an abbreviated sweep
 // with the same structure (fewer thread counts, fewer target ops).
+//
+// The override fields decouple individual scenarios from the global
+// presets: a heavyweight scenario can pin its own thread list or stretch
+// its measurement horizon without forking the preset logic. TestTiny wins
+// over every override — smoke tests must stay smoke-test sized no matter
+// what a scenario asks for.
 type Scale struct {
 	Quick bool
 	// TestTiny shrinks every sweep to smoke-test size while keeping the
 	// panel/series structure intact; used by the unit tests of the
-	// drivers themselves, never for reported results.
+	// drivers themselves, never for reported results. It overrides the
+	// Override fields below.
 	TestTiny bool
 	// Seed offsets every run's seed (0 = default).
 	Seed int64
+
+	// ThreadsOverride, when non-empty, replaces the preset per-node thread
+	// counts (per-scenario scale override).
+	ThreadsOverride []int
+	// NodesOverride, when non-empty, replaces the preset cluster sizes;
+	// its largest entry also caps BigClusterNodes.
+	NodesOverride []int
+	// TargetOpsOverride, when > 0, replaces the preset per-run op target.
+	TargetOpsOverride int64
+	// WarmupOverride/MeasureOverride, when > 0, replace the preset
+	// warmup/measurement horizons (ns).
+	WarmupOverride  int64
+	MeasureOverride int64
 }
 
 func (s Scale) threads() []int {
 	if s.TestTiny {
 		return []int{2}
+	}
+	if len(s.ThreadsOverride) > 0 {
+		return s.ThreadsOverride
 	}
 	if s.Quick {
 		return []int{2, 8}
@@ -48,6 +71,9 @@ func (s Scale) nodes() []int {
 	if s.TestTiny {
 		return []int{2, 3}
 	}
+	if len(s.NodesOverride) > 0 {
+		return s.NodesOverride
+	}
 	if s.Quick {
 		return []int{5, MaxClusterNodes}
 	}
@@ -57,6 +83,9 @@ func (s Scale) nodes() []int {
 func (s Scale) targetOps() int64 {
 	if s.TestTiny {
 		return 1_500
+	}
+	if s.TargetOpsOverride > 0 {
+		return s.TargetOpsOverride
 	}
 	if s.Quick {
 		return 20_000
@@ -68,16 +97,34 @@ func (s Scale) windows() (warmup, measure int64) {
 	if s.TestTiny {
 		return 50_000, 250_000
 	}
+	warmup, measure = 400_000, 4_000_000
 	if s.Quick {
-		return 200_000, 1_500_000
+		warmup, measure = 200_000, 1_500_000
 	}
-	return 400_000, 4_000_000
+	if s.WarmupOverride > 0 {
+		warmup = s.WarmupOverride
+	}
+	if s.MeasureOverride > 0 {
+		measure = s.MeasureOverride
+	}
+	return warmup, measure
 }
 
-// bigCluster is the stand-in for the paper's 20-node cluster.
+// bigCluster is the stand-in for the paper's 20-node cluster. A scenario
+// NodesOverride caps it (largest listed size), so overriding scenarios
+// shrink sweepGrid-based expansions too; fig6Nodes stays paper-pinned.
 func (s Scale) bigCluster() int {
 	if s.TestTiny {
 		return 3
+	}
+	if len(s.NodesOverride) > 0 {
+		max := s.NodesOverride[0]
+		for _, n := range s.NodesOverride[1:] {
+			if n > max {
+				max = n
+			}
+		}
+		return max
 	}
 	return MaxClusterNodes
 }

@@ -60,6 +60,16 @@ type Config struct {
 	// node 0 instead of the paper's equal partition (skewed-home
 	// extension).
 	HomeSkewPct int
+	// ReadPct is the percentage of operations acquiring the lock in shared
+	// (read) mode; 0 reproduces the paper's exclusive-only workloads.
+	// Algorithms without native shared mode degrade reads to exclusive.
+	ReadPct int
+	// LeaseProb/LeaseHold, when both set, turn that fraction of operations
+	// into lease-style long holds of the given duration (failure/recovery
+	// and ownership-lease extension). Leases model ownership, so a leased
+	// operation always acquires exclusive mode regardless of ReadPct.
+	LeaseProb float64
+	LeaseHold time.Duration
 	// Seed makes the run reproducible.
 	Seed int64
 	// WordsPerNode sizes each node's memory region (0 = 1Mi words = 8 MiB).
@@ -67,7 +77,10 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
-	if c.Model.LocalReadNS == 0 {
+	// Only a genuinely zero-valued model means "use the default": a caller-
+	// supplied model that merely leaves one field at zero (and will fail
+	// its own validation) must not be silently swapped for CX3.
+	if c.Model == (model.Params{}) {
 		c.Model = model.CX3()
 	}
 	if c.WarmupNS == 0 {
@@ -109,6 +122,14 @@ func (c Config) Validate() error {
 		return fmt.Errorf("harness: burst phases need both on and off (on=%v off=%v)",
 			c.BurstOn, c.BurstOff)
 	}
+	if c.ReadPct < 0 || c.ReadPct > 100 {
+		return fmt.Errorf("harness: read share %d%%", c.ReadPct)
+	}
+	if c.LeaseProb < 0 || c.LeaseProb > 1 || c.LeaseHold < 0 ||
+		(c.LeaseProb > 0) != (c.LeaseHold > 0) {
+		return fmt.Errorf("harness: lease needs both probability and hold (prob=%v hold=%v)",
+			c.LeaseProb, c.LeaseHold)
+	}
 	return c.Model.Validate()
 }
 
@@ -135,6 +156,13 @@ type Result struct {
 	Throughput float64
 	// Latency summarizes the recorded per-operation latencies.
 	Latency stats.Summary
+	// ReadOps/WriteOps split Ops by acquire mode, and ReadLatency/
+	// WriteLatency are the per-class latency digests. Exclusive-only runs
+	// record everything as writes (ReadOps == 0, WriteLatency == Latency).
+	ReadOps      int64
+	WriteOps     int64
+	ReadLatency  stats.Summary
+	WriteLatency stats.Summary
 	// CDF is the empirical latency distribution (Figure 6).
 	CDF []stats.Point
 	// NIC aggregates fabric counters (whole run, including warmup).
@@ -181,6 +209,9 @@ func Run(cfg Config) (Result, error) {
 		ZipfS:       cfg.ZipfS,
 		BurstOnNS:   cfg.BurstOn.Nanoseconds(),
 		BurstOffNS:  cfg.BurstOff.Nanoseconds(),
+		ReadPct:     cfg.ReadPct,
+		LeaseProb:   cfg.LeaseProb,
+		LeaseHoldNS: cfg.LeaseHold.Nanoseconds(),
 	}
 
 	results := make([]workload.ThreadResult, threads)
@@ -192,7 +223,7 @@ func Run(cfg Config) (Result, error) {
 			node := n
 			idx++
 			e.Spawn(node, func(ctx api.Ctx) {
-				h := prov.NewHandle(ctx)
+				h := locks.RWHandleFor(prov, ctx)
 				results[slot] = workload.Run(ctx, h, table, spec, &opsDone, cfg.TargetOps, e)
 			})
 		}
@@ -200,12 +231,16 @@ func Run(cfg Config) (Result, error) {
 	e.Run(cfg.WarmupNS + cfg.MeasureNS)
 
 	res := Result{Config: cfg, Events: e.Events()}
-	var hist stats.Hist
+	var hist, readHist, writeHist stats.Hist
 	var firstRec, lastRec int64
 	for i := range results {
 		r := &results[i]
 		res.Ops += r.Ops
+		res.ReadOps += r.ReadOps
+		res.WriteOps += r.WriteOps
 		hist.Merge(&r.Latency)
+		readHist.Merge(&r.ReadLatency)
+		writeHist.Merge(&r.WriteLatency)
 		if r.Ops > 0 {
 			if firstRec == 0 || r.FirstRecNS < firstRec {
 				firstRec = r.FirstRecNS
@@ -225,6 +260,8 @@ func Run(cfg Config) (Result, error) {
 		res.Throughput = float64(res.Ops) / (float64(res.SpanNS) / 1e9)
 	}
 	res.Latency = hist.Summarize()
+	res.ReadLatency = readHist.Summarize()
+	res.WriteLatency = writeHist.Summarize()
 	res.CDF = hist.CDF()
 
 	for n := 0; n < cfg.Nodes; n++ {

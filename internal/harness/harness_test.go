@@ -5,6 +5,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"alock/internal/model"
 )
 
 // quickCfg returns a fast configuration for functional tests.
@@ -69,6 +71,30 @@ func TestRunSeedChangesSchedule(t *testing.T) {
 	b, _ := Run(c2)
 	if a.Ops == b.Ops && a.Latency.MeanNS == b.Latency.MeanNS {
 		t.Fatal("different seeds produced identical runs (suspicious)")
+	}
+}
+
+func TestWithDefaultsKeepsCallerModel(t *testing.T) {
+	// Regression: withDefaults used LocalReadNS == 0 as the "no model"
+	// sentinel, clobbering any caller-supplied model that happened to leave
+	// that one field zero. Only the fully zero-valued model means default.
+	custom := model.Uniform(5)
+	custom.LocalReadNS = 0 // invalid on purpose, but unmistakably caller-supplied
+	c := quickCfg("alock")
+	c.Model = custom
+	got := c.withDefaults()
+	if got.Model != custom {
+		t.Fatalf("caller-supplied model was replaced: got %+v", got.Model)
+	}
+	// And Run must surface the model's own validation error, not silently
+	// substitute CX3.
+	if _, err := Run(c); err == nil {
+		t.Fatal("invalid caller model accepted (was it clobbered by CX3?)")
+	}
+
+	var def Config
+	if d := def.withDefaults(); d.Model != model.CX3() {
+		t.Fatalf("zero-valued model did not default to CX3: %+v", d.Model)
 	}
 }
 
@@ -174,6 +200,73 @@ func TestBurstAndHomeSkewConfigs(t *testing.T) {
 	bad2.HomeSkewPct = 101
 	if _, err := Run(bad2); err == nil {
 		t.Error("home skew 101%% accepted")
+	}
+}
+
+func TestReadWriteWorkloadConfigs(t *testing.T) {
+	// Native RW algorithm: both classes recorded, split consistent.
+	c := quickCfg("rw-budget")
+	c.ReadPct = 80
+	r, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ReadOps == 0 || r.WriteOps == 0 {
+		t.Fatalf("class starved: reads=%d writes=%d", r.ReadOps, r.WriteOps)
+	}
+	if r.ReadOps+r.WriteOps != r.Ops {
+		t.Fatalf("split %d+%d != ops %d", r.ReadOps, r.WriteOps, r.Ops)
+	}
+	if r.ReadLatency.Count != r.ReadOps || r.WriteLatency.Count != r.WriteOps {
+		t.Fatal("per-class summaries out of sync with per-class ops")
+	}
+
+	// Exclusive algorithm under a read mix: degrades, still correct.
+	d := quickCfg("alock")
+	d.ReadPct = 80
+	rd, err := Run(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Ops == 0 || rd.ReadOps+rd.WriteOps != rd.Ops {
+		t.Fatalf("degraded RW run inconsistent: %d ops, %d+%d split",
+			rd.Ops, rd.ReadOps, rd.WriteOps)
+	}
+
+	// Exclusive-only config records everything as writes.
+	rx, err := Run(quickCfg("alock"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rx.ReadOps != 0 || rx.WriteOps != rx.Ops {
+		t.Fatalf("exclusive run split reads=%d writes=%d ops=%d", rx.ReadOps, rx.WriteOps, rx.Ops)
+	}
+
+	// Lease holds stretch the tail beyond the lease duration.
+	lc := quickCfg("alock")
+	lc.LeaseProb = 0.05
+	lc.LeaseHold = 30 * time.Microsecond
+	rl, err := Run(lc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.Latency.MaxNS < lc.LeaseHold.Nanoseconds() {
+		t.Fatalf("lease holds invisible: max latency %dns < hold %v", rl.Latency.MaxNS, lc.LeaseHold)
+	}
+
+	// Validation rejects malformed RW/lease configs.
+	for i, mut := range []func(*Config){
+		func(c *Config) { c.ReadPct = -1 },
+		func(c *Config) { c.ReadPct = 101 },
+		func(c *Config) { c.LeaseProb = 0.5 }, // hold missing
+		func(c *Config) { c.LeaseHold = time.Microsecond },
+		func(c *Config) { c.LeaseProb = 1.5; c.LeaseHold = time.Microsecond },
+	} {
+		bad := quickCfg("alock")
+		mut(&bad)
+		if _, err := Run(bad); err == nil {
+			t.Errorf("case %d: malformed RW/lease config accepted", i)
+		}
 	}
 }
 

@@ -3,9 +3,14 @@ package locks_test
 import (
 	"strings"
 	"testing"
+	"time"
 
+	"alock/internal/api"
 	"alock/internal/locks"
 	"alock/internal/locktest"
+	"alock/internal/model"
+	"alock/internal/ptr"
+	"alock/internal/sim"
 )
 
 func TestSpinlockMutualExclusion(t *testing.T) {
@@ -107,7 +112,7 @@ func TestALockImmuneToTearing(t *testing.T) {
 
 func TestRegistryNames(t *testing.T) {
 	names := locks.Names()
-	if len(names) != 7 {
+	if len(names) != 9 {
 		t.Fatalf("Names() = %v", names)
 	}
 	for _, name := range names {
@@ -136,6 +141,193 @@ func TestRegistryFilterNeedsThreads(t *testing.T) {
 	}
 	if _, err := locks.ByName("bakery", locks.Options{}); err == nil {
 		t.Fatal("bakery without thread count should error")
+	}
+}
+
+// --- Reader/writer locks ---
+
+// rwStats is what runRW observes. The Go-side counters are safe without
+// atomics: the simulator runs exactly one thread at a time and only
+// switches at blocking operations.
+type rwStats struct {
+	ReadOps, WriteOps int64
+	MaxReaders        int
+	Violations        int64 // writer overlapping anyone, or reader overlapping a writer
+}
+
+// runRW drives readers and writers against one RW lock on node 0 and
+// checks the shared/exclusive invariants from inside the critical sections.
+func runRW(t *testing.T, prov locks.Provider, readers, writers int, csNS int64, horizon int64) rwStats {
+	t.Helper()
+	rwp, ok := prov.(locks.RWProvider)
+	if !ok {
+		t.Fatalf("%s does not implement RWProvider", prov.Name())
+	}
+	m := model.Uniform(7)
+	m.TornRCAS = true
+	m.TornGapNS = 90
+	e := sim.New(2, 1<<18, m, 1)
+	l := e.Space().AllocLine(0)
+	prov.Prepare(e.Space(), []ptr.Ptr{l})
+
+	var st rwStats
+	var readersIn, writersIn int
+	for i := 0; i < readers; i++ {
+		node := i % 2
+		e.Spawn(node, func(ctx api.Ctx) {
+			h := rwp.NewRWHandle(ctx)
+			for !ctx.Stopped() {
+				h.RLock(l)
+				readersIn++
+				if writersIn > 0 {
+					st.Violations++
+				}
+				if readersIn > st.MaxReaders {
+					st.MaxReaders = readersIn
+				}
+				ctx.Work(time.Duration(csNS))
+				readersIn--
+				h.RUnlock(l)
+				st.ReadOps++
+			}
+		})
+	}
+	for i := 0; i < writers; i++ {
+		node := i % 2
+		e.Spawn(node, func(ctx api.Ctx) {
+			h := rwp.NewRWHandle(ctx)
+			for !ctx.Stopped() {
+				h.Lock(l)
+				writersIn++
+				if writersIn > 1 || readersIn > 0 {
+					st.Violations++
+				}
+				ctx.Work(time.Duration(csNS))
+				writersIn--
+				h.Unlock(l)
+				st.WriteOps++
+			}
+		})
+	}
+	e.Run(horizon)
+	return st
+}
+
+func TestRWLocksSharedExclusiveInvariants(t *testing.T) {
+	for _, name := range []string{"rw-budget", "rw-wpref"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			prov, err := locks.ByName(name, locks.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := runRW(t, prov, 6, 2, 800, 600_000)
+			if st.Violations != 0 {
+				t.Fatalf("%d shared/exclusive violations", st.Violations)
+			}
+			if st.ReadOps == 0 || st.WriteOps == 0 {
+				t.Fatalf("a class starved outright: reads=%d writes=%d", st.ReadOps, st.WriteOps)
+			}
+			if st.MaxReaders < 2 {
+				t.Fatalf("readers never overlapped (max concurrency %d) — RLock degraded to exclusive", st.MaxReaders)
+			}
+		})
+	}
+}
+
+func TestRWBudgetAdmitsReadersUnderWriterStream(t *testing.T) {
+	// Under a steady writer stream, writer preference throttles readers
+	// hard; the budgeted lock must keep yielding the phase back to them.
+	budget, err := locks.ByName("rw-budget", locks.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wpref, err := locks.ByName("rw-wpref", locks.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := runRW(t, budget, 4, 4, 1200, 900_000)
+	w := runRW(t, wpref, 4, 4, 1200, 900_000)
+	if b.Violations != 0 || w.Violations != 0 {
+		t.Fatalf("violations: budget=%d wpref=%d", b.Violations, w.Violations)
+	}
+	if b.ReadOps <= w.ReadOps {
+		t.Errorf("budgeted lock did not favor readers over writer preference: %d vs %d reads",
+			b.ReadOps, w.ReadOps)
+	}
+}
+
+func TestRWUncontendedWriteSingleCAS(t *testing.T) {
+	// An exclusive acquire on an idle RW lock must cost one rCAS, not a
+	// register-then-enter pair: 2 NIC submissions for Lock (TX+RX of one
+	// verb) plus 2 for Unlock.
+	for _, name := range []string{"rw-budget", "rw-wpref"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			prov, err := locks.ByName(name, locks.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rwp := prov.(locks.RWProvider)
+			e := sim.New(2, 1<<18, model.Uniform(7), 1)
+			l := e.Space().AllocLine(0)
+			prov.Prepare(e.Space(), []ptr.Ptr{l})
+			e.Spawn(1, func(ctx api.Ctx) { // remote thread, idle lock
+				h := rwp.NewRWHandle(ctx)
+				h.Lock(l)
+				h.Unlock(l)
+			})
+			e.Run(1 << 40)
+			var verbs int64
+			for n := 0; n < 2; n++ {
+				verbs += e.NIC(n).Stats().Verbs
+			}
+			if verbs != 4 {
+				t.Fatalf("uncontended write lock/unlock cost %d NIC submissions, want 4", verbs)
+			}
+		})
+	}
+}
+
+func TestRWExclusiveDegradationAdapter(t *testing.T) {
+	// Algorithms without native shared mode run RW workloads through the
+	// ExclusiveRW adapter: still mutually exclusive, readers never overlap.
+	prov, err := locks.ByName("mcs", locks.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := prov.(locks.RWProvider); ok {
+		t.Fatal("mcs unexpectedly native-RW; test needs a degrading algorithm")
+	}
+	m := model.Uniform(7)
+	e := sim.New(2, 1<<18, m, 1)
+	l := e.Space().AllocLine(0)
+	prov.Prepare(e.Space(), []ptr.Ptr{l})
+	var readersIn, maxReaders int
+	var ops int64
+	for i := 0; i < 4; i++ {
+		node := i % 2
+		e.Spawn(node, func(ctx api.Ctx) {
+			h := locks.RWHandleFor(prov, ctx)
+			for !ctx.Stopped() {
+				h.RLock(l)
+				readersIn++
+				if readersIn > maxReaders {
+					maxReaders = readersIn
+				}
+				ctx.Work(500 * time.Nanosecond)
+				readersIn--
+				h.RUnlock(l)
+				ops++
+			}
+		})
+	}
+	e.Run(300_000)
+	if ops == 0 {
+		t.Fatal("no operations completed")
+	}
+	if maxReaders != 1 {
+		t.Fatalf("exclusive degradation let %d readers overlap", maxReaders)
 	}
 }
 

@@ -113,6 +113,24 @@ type StatsAggregator interface {
 	AggregateStats() core.Stats
 }
 
+// RWProvider is implemented by providers whose algorithm supports shared
+// (read) acquisitions natively. Providers without it still run reader/
+// writer workloads through RWHandleFor's exclusive degradation.
+type RWProvider interface {
+	Provider
+	NewRWHandle(ctx api.Ctx) api.RWLocker
+}
+
+// RWHandleFor returns a reader/writer handle for any provider: the native
+// one when the algorithm supports shared mode, otherwise the exclusive
+// degradation (RLock behaves as Lock — correct, but readers serialize).
+func RWHandleFor(p Provider, ctx api.Ctx) api.RWLocker {
+	if rw, ok := p.(RWProvider); ok {
+		return rw.NewRWHandle(ctx)
+	}
+	return api.ExclusiveRW{L: p.NewHandle(ctx)}
+}
+
 // NewTrackedALockProvider returns an ALock provider that also satisfies
 // StatsAggregator.
 func NewTrackedALockProvider(cfg core.Config) Provider {
@@ -134,6 +152,7 @@ func Names() []string {
 	names := []string{
 		"alock", "alock-nobudget", "alock-symmetric",
 		"spinlock", "mcs", "filter", "bakery",
+		"rw-budget", "rw-wpref",
 	}
 	sort.Strings(names)
 	return names
@@ -148,6 +167,8 @@ func Names() []string {
 //	mcs             — competitor: RDMA MCS queue lock (all RDMA)
 //	filter          — related work: n-thread Peterson filter over RDMA
 //	bakery          — related work: Lamport's bakery over RDMA
+//	rw-budget       — reader/writer lock with ALock-style phase budgets
+//	rw-wpref        — reader/writer lock, writer-preference baseline
 func ByName(name string, opts Options) (Provider, error) {
 	cfg := opts.ALockConfig
 	if cfg.LocalBudget == 0 && cfg.RemoteBudget == 0 {
@@ -173,6 +194,10 @@ func ByName(name string, opts Options) (Provider, error) {
 		return SpinProvider{}, nil
 	case "mcs":
 		return MCSProvider{}, nil
+	case "rw-budget":
+		return NewRWBudgetProvider(), nil
+	case "rw-wpref":
+		return RWPrefProvider{}, nil
 	case "filter":
 		if opts.Threads < 1 {
 			return nil, fmt.Errorf("locks: %q requires Options.Threads", name)

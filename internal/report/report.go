@@ -277,11 +277,28 @@ func Summary(w io.Writer, r harness.Result) {
 	fmt.Fprintf(w, "algorithm      : %s\n", r.Config.Algorithm)
 	fmt.Fprintf(w, "cluster        : %d nodes x %d threads\n", r.Config.Nodes, r.Config.ThreadsPerNode)
 	fmt.Fprintf(w, "locks          : %d (%d%% locality)\n", r.Config.Locks, r.Config.LocalityPct)
+	if c := r.Config; c.ReadPct > 0 || c.LeaseProb > 0 {
+		fmt.Fprintf(w, "workload       : %d%% reads", c.ReadPct)
+		if c.LeaseProb > 0 {
+			fmt.Fprintf(w, ", %.1f%% leases of %v", c.LeaseProb*100, c.LeaseHold)
+		}
+		fmt.Fprintln(w)
+	}
 	fmt.Fprintf(w, "ops recorded   : %d over %s\n", r.Ops, ns(r.SpanNS))
 	fmt.Fprintf(w, "throughput     : %s ops/s\n", ops(r.Throughput))
 	fmt.Fprintf(w, "latency        : mean=%s p50=%s p99=%s p99.9=%s max=%s\n",
 		ns(int64(r.Latency.MeanNS)), ns(r.Latency.P50NS), ns(r.Latency.P99NS),
 		ns(r.Latency.P999NS), ns(r.Latency.MaxNS))
+	if r.ReadOps > 0 {
+		fmt.Fprintf(w, "read latency   : n=%d mean=%s p50=%s p99=%s max=%s\n",
+			r.ReadOps, ns(int64(r.ReadLatency.MeanNS)), ns(r.ReadLatency.P50NS),
+			ns(r.ReadLatency.P99NS), ns(r.ReadLatency.MaxNS))
+	}
+	if r.ReadOps > 0 && r.WriteOps > 0 {
+		fmt.Fprintf(w, "write latency  : n=%d mean=%s p50=%s p99=%s max=%s\n",
+			r.WriteOps, ns(int64(r.WriteLatency.MeanNS)), ns(r.WriteLatency.P50NS),
+			ns(r.WriteLatency.P99NS), ns(r.WriteLatency.MaxNS))
+	}
 	fmt.Fprintf(w, "fabric         : %d verbs, %d QPC misses, %d slowdowns, max backlog %s\n",
 		r.NIC.Verbs, r.NIC.QPCMisses, r.NIC.Slowdowns, ns(r.NIC.MaxBacklogNS))
 	if r.Lock.Acquires > 0 {
@@ -321,10 +338,27 @@ func CDFSparkline(pts []stats.Point, width int) string {
 // one row per run, with the config knobs that differ between runs spelled
 // out alongside throughput and tail latency.
 func Sweep(w io.Writer, title string, results []harness.Result) {
+	// Per-class latency columns appear only when some run recorded reads.
+	hasReads := false
+	for _, r := range results {
+		if r.ReadOps > 0 {
+			hasReads = true
+			break
+		}
+	}
 	var rows [][]string
 	for _, r := range results {
 		c := r.Config
 		extras := ""
+		if c.ReadPct > 0 {
+			extras += fmt.Sprintf(" read=%d%%", c.ReadPct)
+		}
+		if c.LeaseProb > 0 {
+			extras += fmt.Sprintf(" lease=%.1f%%/%v", c.LeaseProb*100, c.LeaseHold)
+		}
+		if c.Model.JitterProb > 0 {
+			extras += fmt.Sprintf(" jitter=%.1f%%/%s", c.Model.JitterProb*100, ns(c.Model.JitterNS))
+		}
 		if c.ZipfS > 0 {
 			extras += fmt.Sprintf(" zipf=%.1f", c.ZipfS)
 		}
@@ -337,7 +371,7 @@ func Sweep(w io.Writer, title string, results []harness.Result) {
 		if c.CSWork > 0 || c.Think > 0 {
 			extras += fmt.Sprintf(" cs=%v think=%v", c.CSWork, c.Think)
 		}
-		rows = append(rows, []string{
+		row := []string{
 			c.Algorithm,
 			fmt.Sprintf("%dx%d", c.Nodes, c.ThreadsPerNode),
 			fmt.Sprintf("%d", c.Locks),
@@ -346,21 +380,39 @@ func Sweep(w io.Writer, title string, results []harness.Result) {
 			ops(r.Throughput),
 			ns(r.Latency.P50NS),
 			ns(r.Latency.P99NS),
-		})
+		}
+		if hasReads {
+			rp99, wp99 := "-", "-"
+			if r.ReadOps > 0 {
+				rp99 = ns(r.ReadLatency.P99NS)
+			}
+			if r.WriteOps > 0 {
+				wp99 = ns(r.WriteLatency.P99NS)
+			}
+			row = append(row, rp99, wp99)
+		}
+		rows = append(rows, row)
 	}
-	writeTable(w, title,
-		[]string{"algorithm", "cluster", "locks", "locality", "workload", "throughput(ops/s)", "p50", "p99"}, rows)
+	header := []string{"algorithm", "cluster", "locks", "locality", "workload", "throughput(ops/s)", "p50", "p99"}
+	if hasReads {
+		header = append(header, "read p99", "write p99")
+	}
+	writeTable(w, title, header, rows)
 }
 
 // SweepCSV emits one CSV row per run of a scenario sweep.
 func SweepCSV(w io.Writer, name string, results []harness.Result) {
-	fmt.Fprintln(w, "scenario,algorithm,nodes,threads_per_node,locks,locality_pct,zipf_s,burst_on_ns,burst_off_ns,home_skew_pct,throughput_ops,p50_ns,p99_ns,ops")
+	fmt.Fprintln(w, "scenario,algorithm,nodes,threads_per_node,locks,locality_pct,zipf_s,burst_on_ns,burst_off_ns,home_skew_pct,read_pct,lease_prob,lease_hold_ns,jitter_prob,jitter_ns,throughput_ops,p50_ns,p99_ns,read_p99_ns,write_p99_ns,ops,read_ops,write_ops")
 	for _, r := range results {
 		c := r.Config
-		fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d,%.2f,%d,%d,%d,%.1f,%d,%d,%d\n",
+		fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d,%.2f,%d,%d,%d,%d,%.4f,%d,%.4f,%d,%.1f,%d,%d,%d,%d,%d,%d,%d\n",
 			name, c.Algorithm, c.Nodes, c.ThreadsPerNode, c.Locks, c.LocalityPct,
 			c.ZipfS, c.BurstOn.Nanoseconds(), c.BurstOff.Nanoseconds(), c.HomeSkewPct,
-			r.Throughput, r.Latency.P50NS, r.Latency.P99NS, r.Ops)
+			c.ReadPct, c.LeaseProb, c.LeaseHold.Nanoseconds(),
+			c.Model.JitterProb, c.Model.JitterNS,
+			r.Throughput, r.Latency.P50NS, r.Latency.P99NS,
+			r.ReadLatency.P99NS, r.WriteLatency.P99NS,
+			r.Ops, r.ReadOps, r.WriteOps)
 	}
 }
 

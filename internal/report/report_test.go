@@ -145,6 +145,67 @@ func TestSummaryRender(t *testing.T) {
 	}
 }
 
+func TestSummaryRenderReadWrite(t *testing.T) {
+	var b strings.Builder
+	Summary(&b, harness.Result{
+		Config: harness.Config{Algorithm: "rw-budget", Nodes: 2, ThreadsPerNode: 3,
+			Locks: 10, LocalityPct: 80, ReadPct: 95},
+		Ops: 100, ReadOps: 95, WriteOps: 5, SpanNS: 1_000_000, Throughput: 100_000,
+		Latency:      stats.Summary{Count: 100, MeanNS: 500, P50NS: 400, P99NS: 2000, MaxNS: 4000},
+		ReadLatency:  stats.Summary{Count: 95, MeanNS: 300, P50NS: 250, P99NS: 900, MaxNS: 1500},
+		WriteLatency: stats.Summary{Count: 5, MeanNS: 4000, P50NS: 3500, P99NS: 9000, MaxNS: 9500},
+	})
+	out := b.String()
+	for _, frag := range []string{"95% reads", "read latency", "write latency", "n=95", "n=5"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q in:\n%s", frag, out)
+		}
+	}
+}
+
+func TestSweepRenderAndCSVReadWrite(t *testing.T) {
+	results := []harness.Result{
+		{
+			Config: harness.Config{Algorithm: "rw-budget", Nodes: 3, ThreadsPerNode: 4,
+				Locks: 100, LocalityPct: 90, ReadPct: 70},
+			Ops: 70, ReadOps: 50, WriteOps: 20, Throughput: 1000,
+			Latency:      stats.Summary{P50NS: 100, P99NS: 1000},
+			ReadLatency:  stats.Summary{P99NS: 700},
+			WriteLatency: stats.Summary{P99NS: 2000},
+		},
+	}
+	var b strings.Builder
+	Sweep(&b, "t", results)
+	out := b.String()
+	for _, frag := range []string{"read=70%", "read p99", "write p99", "700ns", "2.00us"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q in:\n%s", frag, out)
+		}
+	}
+	// Exclusive-only sweeps keep the original column set.
+	var b2 strings.Builder
+	Sweep(&b2, "t", []harness.Result{{Config: harness.Config{Algorithm: "alock"}}})
+	if strings.Contains(b2.String(), "read p99") {
+		t.Error("exclusive sweep grew read/write columns")
+	}
+
+	var csv strings.Builder
+	SweepCSV(&csv, "rw/mixed", results)
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], "read_pct") || !strings.Contains(lines[0], "write_p99_ns") {
+		t.Errorf("csv header missing RW columns: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], "rw/mixed,rw-budget") {
+		t.Errorf("csv row wrong: %s", lines[1])
+	}
+	if hdr, row := len(strings.Split(lines[0], ",")), len(strings.Split(lines[1], ",")); hdr != row {
+		t.Errorf("csv header has %d fields, row has %d", hdr, row)
+	}
+}
+
 func TestUnitFormatting(t *testing.T) {
 	if got := ops(999); got != "999" {
 		t.Errorf("ops(999) = %q", got)

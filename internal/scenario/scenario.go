@@ -18,13 +18,29 @@ import (
 // Scenario is one named experiment family.
 type Scenario struct {
 	// Name identifies the scenario; paper reproductions are namespaced
-	// "paper/...", extensions are bare.
+	// "paper/...", extensions are bare or grouped (rw/..., fail/...).
 	Name string
 	// Description is a one-line summary for -list-scenarios.
 	Description string
 	// Expand produces the scenario's configuration grid at the given
 	// scale. Expansion is pure: same scale, same configs.
 	Expand func(s harness.Scale) []harness.Config
+	// Scale, when non-nil, rewrites the global scale before Expand runs —
+	// per-scenario thread lists, horizons or op targets via the override
+	// fields of harness.Scale. Heavyweight scenarios use it to decouple
+	// from the presets; TestTiny still wins so smoke tests stay tiny.
+	// Callers go through Configs, which applies it.
+	Scale func(s harness.Scale) harness.Scale
+}
+
+// Configs expands the scenario at the given scale with its per-scenario
+// scale override applied. Every runner (CLIs, tests) should use this, not
+// Expand directly, or override-bearing scenarios run at the wrong scale.
+func (sc Scenario) Configs(s harness.Scale) []harness.Config {
+	if sc.Scale != nil {
+		s = sc.Scale(s)
+	}
+	return sc.Expand(s)
 }
 
 var (

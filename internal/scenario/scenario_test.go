@@ -45,12 +45,12 @@ func TestAllSortedAndDescribed(t *testing.T) {
 func TestExpansionsAreValidAndPure(t *testing.T) {
 	s := harness.Scale{TestTiny: true}
 	for _, sc := range All() {
-		cfgs := sc.Expand(s)
+		cfgs := sc.Configs(s)
 		if len(cfgs) == 0 {
 			t.Errorf("%s expands to nothing", sc.Name)
 			continue
 		}
-		again := sc.Expand(s)
+		again := sc.Configs(s)
 		if len(again) != len(cfgs) {
 			t.Errorf("%s: expansion not pure (%d vs %d configs)", sc.Name, len(cfgs), len(again))
 		}
@@ -59,6 +59,72 @@ func TestExpansionsAreValidAndPure(t *testing.T) {
 				t.Errorf("%s: config %d differs between expansions", sc.Name, i)
 				break
 			}
+		}
+	}
+}
+
+func TestPerScenarioScaleOverrides(t *testing.T) {
+	sc, ok := Get("lease/holders")
+	if !ok {
+		t.Fatal("lease/holders not registered")
+	}
+	// At full scale the override pins the thread list and stretches the
+	// measurement window.
+	cfgs := sc.Configs(harness.Scale{})
+	if len(cfgs) == 0 {
+		t.Fatal("no configs")
+	}
+	threads := map[int]bool{}
+	for _, c := range cfgs {
+		threads[c.ThreadsPerNode] = true
+		if c.MeasureNS != 8_000_000 {
+			t.Fatalf("override horizon not applied: measure=%d", c.MeasureNS)
+		}
+	}
+	for _, want := range []int{2, 4, 8} {
+		if !threads[want] {
+			t.Errorf("override thread list missing %d (got %v)", want, threads)
+		}
+	}
+	if threads[12] {
+		t.Error("full-scale preset thread count leaked past the override")
+	}
+	// TestTiny must win over the override so smoke tests stay tiny.
+	for _, c := range sc.Configs(harness.Scale{TestTiny: true}) {
+		if c.ThreadsPerNode != 2 || c.MeasureNS != 250_000 {
+			t.Fatalf("TestTiny lost to scenario override: threads=%d measure=%d",
+				c.ThreadsPerNode, c.MeasureNS)
+		}
+	}
+}
+
+func TestRWAndFailureScenariosRegistered(t *testing.T) {
+	for _, want := range []string{
+		"rw/read-heavy", "rw/mixed",
+		"lease/holders", "lease/rw-leases",
+		"fail/jitter-storm", "fail/jitter-recovery",
+	} {
+		sc, ok := Get(want)
+		if !ok {
+			t.Errorf("scenario %q not registered", want)
+			continue
+		}
+		if len(sc.Configs(harness.Scale{TestTiny: true})) == 0 {
+			t.Errorf("%s expands to nothing", want)
+		}
+	}
+	// The RW scenarios must actually set a read share, the jitter
+	// scenarios a jitter model.
+	rw, _ := Get("rw/read-heavy")
+	for _, c := range rw.Configs(harness.Scale{TestTiny: true}) {
+		if c.ReadPct != 95 {
+			t.Errorf("rw/read-heavy config has ReadPct=%d", c.ReadPct)
+		}
+	}
+	storm, _ := Get("fail/jitter-storm")
+	for _, c := range storm.Configs(harness.Scale{TestTiny: true}) {
+		if c.Model.JitterProb == 0 || c.Model.JitterNS == 0 {
+			t.Error("fail/jitter-storm config has no jitter model")
 		}
 	}
 }
@@ -92,7 +158,7 @@ func TestScenariosRunEndToEnd(t *testing.T) {
 		name := strings.ReplaceAll(sc.Name, "/", "_")
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
-			results, err := sweep.Runner{Parallel: 2}.Run(sc.Expand(s))
+			results, err := sweep.Runner{Parallel: 2}.Run(sc.Configs(s))
 			if err != nil {
 				t.Fatalf("%s: %v", sc.Name, err)
 			}

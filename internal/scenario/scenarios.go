@@ -1,7 +1,9 @@
 // scenarios.go registers the built-in catalog: the paper's evaluation
 // sweeps (Section 6) as named scenarios, plus workload shapes beyond the
-// paper — hot-key skew, bursty arrivals, a skewed-home table, and a
-// think-heavy application profile.
+// paper — hot-key skew, bursty arrivals, a skewed-home table, a
+// think-heavy application profile, reader/writer mixes (rw/...),
+// lease-style long holds (lease/...) and failure/recovery jitter sweeps
+// (fail/...).
 package scenario
 
 import (
@@ -9,6 +11,7 @@ import (
 
 	"alock/internal/harness"
 	"alock/internal/locktable"
+	"alock/internal/model"
 )
 
 // fig5Grid expands one Figure 5 contention/locality shape over the scale's
@@ -21,6 +24,37 @@ func fig5Grid(locks, localityPct int) func(harness.Scale) []harness.Config {
 		}
 		return cfgs
 	}
+}
+
+// rwAlgorithms are what the reader/writer scenarios compare: both native
+// RW locks plus ALock as the exclusive-degradation baseline (its RLock
+// behaves as Lock, so the gap it shows IS the value of shared mode).
+var rwAlgorithms = []string{"rw-budget", "rw-wpref", "alock"}
+
+// sweepGrid enumerates algorithms x the scale's thread counts on the big
+// cluster at medium contention / 90% locality, applying mut to each config
+// — the common chassis the extension scenarios specialize.
+func sweepGrid(s harness.Scale, algos []string, mut func(*harness.Config)) []harness.Config {
+	warm, meas := s.Windows()
+	var cfgs []harness.Config
+	for _, algo := range algos {
+		for _, th := range s.ThreadCounts() {
+			c := harness.Config{
+				Algorithm:      algo,
+				Nodes:          s.BigClusterNodes(),
+				ThreadsPerNode: th,
+				Locks:          locktable.MediumContentionLocks,
+				LocalityPct:    90,
+				WarmupNS:       warm,
+				MeasureNS:      meas,
+				TargetOps:      s.TargetOpsCount(),
+				Seed:           s.DefaultSeed(),
+			}
+			mut(&c)
+			cfgs = append(cfgs, c)
+		}
+	}
+	return cfgs
 }
 
 func init() {
@@ -133,6 +167,110 @@ func init() {
 			return cfgs
 		},
 	})
+	// --- Reader/writer mixes (tentpole extension: shared-mode axis) ---
+
+	Register(Scenario{
+		Name:        "rw/read-heavy",
+		Description: "95/5 read/write mix: native RW locks vs ALock's exclusive degradation",
+		Expand: func(s harness.Scale) []harness.Config {
+			return sweepGrid(s, rwAlgorithms, func(c *harness.Config) {
+				c.ReadPct = 95
+			})
+		},
+	})
+	Register(Scenario{
+		Name:        "rw/mixed",
+		Description: "70/30 read/write mix at high contention: write serialization bites",
+		Expand: func(s harness.Scale) []harness.Config {
+			return sweepGrid(s, rwAlgorithms, func(c *harness.Config) {
+				c.ReadPct = 70
+				c.Locks = locktable.HighContentionLocks
+			})
+		},
+	})
+
+	// --- Lease-style long holds ---
+
+	Register(Scenario{
+		Name:        "lease/holders",
+		Description: "2% of ops hold the lock 25us (ownership leases): queues ride out long holds",
+		// Long holds need a longer window to produce stable tails, and the
+		// interesting regime is a few contended threads — the per-scenario
+		// override decouples both from the global presets.
+		Scale: func(s harness.Scale) harness.Scale {
+			s.ThreadsOverride = []int{2, 4, 8}
+			s.WarmupOverride = 800_000
+			s.MeasureOverride = 8_000_000
+			return s
+		},
+		Expand: func(s harness.Scale) []harness.Config {
+			return sweepGrid(s, harness.EvalAlgorithms, func(c *harness.Config) {
+				c.Locks = locktable.HighContentionLocks
+				c.LeaseProb = 0.02
+				c.LeaseHold = 25 * time.Microsecond
+			})
+		},
+	})
+	Register(Scenario{
+		Name:        "lease/rw-leases",
+		Description: "90/10 read mix where 1% of ops are 50us write-side leases: readers drain around them",
+		Scale: func(s harness.Scale) harness.Scale {
+			s.ThreadsOverride = []int{4, 8}
+			s.MeasureOverride = 8_000_000
+			return s
+		},
+		Expand: func(s harness.Scale) []harness.Config {
+			return sweepGrid(s, []string{"rw-budget", "rw-wpref"}, func(c *harness.Config) {
+				c.ReadPct = 90
+				c.LeaseProb = 0.01
+				c.LeaseHold = 50 * time.Microsecond
+			})
+		},
+	})
+
+	// --- Failure/recovery on the jitter injection hooks ---
+
+	Register(Scenario{
+		Name:        "fail/jitter-storm",
+		Description: "fabric failure storm: per-verb 20us delay spikes at 0.1%/1%/5% probability",
+		Scale: func(s harness.Scale) harness.Scale {
+			s.ThreadsOverride = []int{8} // the sweep axis is storm intensity, not threads
+			return s
+		},
+		Expand: func(s harness.Scale) []harness.Config {
+			var cfgs []harness.Config
+			for _, prob := range []float64{0.001, 0.01, 0.05} {
+				cfgs = append(cfgs, sweepGrid(s, harness.EvalAlgorithms, func(c *harness.Config) {
+					m := model.CX3()
+					m.JitterProb = prob
+					m.JitterNS = 20_000
+					c.Model = m
+				})...)
+			}
+			return cfgs
+		},
+	})
+	Register(Scenario{
+		Name:        "fail/jitter-recovery",
+		Description: "recovery cost vs spike size: 1% of verbs delayed 5/20/80us, tails show the drain",
+		Scale: func(s harness.Scale) harness.Scale {
+			s.ThreadsOverride = []int{8}
+			return s
+		},
+		Expand: func(s harness.Scale) []harness.Config {
+			var cfgs []harness.Config
+			for _, spike := range []int64{5_000, 20_000, 80_000} {
+				cfgs = append(cfgs, sweepGrid(s, harness.EvalAlgorithms, func(c *harness.Config) {
+					m := model.CX3()
+					m.JitterProb = 0.01
+					m.JitterNS = spike
+					c.Model = m
+				})...)
+			}
+			return cfgs
+		},
+	})
+
 	Register(Scenario{
 		Name:        "think-heavy",
 		Description: "application profile with 2us critical sections and 5us think time between ops",

@@ -18,6 +18,14 @@
 // Costs come from internal/model, and every remote operation is routed
 // through the requester's and responder's internal/nic instances, which is
 // where loopback congestion and QP thrashing arise.
+//
+// Stop/horizon contract: threads observe Stopped() == true as soon as the
+// virtual clock reaches the horizon armed by SetHorizon/Run, or immediately
+// after RequestStop. SetHorizon may be re-issued at any point to shorten or
+// extend the horizon — extending it un-stops a run that had merely crossed
+// the previous horizon — but an explicit RequestStop is sticky: once
+// requested, no later SetHorizon call makes Stopped() return false again.
+// Workload loops rely on this to wind down exactly once.
 package sim
 
 import (
@@ -67,11 +75,15 @@ type Engine struct {
 	seed  int64
 	rngs  PartitionedRNG
 
-	heap    eventHeap
-	now     int64
-	seq     uint64
-	stopAt  int64
-	stopped bool
+	heap   eventHeap
+	now    int64
+	seq    uint64
+	stopAt int64
+	// stopped is what Thread.Stopped reports; it is raised by the clock
+	// crossing stopAt or by RequestStop. stopRequested records an explicit
+	// RequestStop so that a later SetHorizon cannot silently un-stop a run.
+	stopped       bool
+	stopRequested bool
 
 	threads  []*Thread
 	launched int           // threads[:launched] have running goroutines
@@ -146,7 +158,15 @@ func (e *Engine) Now() int64 { return e.now }
 // RequestStop makes Stopped() return true from this point on, regardless
 // of the time horizon. It may be called from inside a simulated thread
 // (e.g. by a measurement harness once it has collected enough operations).
-func (e *Engine) RequestStop() { e.stopped = true }
+// An explicit stop is sticky: no subsequent SetHorizon re-arms the run.
+func (e *Engine) RequestStop() {
+	e.stopRequested = true
+	e.stopped = true
+}
+
+// Stopped reports whether threads currently observe Stopped() == true —
+// either the clock passed the horizon or RequestStop was called.
+func (e *Engine) Stopped() bool { return e.stopped }
 
 // Events returns the number of events processed so far.
 func (e *Engine) Events() uint64 { return e.events }
@@ -184,10 +204,12 @@ func (e *Engine) schedule(at int64, t *Thread) {
 
 // SetHorizon (re)arms the measurement horizon: Stopped() returns true from
 // the moment the virtual clock reaches stopAt. Step-driving callers use it
-// in place of Run's stopAt argument.
+// in place of Run's stopAt argument. Extending the horizon un-stops a run
+// that had merely crossed the previous horizon, but never one that called
+// RequestStop — an explicit stop is sticky.
 func (e *Engine) SetHorizon(stopAt int64) {
 	e.stopAt = stopAt
-	e.stopped = e.now >= stopAt
+	e.stopped = e.stopRequested || e.now >= stopAt
 }
 
 // HasPendingEvents reports whether any thread wake-up remains scheduled.

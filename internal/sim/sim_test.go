@@ -190,6 +190,65 @@ func TestStoppedFlag(t *testing.T) {
 	}
 }
 
+func TestRequestStopSurvivesSetHorizon(t *testing.T) {
+	// Regression: SetHorizon used to recompute e.stopped from the clock
+	// alone, silently un-stopping a run whose harness had called
+	// RequestStop. An explicit stop must be sticky across re-arms.
+	p := model.Uniform(10)
+	e := New(1, 1024, p, 1)
+	var iters int
+	e.Spawn(0, func(ctx api.Ctx) {
+		for !ctx.Stopped() {
+			ctx.Work(100 * time.Nanosecond)
+			if iters++; iters == 50 {
+				e.RequestStop() // harness-style early stop mid-run
+			}
+		}
+	})
+	e.SetHorizon(1 << 40)
+	for e.Step() {
+	}
+	if iters != 50 {
+		t.Fatalf("RequestStop did not cut the run short: %d iterations", iters)
+	}
+	if !e.Stopped() {
+		t.Fatal("RequestStop did not stop the engine")
+	}
+	e.SetHorizon(1 << 41) // re-arm further out: must NOT un-stop the run
+	if !e.Stopped() {
+		t.Fatal("SetHorizon after RequestStop un-stopped the run")
+	}
+	var extra int
+	e.Spawn(0, func(ctx api.Ctx) {
+		for !ctx.Stopped() {
+			ctx.Work(100 * time.Nanosecond)
+			extra++
+		}
+	})
+	for e.Step() {
+	}
+	if extra != 0 {
+		t.Fatalf("thread ran %d iterations after a sticky stop", extra)
+	}
+}
+
+func TestSetHorizonRearmsWithoutRequestStop(t *testing.T) {
+	// The flip side of the sticky-stop contract: with no explicit stop,
+	// extending the horizon past the clock un-stops the run.
+	e := New(1, 1024, model.Uniform(10), 1)
+	e.SetHorizon(5)
+	e.Spawn(0, func(ctx api.Ctx) { ctx.Work(100 * time.Nanosecond) })
+	for e.Step() {
+	}
+	if !e.Stopped() {
+		t.Fatal("run past horizon not stopped")
+	}
+	e.SetHorizon(1 << 40)
+	if e.Stopped() {
+		t.Fatal("extending the horizon did not re-arm a horizon-only stop")
+	}
+}
+
 func TestTornRCASAllowsLocalInterleave(t *testing.T) {
 	// A local write lands inside the torn window of a remote CAS: the CAS
 	// "succeeds" based on its stale read and clobbers the local write —

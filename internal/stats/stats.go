@@ -13,14 +13,19 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 )
 
 const (
 	subBits    = 4 // 16 linear sub-buckets per power of two
 	subBuckets = 1 << subBits
-	maxExp     = 48 // values up to 2^48 ns (~3 days) are representable
-	numBuckets = (maxExp + 1) * subBuckets
+	maxExp     = 48 // values up to 2^(maxExp+1) ns (~6.5 days) are representable
+	// Buckets 0..subBuckets-1 hold the exact tiny values; every power-of-two
+	// range [2^e, 2^(e+1)) for e in subBits..maxExp then contributes
+	// subBuckets linear sub-buckets, contiguously. Larger values clamp into
+	// the top bucket.
+	numBuckets = (maxExp - subBits + 2) * subBuckets
 )
 
 // Hist is a streaming histogram of non-negative int64 samples (typically
@@ -33,7 +38,12 @@ type Hist struct {
 	max    int64
 }
 
-// bucketOf maps a sample to its bucket index.
+// bucketOf maps a sample to its bucket index. The mapping is contiguous:
+// values below subBuckets land in their own exact buckets 0..subBuckets-1,
+// and the range [2^exp, 2^(exp+1)) for exp >= subBits lands in the
+// subBuckets indices starting at (exp-subBits+1)*subBuckets — so bucket
+// subBuckets (the first inexact one) is exactly value 2^subBits, with no
+// dead gap in between. bucketLow is its exact inverse on bucket lows.
 func bucketOf(v int64) int {
 	if v < 0 {
 		v = 0
@@ -41,10 +51,10 @@ func bucketOf(v int64) int {
 	if v < subBuckets {
 		return int(v) // exact for tiny values
 	}
-	exp := 63 - leadingZeros64(uint64(v))
+	exp := 63 - bits.LeadingZeros64(uint64(v))
 	// Position within the power-of-two range [2^exp, 2^(exp+1)).
 	frac := (v - (1 << uint(exp))) >> uint(exp-subBits)
-	idx := exp*subBuckets + int(frac)
+	idx := (exp-subBits+1)*subBuckets + int(frac)
 	if idx >= numBuckets {
 		idx = numBuckets - 1
 	}
@@ -58,21 +68,9 @@ func bucketLow(i int) int64 {
 	if i < subBuckets {
 		return int64(i)
 	}
-	exp := i / subBuckets
+	exp := i/subBuckets + subBits - 1
 	frac := int64(i % subBuckets)
 	return (int64(1) << uint(exp)) + frac<<uint(exp-subBits)
-}
-
-func leadingZeros64(x uint64) int {
-	n := 0
-	if x == 0 {
-		return 64
-	}
-	for x&(1<<63) == 0 {
-		x <<= 1
-		n++
-	}
-	return n
 }
 
 // Add records one sample.

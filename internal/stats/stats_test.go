@@ -234,6 +234,79 @@ func TestQuickBucketMonotone(t *testing.T) {
 	}
 }
 
+// Regression for the dead-gap bug: bucketOf used to send values 16..31 to
+// index 64+, leaving buckets 16..63 unreachable and feeding bucketLow a
+// negative-going shift count. The mapping must now be contiguous (no value
+// skips more than one bucket going up by 1) and bucketLow must be the exact
+// inverse of bucketOf on bucket lows.
+func TestBucketMappingContiguousAndInverse(t *testing.T) {
+	prev := bucketOf(0)
+	if prev != 0 {
+		t.Fatalf("bucketOf(0) = %d", prev)
+	}
+	for v := int64(1); v < 1<<12; v++ {
+		b := bucketOf(v)
+		if b != prev && b != prev+1 {
+			t.Fatalf("bucket index jumped: bucketOf(%d)=%d after bucketOf(%d)=%d",
+				v, b, v-1, prev)
+		}
+		if low := bucketLow(b); low > v {
+			t.Fatalf("bucketLow(bucketOf(%d)) = %d > value", v, low)
+		}
+		prev = b
+	}
+	// Every bucket low must map back to its own bucket — the two functions
+	// are inverse on representative values, so no bucket is unreachable.
+	for i := 0; i < numBuckets-1; i++ {
+		low := bucketLow(i)
+		if got := bucketOf(low); got != i {
+			t.Fatalf("bucketOf(bucketLow(%d)) = %d (low=%d)", i, got, low)
+		}
+		if next := bucketLow(i + 1); next <= low {
+			t.Fatalf("bucket lows not increasing: low(%d)=%d low(%d)=%d", i, low, i+1, next)
+		}
+	}
+}
+
+// Property: Hist quantiles track Exact quantiles within one sub-bucket of
+// relative error on ranges straddling the 2^subBits boundary, where the old
+// mapping had its dead gap.
+func TestQuickHistVsExactAcrossBoundary(t *testing.T) {
+	f := func(raw []uint16, span uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		// Values in [0, 8..263]: tight ranges that straddle 16 = 2^subBits.
+		limit := int64(span)%256 + 8
+		var h Hist
+		var ex Exact
+		for _, r := range raw {
+			v := int64(r) % limit
+			h.Add(v)
+			ex.Add(v)
+		}
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+			exact := ex.Quantile(q)
+			approx := h.Quantile(q)
+			if exact < subBuckets {
+				// Exact buckets below 2^subBits: must match exactly.
+				if approx != exact {
+					return false
+				}
+				continue
+			}
+			relErr := absF(float64(approx-exact)) / float64(exact)
+			if relErr > 0.0701 { // one sub-bucket (1/16) plus rounding
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestExactAccumulator(t *testing.T) {
 	var e Exact
 	for _, v := range []int64{5, 1, 9, 3, 7} {

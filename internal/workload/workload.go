@@ -42,6 +42,20 @@ type Spec struct {
 	// bursts are staggered rather than lockstep.
 	BurstOnNS  int64
 	BurstOffNS int64
+	// ReadPct is the percentage of operations that acquire the lock in
+	// shared (read) mode; the rest acquire exclusive. Zero reproduces the
+	// paper's exclusive-only workloads and draws nothing from the RNG, so
+	// existing schedules are untouched.
+	ReadPct int
+	// LeaseProb, when > 0, is the per-operation probability of a
+	// lease-style long hold: the critical section lasts LeaseHoldNS
+	// instead of CSWork, modeling ownership leases, long scans, or a
+	// briefly wedged holder the rest of the cluster must ride out.
+	// A lease models ownership, so a leased operation always acquires
+	// exclusive (write) mode regardless of ReadPct.
+	LeaseProb float64
+	// LeaseHoldNS is the duration of a lease hold.
+	LeaseHoldNS int64
 }
 
 // Validate rejects nonsensical specs.
@@ -62,6 +76,16 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("workload: burst phases need both on and off (on=%d off=%d)",
 			s.BurstOnNS, s.BurstOffNS)
 	}
+	if s.ReadPct < 0 || s.ReadPct > 100 {
+		return fmt.Errorf("workload: read share %d%% out of range", s.ReadPct)
+	}
+	if s.LeaseProb < 0 || s.LeaseProb > 1 {
+		return fmt.Errorf("workload: lease probability %v out of range", s.LeaseProb)
+	}
+	if s.LeaseHoldNS < 0 || (s.LeaseProb > 0) != (s.LeaseHoldNS > 0) {
+		return fmt.Errorf("workload: lease needs both probability and hold (prob=%v hold=%d)",
+			s.LeaseProb, s.LeaseHoldNS)
+	}
 	return nil
 }
 
@@ -72,6 +96,13 @@ type ThreadResult struct {
 	Latency    stats.Hist
 	FirstRecNS int64 // engine time of first recorded completion
 	LastRecNS  int64 // engine time of last recorded completion
+	// ReadOps/WriteOps split Ops by acquire mode; ReadLatency/WriteLatency
+	// split Latency the same way (exclusive-only workloads record
+	// everything as writes).
+	ReadOps      int64
+	WriteOps     int64
+	ReadLatency  stats.Hist
+	WriteLatency stats.Hist
 }
 
 // StopRequester is the subset of the engine the loop needs to end a run
@@ -80,13 +111,14 @@ type StopRequester interface{ RequestStop() }
 
 // Run executes the operation loop until ctx.Stopped(). Every operation is
 // one Lock + CS + Unlock on a lock drawn from the table per the locality
-// spec. Latency is the full Lock-to-Unlock-return span, as in the paper
+// spec — shared (RLock) for the ReadPct share, exclusive otherwise.
+// Latency is the full Lock-to-Unlock-return span, as in the paper
 // ("operations that encompass both one lock and one unlock operation").
 //
 // If stopper is non-nil and opsDone (shared across threads) reaches
 // targetOps, the run is cut short — throughput remains unbiased because it
 // is computed from recorded spans, not from the nominal horizon.
-func Run(ctx api.Ctx, h api.Locker, table *locktable.Table, spec Spec,
+func Run(ctx api.Ctx, h api.RWLocker, table *locktable.Table, spec Spec,
 	opsDone *int64, targetOps int64, stopper StopRequester) ThreadResult {
 
 	if err := spec.Validate(); err != nil {
@@ -111,18 +143,41 @@ func Run(ctx api.Ctx, h api.Locker, table *locktable.Table, spec Spec,
 		idx := table.PickSkewed(rng, ctx.NodeID(), spec.LocalityPct, skew)
 		l := table.Ptr(idx)
 
-		start := ctx.Now()
-		h.Lock(l)
-		if spec.CSWork > 0 {
-			ctx.Work(spec.CSWork)
+		// Feature draws are gated so a spec without them consumes nothing
+		// from the stream: pre-RW schedules replay bit-identically.
+		isRead := spec.ReadPct > 0 && rng.Intn(100) < spec.ReadPct
+		hold := spec.CSWork
+		if spec.LeaseProb > 0 && rng.Float64() < spec.LeaseProb {
+			hold = time.Duration(spec.LeaseHoldNS)
+			isRead = false // a lease is ownership: always a write-side hold
 		}
-		h.Unlock(l)
+
+		start := ctx.Now()
+		if isRead {
+			h.RLock(l)
+		} else {
+			h.Lock(l)
+		}
+		if hold > 0 {
+			ctx.Work(hold)
+		}
+		if isRead {
+			h.RUnlock(l)
+		} else {
+			h.Unlock(l)
+		}
 		end := ctx.Now()
 
 		res.TotalOps++
 		if start >= spec.WarmupNS {
 			res.Ops++
-			res.Latency.Add(end - start)
+			if isRead {
+				res.ReadOps++
+				res.ReadLatency.Add(end - start)
+			} else {
+				res.WriteOps++
+				res.WriteLatency.Add(end - start)
+			}
 			if res.FirstRecNS == 0 {
 				res.FirstRecNS = end
 			}
@@ -141,5 +196,10 @@ func Run(ctx api.Ctx, h api.Locker, table *locktable.Table, spec Spec,
 			ctx.Work(spec.Think)
 		}
 	}
+	// The combined hist is the union of the two class hists (they
+	// partition the samples), so it is assembled once here instead of
+	// paying a second Hist.Add per operation on the hot path.
+	res.Latency.Merge(&res.ReadLatency)
+	res.Latency.Merge(&res.WriteLatency)
 	return res
 }

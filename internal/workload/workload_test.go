@@ -24,6 +24,12 @@ func TestSpecValidate(t *testing.T) {
 		{LocalityPct: 50, BurstOnNS: 1000},              // off phase missing
 		{LocalityPct: 50, BurstOffNS: 1000},             // on phase missing
 		{LocalityPct: 50, BurstOnNS: -1, BurstOffNS: 1}, // negative
+		{LocalityPct: 50, ReadPct: -1},
+		{LocalityPct: 50, ReadPct: 101},
+		{LocalityPct: 50, LeaseProb: 1.5, LeaseHoldNS: 1000},
+		{LocalityPct: 50, LeaseProb: 0.1},    // hold missing
+		{LocalityPct: 50, LeaseHoldNS: 1000}, // probability missing
+		{LocalityPct: 50, LeaseProb: -0.1, LeaseHoldNS: 1000},
 	}
 	for i, s := range bad {
 		if err := s.Validate(); err == nil {
@@ -34,12 +40,17 @@ func TestSpecValidate(t *testing.T) {
 
 func runLoop(t *testing.T, spec Spec, horizon int64) ThreadResult {
 	t.Helper()
+	return runLoopWith(t, locks.NewALockProvider(), spec, horizon)
+}
+
+func runLoopWith(t *testing.T, prov locks.Provider, spec Spec, horizon int64) ThreadResult {
+	t.Helper()
 	e := sim.New(2, 1<<18, model.Uniform(10), 1)
 	table := locktable.New(e.Space(), 10)
-	prov := locks.NewALockProvider()
+	prov.Prepare(e.Space(), table.All())
 	var res ThreadResult
 	e.Spawn(0, func(ctx api.Ctx) {
-		h := prov.NewHandle(ctx)
+		h := locks.RWHandleFor(prov, ctx)
 		res = Run(ctx, h, table, spec, nil, 0, nil)
 	})
 	e.Run(horizon)
@@ -116,6 +127,110 @@ func TestBurstDeterministic(t *testing.T) {
 	}
 }
 
+func TestReadShareSplitsClasses(t *testing.T) {
+	res := runLoopWith(t, locks.NewRWBudgetProvider(),
+		Spec{LocalityPct: 100, ReadPct: 80}, 400_000)
+	if res.ReadOps == 0 || res.WriteOps == 0 {
+		t.Fatalf("both classes must record: reads=%d writes=%d", res.ReadOps, res.WriteOps)
+	}
+	if res.ReadOps+res.WriteOps != res.Ops {
+		t.Fatalf("class split %d+%d != ops %d", res.ReadOps, res.WriteOps, res.Ops)
+	}
+	if res.ReadLatency.Count() != res.ReadOps || res.WriteLatency.Count() != res.WriteOps {
+		t.Fatal("per-class latency counts out of sync with per-class ops")
+	}
+	frac := float64(res.ReadOps) / float64(res.Ops)
+	if frac < 0.70 || frac > 0.90 {
+		t.Errorf("read fraction %.2f, want ~0.80", frac)
+	}
+	// Exclusive-only specs record everything as writes.
+	excl := runLoop(t, Spec{LocalityPct: 100}, 100_000)
+	if excl.ReadOps != 0 || excl.WriteOps != excl.Ops {
+		t.Errorf("exclusive spec split reads=%d writes=%d ops=%d",
+			excl.ReadOps, excl.WriteOps, excl.Ops)
+	}
+}
+
+func TestLeaseHoldsStretchTail(t *testing.T) {
+	base := runLoop(t, Spec{LocalityPct: 100}, 400_000)
+	leased := runLoop(t, Spec{
+		LocalityPct: 100,
+		LeaseProb:   0.05,
+		LeaseHoldNS: 20_000,
+	}, 400_000)
+	if leased.Ops == 0 {
+		t.Fatal("leased run recorded nothing")
+	}
+	// ~5% of ops hold for 20us: the lease run's max must include a hold
+	// span the base run never sees.
+	if leased.Latency.Max() < base.Latency.Max()+15_000 {
+		t.Fatalf("lease holds not visible in tail: base max=%d leased max=%d",
+			base.Latency.Max(), leased.Latency.Max())
+	}
+	if leased.TotalOps >= base.TotalOps {
+		t.Errorf("long holds did not cost throughput: %d vs %d ops",
+			leased.TotalOps, base.TotalOps)
+	}
+}
+
+func TestLeasesAreWriteSide(t *testing.T) {
+	// A lease models ownership: even in an all-read mix, leased operations
+	// acquire exclusive mode and are recorded as writes.
+	res := runLoopWith(t, locks.NewRWBudgetProvider(), Spec{
+		LocalityPct: 100,
+		ReadPct:     100,
+		LeaseProb:   0.10,
+		LeaseHoldNS: 5_000,
+	}, 600_000)
+	if res.WriteOps == 0 {
+		t.Fatal("no leases recorded as writes in an all-read mix")
+	}
+	if res.ReadOps == 0 {
+		t.Fatal("read share vanished")
+	}
+	frac := float64(res.WriteOps) / float64(res.Ops)
+	if frac < 0.04 || frac > 0.20 {
+		t.Errorf("write (lease) fraction %.3f, want ~0.10", frac)
+	}
+	// Every write is a lease here, so the write-side median must reflect
+	// the hold duration.
+	if res.WriteLatency.Quantile(0.5) < 5_000 {
+		t.Errorf("write-side p50 %dns below the 5us lease hold", res.WriteLatency.Quantile(0.5))
+	}
+}
+
+func TestReadHeavyOutpacesExclusiveOnRWLock(t *testing.T) {
+	// The point of the RW axis: on a native RW lock, a read-heavy mix
+	// admits overlapping holders and completes more operations than the
+	// same spec with every acquire exclusive. Contend 4 threads on 1 lock.
+	run := func(readPct int) int64 {
+		e := sim.New(2, 1<<18, model.Uniform(10), 1)
+		table := locktable.New(e.Space(), 1)
+		prov := locks.NewRWBudgetProvider()
+		prov.Prepare(e.Space(), table.All())
+		var total int64
+		for i := 0; i < 4; i++ {
+			node := i % 2
+			e.Spawn(node, func(ctx api.Ctx) {
+				h := locks.RWHandleFor(prov, ctx)
+				r := Run(ctx, h, table, Spec{
+					LocalityPct: 50,
+					ReadPct:     readPct,
+					CSWork:      time.Microsecond,
+				}, nil, 0, nil)
+				total += r.TotalOps
+			})
+		}
+		e.Run(500_000)
+		return total
+	}
+	excl, readHeavy := run(0), run(95)
+	if readHeavy <= excl {
+		t.Fatalf("95%% read mix (%d ops) not faster than exclusive (%d ops) on an RW lock",
+			readHeavy, excl)
+	}
+}
+
 func TestMaxOpsBounds(t *testing.T) {
 	res := runLoop(t, Spec{LocalityPct: 100, MaxOps: 7}, 1<<40)
 	if res.Ops != 7 {
@@ -132,7 +247,7 @@ func TestSharedCounterStopsRun(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		slot := i
 		e.Spawn(i%2, func(ctx api.Ctx) {
-			h := prov.NewHandle(ctx)
+			h := locks.RWHandleFor(prov, ctx)
 			results[slot] = Run(ctx, h, table, Spec{LocalityPct: 50}, &opsDone, 100, e)
 		})
 	}
@@ -156,7 +271,7 @@ func TestBadSpecPanics(t *testing.T) {
 				t.Error("invalid spec did not panic")
 			}
 		}()
-		Run(ctx, prov.NewHandle(ctx), table, Spec{LocalityPct: -5}, nil, 0, nil)
+		Run(ctx, locks.RWHandleFor(prov, ctx), table, Spec{LocalityPct: -5}, nil, 0, nil)
 	})
 	e.Run(1 << 40)
 }
