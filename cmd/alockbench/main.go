@@ -9,13 +9,15 @@
 //	alockbench -algo alock -local-budget 5 -remote-budget 20 -cdf
 //	alockbench -algo alock -burst-on 150us -burst-off 100us
 //	alockbench -algo rw-budget -read-pct 95
+//	alockbench -algo rw-queue -read-pct 70 -read-budget 32 -write-budget 8
 //	alockbench -algo mcs -lease-prob 0.02 -lease-hold 25us
 //	alockbench -list-scenarios
 //	alockbench -scenario rw/read-heavy -quick -parallel 8
+//	alockbench -figure-rw -quick -csv-out figrw.csv
 //
 // Algorithms: alock, alock-nobudget, alock-symmetric, spinlock, mcs,
-// filter, bakery, rw-budget, rw-wpref. Algorithms without native shared
-// mode run -read-pct workloads with reads degraded to exclusive.
+// filter, bakery, rw-budget, rw-wpref, rw-queue. Algorithms without native
+// shared mode run -read-pct workloads with reads degraded to exclusive.
 package main
 
 import (
@@ -40,6 +42,8 @@ func main() {
 		locality = flag.Int("locality", 90, "percent of operations on node-local locks")
 		localB   = flag.Int64("local-budget", 0, "ALock local budget (0 = paper default 5)")
 		remoteB  = flag.Int64("remote-budget", 0, "ALock remote budget (0 = paper default 20)")
+		readB    = flag.Int64("read-budget", 0, "RW locks: reader admissions per group/phase (0 = default 16)")
+		writeB   = flag.Int64("write-budget", 0, "RW locks: writer admissions per phase (0 = default 4)")
 		warmup   = flag.Duration("warmup", 400*time.Microsecond, "virtual warmup window")
 		measure  = flag.Duration("measure", 4*time.Millisecond, "virtual measurement window")
 		target   = flag.Int64("target-ops", 0, "stop after this many recorded ops (0 = run full window)")
@@ -60,6 +64,8 @@ func main() {
 		listScens = flag.Bool("list-scenarios", false, "list registered scenarios and exit")
 		parallel  = flag.Int("parallel", 0, "concurrent simulations for -scenario (0 = all cores)")
 		quick     = flag.Bool("quick", false, "reduced scenario scale (fewer points)")
+		figRW     = flag.Bool("figure-rw", false, "run the reader/writer + failure figure (rw/*, lease/*, fail/* scenario families)")
+		csvPath   = flag.String("csv-out", "", "with -figure-rw: also write the figure's CSV series to this file")
 	)
 	flag.Parse()
 
@@ -68,6 +74,11 @@ func main() {
 		for _, sc := range scenario.All() {
 			fmt.Printf("  %-28s %s\n", sc.Name, sc.Description)
 		}
+		return
+	}
+
+	if *figRW {
+		runFigureRW(*quick, *seed, *parallel, *csvPath)
 		return
 	}
 
@@ -84,6 +95,8 @@ func main() {
 		LocalityPct:    *locality,
 		LocalBudget:    *localB,
 		RemoteBudget:   *remoteB,
+		ReadBudget:     *readB,
+		WriteBudget:    *writeB,
 		WarmupNS:       warmup.Nanoseconds(),
 		MeasureNS:      measure.Nanoseconds(),
 		TargetOps:      *target,
@@ -118,6 +131,22 @@ func main() {
 		for _, pt := range res.CDF {
 			fmt.Printf("%d,%.6f\n", pt.ValueNS, pt.F)
 		}
+	}
+}
+
+func runFigureRW(quick bool, seed int64, parallel int, csvPath string) {
+	groups := harness.FigureRW(
+		scenario.RWFigureGroups(harness.Scale{Quick: quick, Seed: seed}),
+		sweep.Runner{Parallel: parallel}.RunMany())
+	report.FigureRW(os.Stdout, groups)
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alockbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		report.FigureRWCSV(f, groups)
 	}
 }
 

@@ -6,6 +6,8 @@
 //	Figure 4  — cohort budget study
 //	Figure 5  — throughput grid (nodes x contention x locality x threads)
 //	Figure 6  — latency CDF grid (10 nodes, 8 threads/node)
+//	Figure RW — reader/writer + failure tails over the rw/*, lease/* and
+//	            fail/* scenario families (beyond the paper)
 //	tla       — exhaustive model check of the Appendix A specification
 //	ablations — budget / cohort-split ablations (beyond the paper)
 //
@@ -41,7 +43,7 @@ import (
 func main() {
 	var (
 		quick     = flag.Bool("quick", false, "reduced sweep (same structure, fewer points)")
-		only      = flag.String("only", "", "comma-separated subset: table1,fig1,fig4,fig5,fig6,tla,ablations,headlines,qp")
+		only      = flag.String("only", "", "comma-separated subset: table1,fig1,fig4,fig5,fig6,figrw,tla,ablations,headlines,qp")
 		csvPath   = flag.String("csv", "", "also write CSV series to this file")
 		seed      = flag.Int64("seed", 1, "deterministic seed")
 		parallel  = flag.Int("parallel", 0, "concurrent simulations (0 = all cores)")
@@ -140,6 +142,14 @@ func main() {
 		report.Figure6(out, panels)
 		if csv != nil {
 			report.Figure6CSV(csv, panels)
+		}
+	}
+	if sel("figrw") {
+		fmt.Fprintln(out, "\nrunning Figure RW (reader/writer and failure tails)...")
+		groups := harness.FigureRW(scenario.RWFigureGroups(scale), run)
+		report.FigureRW(out, groups)
+		if csv != nil {
+			report.FigureRWCSV(csv, groups)
 		}
 	}
 	if sel("headlines") && fig5 != nil {

@@ -585,6 +585,43 @@ func tornModel() model.Params {
 	return p
 }
 
+// --- Figure RW (reader/writer and failure tails; beyond the paper) ---
+
+// RWSweepGroup names one scenario family's enumerated configuration grid.
+// The figure driver cannot expand scenarios itself (internal/scenario
+// imports this package), so callers — the CLIs — expand the registry's
+// rw/*, lease/* and fail/* scenarios into groups and hand them over.
+type RWSweepGroup struct {
+	Name    string
+	Configs []Config
+}
+
+// FigRWGroup is one scenario family's results, in config order.
+type FigRWGroup struct {
+	Name    string
+	Results []Result
+}
+
+// FigureRW runs the reader/writer and failure figure: every group's grid is
+// enumerated up front and executed through one RunMany (so the whole figure
+// fans out across cores), then results are re-sliced per group. The
+// renderers in internal/report emit per-algorithm read and write tail
+// latencies (p50/p99) and throughput for each group.
+func FigureRW(groups []RWSweepGroup, run RunMany) []FigRWGroup {
+	var all []Config
+	for _, g := range groups {
+		all = append(all, g.Configs...)
+	}
+	rs := run(all)
+	out := make([]FigRWGroup, len(groups))
+	i := 0
+	for gi, g := range groups {
+		out[gi] = FigRWGroup{Name: g.Name, Results: rs[i : i+len(g.Configs)]}
+		i += len(g.Configs)
+	}
+	return out
+}
+
 // --- Ablations (DESIGN.md extensions) ---
 
 // AblationRow compares ALock variants under one representative contended

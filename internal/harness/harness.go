@@ -36,6 +36,10 @@ type Config struct {
 	// LocalBudget/RemoteBudget configure ALock variants (0,0 = paper
 	// defaults 5/20).
 	LocalBudget, RemoteBudget int64
+	// ReadBudget/WriteBudget configure the reader/writer locks' phase
+	// budgets (0,0 = locks.DefaultRWConfig, 16/4). Setting only one is an
+	// error, surfaced by locks.ByName.
+	ReadBudget, WriteBudget int64
 	// Model is the cost model; zero value means model.CX3().
 	Model model.Params
 	// WarmupNS ops are executed but not recorded; MeasureNS bounds the
@@ -150,7 +154,12 @@ type Result struct {
 	Config Config
 	// Ops is the number of recorded (post-warmup) operations.
 	Ops int64
-	// SpanNS is the recorded span (first to last recorded completion).
+	// SpanNS is the recorded span: from the warmup boundary (threads are
+	// already in steady state there) to the last recorded completion for
+	// full-window runs, and from the first to the last recorded completion
+	// when TargetOps cuts the run short — an early stop leaves no idle tail
+	// to amortize, so anchoring at the warmup boundary would understate
+	// throughput for runs whose first completion lands late.
 	SpanNS int64
 	// Throughput is total recorded operations per second.
 	Throughput float64
@@ -186,6 +195,10 @@ func Run(cfg Config) (Result, error) {
 		ALockConfig: core.Config{
 			LocalBudget:  cfg.LocalBudget,
 			RemoteBudget: cfg.RemoteBudget,
+		},
+		RW: locks.RWConfig{
+			ReadBudget:  cfg.ReadBudget,
+			WriteBudget: cfg.WriteBudget,
 		},
 		Threads: threads,
 	})
@@ -250,12 +263,8 @@ func Run(cfg Config) (Result, error) {
 			}
 		}
 	}
-	// The recorded span starts at the warmup boundary (threads were
-	// already in steady state) and ends at the last recorded completion.
-	res.SpanNS = lastRec - cfg.WarmupNS
-	if res.SpanNS <= 0 {
-		res.SpanNS = 1
-	}
+	res.SpanNS = recordedSpan(firstRec, lastRec, cfg.WarmupNS,
+		cfg.TargetOps > 0 && res.Ops >= cfg.TargetOps)
 	if res.Ops > 0 {
 		res.Throughput = float64(res.Ops) / (float64(res.SpanNS) / 1e9)
 	}
@@ -278,6 +287,27 @@ func Run(cfg Config) (Result, error) {
 		res.Lock = agg.AggregateStats()
 	}
 	return res, nil
+}
+
+// recordedSpan picks the span the throughput is computed over. A run that
+// fills its whole measurement window is anchored at the warmup boundary:
+// the threads were already in steady state, so the interval up to the first
+// recorded completion is working time, not idle time. A run actually cut
+// short by TargetOps (cutShort: the target was set AND reached — a target
+// the window expired under leaves an ordinary full-window run) instead
+// spans first to last recorded completion — it ends mid-flight, and
+// anchoring at the warmup boundary would charge a late-starting first
+// completion (long think time, a slow first operation) against a window
+// the run never used.
+func recordedSpan(firstRec, lastRec, warmupNS int64, cutShort bool) int64 {
+	span := lastRec - warmupNS
+	if cutShort && firstRec > 0 {
+		span = lastRec - firstRec
+	}
+	if span <= 0 {
+		span = 1
+	}
+	return span
 }
 
 // MustRun is Run that panics on error, for drivers whose configs are

@@ -147,6 +147,111 @@ func TestTargetOpsStopsEarly(t *testing.T) {
 	}
 }
 
+func TestRecordedSpanSemantics(t *testing.T) {
+	// Full-window run: anchored at the warmup boundary.
+	if got := recordedSpan(5_000, 9_000, 1_000, false); got != 8_000 {
+		t.Errorf("full-window span = %d, want 8000", got)
+	}
+	// TargetOps-cut run: first to last recorded completion, so a late
+	// first completion does not deflate throughput.
+	if got := recordedSpan(5_000, 9_000, 1_000, true); got != 4_000 {
+		t.Errorf("cut-short span = %d, want 4000", got)
+	}
+	// Degenerate spans clamp to 1ns.
+	if got := recordedSpan(9_000, 9_000, 1_000, true); got != 1 {
+		t.Errorf("single-op span = %d, want 1", got)
+	}
+	if got := recordedSpan(0, 0, 1_000, false); got != 1 {
+		t.Errorf("empty-run span = %d, want 1", got)
+	}
+}
+
+func TestUnreachedTargetKeepsWarmupAnchor(t *testing.T) {
+	// A TargetOps the window expires under is NOT a cut-short run: the
+	// span must stay warmup-anchored, identical to the target-free run.
+	c := quickCfg("alock")
+	c.TargetOps = 0
+	base, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.TargetOps = 1 << 40 // unreachable within the window
+	capped, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Ops >= c.TargetOps {
+		t.Fatalf("test is vacuous: target reached (%d ops)", capped.Ops)
+	}
+	if capped.SpanNS != base.SpanNS || capped.Throughput != base.Throughput {
+		t.Errorf("unreached target changed the span: %d vs %d ns (tput %v vs %v)",
+			capped.SpanNS, base.SpanNS, capped.Throughput, base.Throughput)
+	}
+}
+
+func TestTargetOpsSpanIgnoresLateStart(t *testing.T) {
+	// Regression: Run computed firstRec but never used it, anchoring
+	// SpanNS at the warmup boundary even when TargetOps cut the run
+	// short. One thread with 200us think time starts recording late
+	// (first recorded completion ~200us, warmup boundary 100us); with
+	// TargetOps=3 the completions sit ~200us apart, so the recorded span
+	// is ~400us — the old warmup anchor would report >=500us.
+	c := Config{
+		Algorithm:      "alock",
+		Nodes:          1,
+		ThreadsPerNode: 1,
+		Locks:          1,
+		LocalityPct:    100,
+		Think:          200 * time.Microsecond,
+		WarmupNS:       100_000,
+		MeasureNS:      1 << 40,
+		TargetOps:      3,
+		Seed:           1,
+	}
+	r, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ops != 3 {
+		t.Fatalf("ops = %d, want 3", r.Ops)
+	}
+	if r.SpanNS < 400_000 || r.SpanNS >= 500_000 {
+		t.Fatalf("SpanNS = %d, want ~400us (>=500us means warmup-anchored)", r.SpanNS)
+	}
+}
+
+func TestRWBudgetsForwarded(t *testing.T) {
+	base := quickCfg("rw-budget")
+	base.ReadPct = 70
+	a, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned := base
+	tuned.ReadBudget, tuned.WriteBudget = 1, 1
+	b, err := Run(tuned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ops == b.Ops && a.Latency == b.Latency {
+		t.Error("custom RW budgets did not change the run (not forwarded?)")
+	}
+	// rw-queue accepts the same knobs.
+	q := quickCfg("rw-queue")
+	q.ReadPct = 70
+	q.ReadBudget, q.WriteBudget = 2, 2
+	if _, err := Run(q); err != nil {
+		t.Fatalf("rw-queue with custom budgets: %v", err)
+	}
+	// A partially-set budget pair is rejected, not silently defaulted.
+	bad := base
+	bad.WriteBudget = 0
+	bad.ReadBudget = 8
+	if _, err := Run(bad); err == nil {
+		t.Error("partial RW budget config accepted")
+	}
+}
+
 func TestBudgetsForwarded(t *testing.T) {
 	c := quickCfg("alock")
 	c.LocalBudget, c.RemoteBudget = 1, 1
@@ -494,6 +599,46 @@ func TestQPThrashingDriver(t *testing.T) {
 	if byName["alock"].DistinctQPs >= byName["spinlock"].DistinctQPs {
 		t.Errorf("alock QPs (%d) not fewer than spinlock's (%d)",
 			byName["alock"].DistinctQPs, byName["spinlock"].DistinctQPs)
+	}
+}
+
+func TestFigureRWDriverStructure(t *testing.T) {
+	mk := func(algo string, readPct int) Config {
+		c := quickCfg(algo)
+		c.ReadPct = readPct
+		return c
+	}
+	groups := []RWSweepGroup{
+		{Name: "rw/a", Configs: []Config{mk("rw-queue", 70), mk("rw-budget", 70)}},
+		{Name: "fail/b", Configs: []Config{mk("alock", 0)}},
+	}
+	out := FigureRW(groups, RunSerial)
+	if len(out) != 2 || out[0].Name != "rw/a" || out[1].Name != "fail/b" {
+		t.Fatalf("groups misassembled: %+v", out)
+	}
+	if len(out[0].Results) != 2 || len(out[1].Results) != 1 {
+		t.Fatalf("results misassembled: %d/%d", len(out[0].Results), len(out[1].Results))
+	}
+	for _, g := range out {
+		for i, r := range g.Results {
+			if r.Config.Algorithm != groups[0].Configs[0].Algorithm && g.Name == "rw/a" && i == 0 {
+				t.Errorf("result order broken in %s", g.Name)
+			}
+			if r.Ops == 0 {
+				t.Errorf("%s run %d recorded nothing", g.Name, i)
+			}
+		}
+	}
+	// The RW group must record both classes; the exclusive group only
+	// writes.
+	for _, r := range out[0].Results {
+		if r.ReadOps == 0 || r.WriteOps == 0 {
+			t.Errorf("rw/a %s: class starved (reads=%d writes=%d)",
+				r.Config.Algorithm, r.ReadOps, r.WriteOps)
+		}
+	}
+	if r := out[1].Results[0]; r.ReadOps != 0 || r.WriteOps != r.Ops {
+		t.Errorf("exclusive group split reads=%d writes=%d ops=%d", r.ReadOps, r.WriteOps, r.Ops)
 	}
 }
 

@@ -112,7 +112,7 @@ func TestALockImmuneToTearing(t *testing.T) {
 
 func TestRegistryNames(t *testing.T) {
 	names := locks.Names()
-	if len(names) != 9 {
+	if len(names) != 10 {
 		t.Fatalf("Names() = %v", names)
 	}
 	for _, name := range names {
@@ -214,7 +214,7 @@ func runRW(t *testing.T, prov locks.Provider, readers, writers int, csNS int64, 
 }
 
 func TestRWLocksSharedExclusiveInvariants(t *testing.T) {
-	for _, name := range []string{"rw-budget", "rw-wpref"} {
+	for _, name := range []string{"rw-budget", "rw-wpref", "rw-queue"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			prov, err := locks.ByName(name, locks.Options{})
@@ -261,7 +261,7 @@ func TestRWUncontendedWriteSingleCAS(t *testing.T) {
 	// An exclusive acquire on an idle RW lock must cost one rCAS, not a
 	// register-then-enter pair: 2 NIC submissions for Lock (TX+RX of one
 	// verb) plus 2 for Unlock.
-	for _, name := range []string{"rw-budget", "rw-wpref"} {
+	for _, name := range []string{"rw-budget", "rw-wpref", "rw-queue"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			prov, err := locks.ByName(name, locks.Options{})
@@ -286,6 +286,47 @@ func TestRWUncontendedWriteSingleCAS(t *testing.T) {
 				t.Fatalf("uncontended write lock/unlock cost %d NIC submissions, want 4", verbs)
 			}
 		})
+	}
+}
+
+// TestRWQueueStormInvariants is the locktest-style check for the queued
+// lock under a heavier storm than the shared invariant test: many readers
+// and writers on one lock, checking from inside the critical sections that
+// a writer is never concurrent with any reader (or another writer), that
+// readers really overlap, and that neither class starves.
+func TestRWQueueStormInvariants(t *testing.T) {
+	prov, err := locks.ByName("rw-queue", locks.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := runRW(t, prov, 10, 4, 600, 1_500_000)
+	if st.Violations != 0 {
+		t.Fatalf("%d shared/exclusive violations (writer admitted alongside a reader)", st.Violations)
+	}
+	if st.MaxReaders < 2 {
+		t.Fatalf("readers never overlapped (max concurrency %d)", st.MaxReaders)
+	}
+	if st.ReadOps == 0 || st.WriteOps == 0 {
+		t.Fatalf("a class starved outright: reads=%d writes=%d", st.ReadOps, st.WriteOps)
+	}
+}
+
+// TestRWQueueTinyBudgetStillAdmitsReaders pins the budget at its minimum:
+// barging is all but disabled, every reader detours through the queue, and
+// the invariants must still hold.
+func TestRWQueueTinyBudgetStillAdmitsReaders(t *testing.T) {
+	prov, err := locks.ByName("rw-queue", locks.Options{
+		RW: locks.RWConfig{ReadBudget: 1, WriteBudget: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := runRW(t, prov, 6, 2, 800, 900_000)
+	if st.Violations != 0 {
+		t.Fatalf("%d violations under budget 1", st.Violations)
+	}
+	if st.ReadOps == 0 || st.WriteOps == 0 {
+		t.Fatalf("a class starved: reads=%d writes=%d", st.ReadOps, st.WriteOps)
 	}
 }
 

@@ -142,6 +142,10 @@ type Options struct {
 	// ALockConfig is used by the alock variants. Zero value means the
 	// paper's defaults.
 	ALockConfig core.Config
+	// RW configures the reader/writer phase budgets of rw-budget and
+	// rw-queue. Zero value means DefaultRWConfig(); a partially-set
+	// config is rejected by RWConfig.Validate.
+	RW RWConfig
 	// Threads is the total thread count, required by the filter and
 	// bakery baselines.
 	Threads int
@@ -152,7 +156,7 @@ func Names() []string {
 	names := []string{
 		"alock", "alock-nobudget", "alock-symmetric",
 		"spinlock", "mcs", "filter", "bakery",
-		"rw-budget", "rw-wpref",
+		"rw-budget", "rw-wpref", "rw-queue",
 	}
 	sort.Strings(names)
 	return names
@@ -169,12 +173,24 @@ func Names() []string {
 //	bakery          — related work: Lamport's bakery over RDMA
 //	rw-budget       — reader/writer lock with ALock-style phase budgets
 //	rw-wpref        — reader/writer lock, writer-preference baseline
+//	rw-queue        — MCS-style queued reader/writer lock (per-thread
+//	                  descriptors, reader groups, budget-bounded barging)
 func ByName(name string, opts Options) (Provider, error) {
 	cfg := opts.ALockConfig
 	if cfg.LocalBudget == 0 && cfg.RemoteBudget == 0 {
 		def := core.DefaultConfig()
 		def.ForceRemote = cfg.ForceRemote
 		cfg = def
+	}
+	rwCfg := opts.RW
+	if rwCfg == (RWConfig{}) {
+		rwCfg = DefaultRWConfig()
+	} else if err := rwCfg.Validate(); err != nil {
+		// Validated for every algorithm, not just the two that consume the
+		// budgets: a half-set pair is a mistake wherever it appears, and
+		// accepting it for rw-wpref while rejecting it for rw-budget would
+		// make the same flags behave differently across -algo values.
+		return nil, err
 	}
 	switch name {
 	case "alock":
@@ -195,9 +211,11 @@ func ByName(name string, opts Options) (Provider, error) {
 	case "mcs":
 		return MCSProvider{}, nil
 	case "rw-budget":
-		return NewRWBudgetProvider(), nil
+		return &RWBudgetProvider{Cfg: rwCfg}, nil
 	case "rw-wpref":
 		return RWPrefProvider{}, nil
+	case "rw-queue":
+		return &RWQueueProvider{Cfg: rwCfg}, nil
 	case "filter":
 		if opts.Threads < 1 {
 			return nil, fmt.Errorf("locks: %q requires Options.Threads", name)

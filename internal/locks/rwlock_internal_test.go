@@ -1,6 +1,12 @@
 package locks
 
-import "testing"
+import (
+	"testing"
+
+	"alock/internal/api"
+	"alock/internal/model"
+	"alock/internal/sim"
+)
 
 // mkState assembles a state word from fields (active readers, writer bit,
 // waiting writers/readers, grants, phase).
@@ -54,6 +60,51 @@ func TestEnterClearsStaleGrants(t *testing.T) {
 	}
 	if !rwWrActive(ns) || rwWrWait(ns) != 0 {
 		t.Fatalf("writer admission malformed: active=%v wait=%d", rwWrActive(ns), rwWrWait(ns))
+	}
+}
+
+// A handle that acquires lock A, then lock B, then unlocks A carries B's
+// installed state in held when Unlock(A) runs: the optimistic first rCAS
+// uses a stale expected value, fails, and must recover through the retry
+// path (rwlock.go's Unlock loop) without corrupting either lock.
+func TestUnlockStaleHeldRetries(t *testing.T) {
+	// Observations are collected inside the simulated thread and asserted
+	// after e.Run: a t.Fatalf inside a spawned thread would skip the
+	// engine's scheduler handoff and deadlock the test binary.
+	var heldA, heldB, aAfterUnlockA, bAfterUnlockA, bAfterUnlockB uint64
+	e := sim.New(1, 1<<16, model.Uniform(5), 1)
+	e.Spawn(0, func(ctx api.Ctx) {
+		h := NewRWBudgetHandle(ctx, DefaultRWConfig())
+		a := ctx.Alloc(RWLockWords, RWLockWords)
+		b := ctx.Alloc(RWLockWords, RWLockWords)
+		// Seed B with a residual phase bit (as a drained write phase leaves
+		// behind) so B's acquire installs a state word different from A's.
+		ctx.RCAS(b, 0, 1<<rwPhaseBit)
+
+		h.Lock(a)
+		heldA = h.held
+		h.Lock(b)
+		heldB = h.held
+
+		h.Unlock(a) // first rCAS expects B's state: stale, must retry
+		aAfterUnlockA = ctx.Read(a)
+		bAfterUnlockA = ctx.Read(b)
+		h.Unlock(b)
+		bAfterUnlockB = ctx.Read(b)
+	})
+	e.Run(1 << 40)
+
+	if heldB == heldA {
+		t.Fatalf("test is vacuous: B's acquire installed A's state %#x", heldB)
+	}
+	if rwWrActive(aAfterUnlockA) {
+		t.Errorf("A still writer-locked after stale-held unlock: %#x", aAfterUnlockA)
+	}
+	if !rwWrActive(bAfterUnlockA) {
+		t.Errorf("B lost its writer while A was unlocked: %#x", bAfterUnlockA)
+	}
+	if rwWrActive(bAfterUnlockB) {
+		t.Errorf("B still writer-locked after unlock: %#x", bAfterUnlockB)
 	}
 }
 

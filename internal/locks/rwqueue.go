@@ -1,0 +1,546 @@
+// rwqueue.go implements rw-queue, a distributed MCS-style queued
+// reader/writer lock. The single-word RW locks in rwlock.go keep all state
+// in one word of the lock's cache line, so at high contention every waiter
+// hammers that word with rCAS retries and the home NIC serializes the
+// storm — the same scalability failure the paper's ALock avoids with its
+// queue-per-cohort discipline. rw-queue distributes the waiting instead:
+//
+//   - Every waiter that cannot enter immediately enqueues a per-thread
+//     descriptor (allocated on its own node, like the exclusive MCS lock in
+//     mcs.go) and spins on the descriptor's own word with shared-memory
+//     reads — waiting costs the fabric nothing.
+//   - Readers batch into reader groups: a granted reader admits a reader
+//     successor immediately (chain admission), so queued readers still
+//     overlap inside the critical section.
+//   - The ALock budget idea bounds same-class admission runs: arriving
+//     readers may barge into the open group through a one-rCAS fast path,
+//     but only until the group has admitted ReadBudget readers; after that
+//     they enqueue behind any waiting writer, so a queued writer's wait is
+//     bounded by the budget plus the queue prefix ahead of it. Handoff
+//     among queued waiters is strictly FIFO; writers have no group to
+//     barge into, so rw-queue consumes only ReadBudget (WriteBudget
+//     applies to rw-budget). The one writer-side shortcut is the
+//     optimistic idle claim below, which can win an idle lock against a
+//     queue-head waiter's next poll — the same claim race the single-word
+//     locks run, with the window capped by the poll back-off bound rather
+//     than by a budget.
+//   - Lock handoff is one rCAS on the tail (or group word) plus a single
+//     write to the successor's descriptor — no shared-word polling storm.
+//
+// Class discipline (Table 1): the lock line's tail and group words are
+// mutated exclusively with rCAS from every node; the wake word and the
+// descriptors see only reads and writes (either class), which are atomic
+// with everything. Threads poll the group word and spin on their own
+// descriptors with shared-memory reads when the memory is node-local.
+package locks
+
+import (
+	"alock/internal/api"
+	"alock/internal/mem"
+	"alock/internal/ptr"
+)
+
+// RWQueueLockWords is the allocation size of an rw-queue lock: one cache
+// line (words 0..2 used; padding prevents false sharing).
+const RWQueueLockWords = 8
+
+// Lock-line layout.
+const (
+	rwqTail  = 0 // queue tail: tagged descriptor pointer, rCAS only
+	rwqGroup = 1 // reader-group state word, rCAS only
+	rwqWake  = 2 // descriptor to wake on group drain (plain writes/reads)
+)
+
+// Descriptor layout: word 0 is the spin flag, word 1 the tagged successor
+// pointer. Padded to a cache line; each thread's descriptor lives on its
+// own node so the spin is a shared-memory read.
+const (
+	rwqSpin = 0
+	rwqNext = 1
+
+	// RWQDescWords is the per-thread descriptor allocation size.
+	RWQDescWords = 8
+
+	rwqSpinWait = 1 // still waiting; the granter writes 0
+)
+
+// Descriptors are 8-word aligned, so a descriptor pointer's low bits are
+// free: bit 0 of a queued pointer tags the waiter's class. Null (0) stays
+// unambiguous because no allocation has offset 0.
+const rwqWriterTag = 1
+
+// Group-word layout. The word is mutated only by rCAS; all fields move
+// together under one CAS.
+const (
+	rwqRdActiveShift = 0  // bits 0..15: readers inside the lock
+	rwqWrActiveBit   = 16 // bit 16: a writer inside the lock
+	rwqWrWaitBit     = 17 // bit 17: the queue-head writer awaits the drain wake
+	rwqGrantsShift   = 18 // bits 18..25: readers admitted into this group
+
+	rwqFieldMask  = 0xffff
+	rwqGrantsMask = 0xff
+)
+
+func rwqRdActive(s uint64) uint64 { return (s >> rwqRdActiveShift) & rwqFieldMask }
+func rwqWrActive(s uint64) bool   { return s&(1<<rwqWrActiveBit) != 0 }
+func rwqWrWaiting(s uint64) bool  { return s&(1<<rwqWrWaitBit) != 0 }
+func rwqGrants(s uint64) uint64   { return (s >> rwqGrantsShift) & rwqGrantsMask }
+
+// RWQueueHandle is one thread's handle onto the queued reader/writer lock.
+// Like the exclusive MCS lock it owns a single queue descriptor, so a
+// thread must release a queued acquisition before starting the next one
+// (the workloads hold one lock at a time).
+type RWQueueHandle struct {
+	ctx  api.Ctx
+	cfg  RWConfig
+	desc ptr.Ptr
+	// Per-acquisition state, set by the acquire path and consumed by the
+	// matching release.
+	queuedRead bool // the last RLock went through the queue (not fast path)
+	succDone   bool // our queue successor was already admitted/registered
+	// seen is the last group word this handle observed or installed — the
+	// optimistic expected value for the release path's first rCAS. A stale
+	// value only costs one failed CAS (the retry loop reseeds from the
+	// returned previous value), never correctness.
+	seen uint64
+}
+
+var _ api.RWLocker = (*RWQueueHandle)(nil)
+
+// NewRWQueueHandle allocates the thread's queue descriptor on its own node.
+func NewRWQueueHandle(ctx api.Ctx, cfg RWConfig) *RWQueueHandle {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	d := ctx.Alloc(RWQDescWords, RWQDescWords)
+	return &RWQueueHandle{ctx: ctx, cfg: cfg, desc: d}
+}
+
+// poll reads a lock-line word with the cheapest atomic class available:
+// shared-memory on the lock's home node, a verb elsewhere.
+func (h *RWQueueHandle) poll(p ptr.Ptr) uint64 {
+	if p.NodeID() == h.ctx.NodeID() {
+		return h.ctx.Read(p)
+	}
+	return h.ctx.RRead(p)
+}
+
+// write stores through the thread's own access class (both classes of
+// 8-byte write are atomic with everything, Table 1).
+func (h *RWQueueHandle) write(p ptr.Ptr, v uint64) {
+	if p.NodeID() == h.ctx.NodeID() {
+		h.ctx.Write(p, v)
+		return
+	}
+	h.ctx.RWrite(p, v)
+}
+
+// spinDesc waits on the thread's own descriptor until a granter clears the
+// spin flag — a shared-memory spin, the MCS property that keeps waiting off
+// the fabric entirely.
+func (h *RWQueueHandle) spinDesc() {
+	d := h.desc.Add(rwqSpin)
+	iter := 0
+	for h.ctx.Read(d) == rwqSpinWait {
+		h.ctx.Pause(iter)
+		iter++
+	}
+}
+
+// resetDesc prepares the descriptor for an enqueue with shared-memory
+// writes: it is the thread's own scratch and not yet linked into any queue.
+func (h *RWQueueHandle) resetDesc() {
+	h.ctx.Write(h.desc.Add(rwqSpin), rwqSpinWait)
+	h.ctx.Write(h.desc.Add(rwqNext), ptr.Null.Word())
+}
+
+// swapTail swaps the tagged descriptor word onto the queue tail (CAS-retry
+// loop: RDMA has no unconditional swap) and returns the predecessor word.
+func (h *RWQueueHandle) swapTail(l ptr.Ptr, tagged uint64) uint64 {
+	tail := l.Add(rwqTail)
+	expected := ptr.Null.Word()
+	for {
+		prev := h.ctx.RCAS(tail, expected, tagged)
+		if prev == expected {
+			return expected
+		}
+		expected = prev
+	}
+}
+
+// --- Reader side ---
+
+// readerFastEligible reports whether an arriving reader may barge into the
+// group through the fast path under state s: never past a writer (active or
+// registered for the wake), and never past the group's ReadBudget — the
+// bounded same-class admission run that keeps a queued writer's wait
+// finite, ALock's budget idea applied to the reader cohort.
+func (h *RWQueueHandle) readerFastEligible(s uint64) bool {
+	if rwqWrActive(s) || rwqWrWaiting(s) {
+		return false
+	}
+	if rwqRdActive(s) == 0 {
+		// Fresh group: stale grants from the previous episode are reset by
+		// readerFastEnter, so they must not close the fast path.
+		return true
+	}
+	return rwqGrants(s) < uint64(h.cfg.ReadBudget)
+}
+
+// readerFastEnter computes the successor state of a fast-path admission.
+func (h *RWQueueHandle) readerFastEnter(s uint64) uint64 {
+	if rwqRdActive(s) == 0 {
+		// A fresh group: reset the admission count so a stale count from
+		// the previous episode cannot close the fast path early.
+		ns := s &^ (uint64(rwqGrantsMask) << rwqGrantsShift)
+		return ns + 1<<rwqRdActiveShift + 1<<rwqGrantsShift
+	}
+	return rwqGroupJoin(s)
+}
+
+// rwqGroupJoin admits one more reader into the open group, saturating the
+// admission count at its field width (queued FIFO readers are admitted
+// past the budget — they already waited their turn — so the count only
+// gates the fast path).
+func rwqGroupJoin(s uint64) uint64 {
+	ns := s + 1<<rwqRdActiveShift
+	if rwqGrants(s) < rwqGrantsMask {
+		ns += 1 << rwqGrantsShift
+	}
+	return ns
+}
+
+// RLock implements api.RWLocker: shared acquire. Like the single-word
+// locks, the acquire is verb-frugal: the first rCAS is seeded optimistically
+// (a pristine idle lock costs exactly one verb) and every failed rCAS
+// returns the current word, which seeds the next attempt — the fast path
+// never pays a separate read round trip.
+func (h *RWQueueHandle) RLock(l ptr.Ptr) {
+	group := l.Add(rwqGroup)
+	// Fast path: join the open reader group with a single rCAS.
+	s := uint64(0)
+	for h.readerFastEligible(s) {
+		ns := h.readerFastEnter(s)
+		prev := h.ctx.RCAS(group, s, ns)
+		if prev == s {
+			h.queuedRead = false
+			h.seen = ns
+			h.ctx.Fence()
+			return
+		}
+		s = prev
+	}
+	h.rlockQueued(l)
+}
+
+// rlockQueued is the reader slow path: enqueue, wait for admission, then
+// chain-admit a reader successor (or register a writer successor for the
+// drain wake) so the group keeps its concurrency.
+func (h *RWQueueHandle) rlockQueued(l ptr.Ptr) {
+	h.resetDesc()
+	tagged := h.desc.Word() // reader class: tag bit clear
+
+	pred := h.swapTail(l, tagged)
+	if pred == ptr.Null.Word() {
+		// Queue head: admit ourselves as soon as no writer holds the lock
+		// or awaits the drain. (wrWaiting implies its writer is still
+		// queued, so a queue-head reader only ever sees the narrow window
+		// where a departing writer has dequeued but not yet cleared
+		// wrActive.)
+		group := l.Add(rwqGroup)
+		s := h.poll(group)
+		iter := 0
+		for {
+			if !rwqWrActive(s) && !rwqWrWaiting(s) {
+				var ns uint64
+				if rwqRdActive(s) == 0 {
+					ns = h.readerFastEnter(s) // fresh group, grants reset
+				} else {
+					ns = rwqGroupJoin(s) // FIFO-entitled: budget does not gate
+				}
+				prev := h.ctx.RCAS(group, s, ns)
+				if prev == s {
+					h.seen = ns
+					break
+				}
+				s = prev
+				continue
+			}
+			h.ctx.Pause(iter)
+			iter++
+			s = h.poll(group)
+		}
+	} else {
+		// Link behind the predecessor and spin on our own descriptor; the
+		// granter has already counted us into the group when it clears the
+		// flag. We did not observe the group word, so guess the smallest
+		// consistent state for the release path's optimistic rCAS.
+		p := ptr.FromWord(pred &^ rwqWriterTag)
+		h.write(p.Add(rwqNext), tagged)
+		h.spinDesc()
+		h.seen = 1<<rwqRdActiveShift + 1<<rwqGrantsShift
+	}
+
+	h.queuedRead = true
+	h.succDone = h.handleSuccessor(l, h.ctx.Read(h.desc.Add(rwqNext)))
+	h.ctx.Fence()
+}
+
+// handleSuccessor performs a granted reader's queue duty for the given
+// tagged successor word: admit a reader successor into the group and wake
+// it, or register a writer successor for the drain wake (wake pointer
+// first, then the flag, so the draining reader always finds the pointer).
+// It reports whether a successor was handled.
+func (h *RWQueueHandle) handleSuccessor(l ptr.Ptr, next uint64) bool {
+	if next == ptr.Null.Word() {
+		return false
+	}
+	group := l.Add(rwqGroup)
+	succ := ptr.FromWord(next &^ rwqWriterTag)
+	if next&rwqWriterTag != 0 {
+		// Writer successor: it is woken by whichever reader drains the
+		// group last, via the wake pointer.
+		h.write(l.Add(rwqWake), succ.Word())
+		s := h.seen
+		for {
+			prev := h.ctx.RCAS(group, s, s|1<<rwqWrWaitBit)
+			if prev == s {
+				h.seen = s | 1<<rwqWrWaitBit
+				return true
+			}
+			s = prev
+		}
+	}
+	// Reader successor: chain admission — count it into the group, then
+	// one write to its descriptor. It will chain its own successor.
+	s := h.seen
+	for {
+		ns := rwqGroupJoin(s)
+		prev := h.ctx.RCAS(group, s, ns)
+		if prev == s {
+			h.seen = ns
+			break
+		}
+		s = prev
+	}
+	h.write(succ.Add(rwqSpin), 0)
+	return true
+}
+
+// RUnlock implements api.RWLocker: shared release.
+func (h *RWQueueHandle) RUnlock(l ptr.Ptr) {
+	h.ctx.Fence()
+	if h.queuedRead && !h.succDone {
+		h.readerDequeue(l)
+	}
+	h.drainExit(l)
+}
+
+// readerDequeue removes a queued reader whose successor was not handled at
+// grant time: either the queue still ends at us (CAS the tail back to
+// NULL), or a successor is linking right now — wait for the link and do the
+// grant-time duty late.
+func (h *RWQueueHandle) readerDequeue(l ptr.Ptr) {
+	d := h.desc
+	next := h.ctx.Read(d.Add(rwqNext))
+	if next == ptr.Null.Word() {
+		if h.ctx.RCAS(l.Add(rwqTail), d.Word(), ptr.Null.Word()) == d.Word() {
+			return
+		}
+		iter := 0
+		for next == ptr.Null.Word() {
+			h.ctx.Pause(iter)
+			iter++
+			next = h.ctx.Read(d.Add(rwqNext))
+		}
+	}
+	h.handleSuccessor(l, next)
+}
+
+// drainExit decrements the active-reader count; the reader that drains the
+// group with a writer registered transfers the lock in the same rCAS and
+// wakes the writer with one descriptor write.
+func (h *RWQueueHandle) drainExit(l ptr.Ptr) {
+	group := l.Add(rwqGroup)
+	s := h.seen
+	for {
+		transfer := rwqRdActive(s) == 1 && rwqWrWaiting(s)
+		var ns uint64
+		if transfer {
+			ns = 1 << rwqWrActiveBit // group closed: the waked writer owns the lock
+		} else {
+			ns = s - 1<<rwqRdActiveShift
+		}
+		prev := h.ctx.RCAS(group, s, ns)
+		if prev == s {
+			if transfer {
+				w := ptr.FromWord(h.poll(l.Add(rwqWake)))
+				h.write(w.Add(rwqSpin), 0)
+			}
+			return
+		}
+		s = prev
+	}
+}
+
+// --- Writer side ---
+
+// Lock implements api.Locker: exclusive acquire.
+func (h *RWQueueHandle) Lock(l ptr.Ptr) {
+	group := l.Add(rwqGroup)
+
+	// Optimistic: an idle lock (possibly with a stale admission count) is
+	// claimed with a single rCAS, skipping the enqueue round trip. The
+	// first attempt assumes a pristine word; failures seed the next.
+	s := uint64(0)
+	for rwqRdActive(s) == 0 && !rwqWrActive(s) && !rwqWrWaiting(s) {
+		prev := h.ctx.RCAS(group, s, 1<<rwqWrActiveBit)
+		if prev == s {
+			h.succDone = true // not enqueued: release has no queue duty
+			h.ctx.Fence()
+			return
+		}
+		s = prev
+	}
+
+	h.resetDesc()
+	tagged := h.desc.Word() | rwqWriterTag
+	pred := h.swapTail(l, tagged)
+	if pred != ptr.Null.Word() {
+		// Link behind the predecessor and spin on our own descriptor. The
+		// handoff that wakes us leaves wrActive set for us.
+		p := ptr.FromWord(pred &^ rwqWriterTag)
+		h.write(p.Add(rwqNext), tagged)
+		h.spinDesc()
+		h.succDone = false
+		h.ctx.Fence()
+		return
+	}
+
+	// Queue head: claim directly once idle, or register for the drain wake
+	// (wake pointer first, then the flag) and spin on our own descriptor.
+	s = h.poll(group)
+	iter := 0
+	for {
+		if !rwqWrActive(s) {
+			if rwqRdActive(s) == 0 && !rwqWrWaiting(s) {
+				prev := h.ctx.RCAS(group, s, 1<<rwqWrActiveBit)
+				if prev == s {
+					break
+				}
+				s = prev
+				continue
+			}
+			if rwqRdActive(s) > 0 && !rwqWrWaiting(s) {
+				h.write(l.Add(rwqWake), h.desc.Word())
+				prev := h.ctx.RCAS(group, s, s|1<<rwqWrWaitBit)
+				if prev == s {
+					h.spinDesc()
+					break
+				}
+				s = prev
+				continue
+			}
+		}
+		// A departing writer is between its dequeue and clearing wrActive
+		// (narrow race window): back off and re-poll.
+		h.ctx.Pause(iter)
+		iter++
+		s = h.poll(group)
+	}
+	h.succDone = false
+	h.ctx.Fence()
+}
+
+// releaseIdle is the writer's release-to-idle transition: one rCAS
+// clearing the writer bit. While a writer holds, the group word is exactly
+// the writer bit (every claim path clears the rest), so the first attempt
+// needs no poll and the loop runs once; the retry preserves any other bits
+// it finds (a fresh group resets the admission count on entry).
+func (h *RWQueueHandle) releaseIdle(group ptr.Ptr) {
+	s := uint64(1) << rwqWrActiveBit
+	for {
+		prev := h.ctx.RCAS(group, s, s&^(uint64(1)<<rwqWrActiveBit))
+		if prev == s {
+			return
+		}
+		s = prev
+	}
+}
+
+// Unlock implements api.Locker: exclusive release.
+func (h *RWQueueHandle) Unlock(l ptr.Ptr) {
+	h.ctx.Fence()
+	group := l.Add(rwqGroup)
+
+	if h.succDone {
+		// Optimistic acquire: not in the queue, so release is just the
+		// idle transition.
+		h.releaseIdle(group)
+		return
+	}
+
+	d := h.desc
+	next := h.ctx.Read(d.Add(rwqNext))
+	if next == ptr.Null.Word() {
+		if h.ctx.RCAS(l.Add(rwqTail), d.Word()|rwqWriterTag, ptr.Null.Word()) ==
+			d.Word()|rwqWriterTag {
+			h.releaseIdle(group) // queue empty: no successor to hand to
+			return
+		}
+		iter := 0
+		for next == ptr.Null.Word() {
+			h.ctx.Pause(iter)
+			iter++
+			next = h.ctx.Read(d.Add(rwqNext))
+		}
+	}
+
+	succ := ptr.FromWord(next &^ rwqWriterTag)
+	if next&rwqWriterTag != 0 {
+		// Writer-to-writer handoff: wrActive simply stays set for the
+		// successor — the entire handoff is one descriptor write.
+		h.write(succ.Add(rwqSpin), 0)
+		return
+	}
+	// Writer-to-reader handoff: open a fresh group containing the
+	// successor (one rCAS), then wake it (one descriptor write). The
+	// successor chain-admits any reader queued behind it.
+	s := uint64(1) << rwqWrActiveBit // exact while a writer holds
+	for {
+		ns := uint64(1)<<rwqRdActiveShift | uint64(1)<<rwqGrantsShift
+		prev := h.ctx.RCAS(group, s, ns)
+		if prev == s {
+			break
+		}
+		s = prev
+	}
+	h.write(succ.Add(rwqSpin), 0)
+}
+
+// RWQueueProvider supplies the queued reader/writer lock.
+type RWQueueProvider struct {
+	Cfg RWConfig
+}
+
+// NewRWQueueProvider returns a provider with the default budgets.
+func NewRWQueueProvider() *RWQueueProvider {
+	return &RWQueueProvider{Cfg: DefaultRWConfig()}
+}
+
+// Name implements Provider.
+func (*RWQueueProvider) Name() string { return "rw-queue" }
+
+// Prepare implements Provider (lock state fits the lock line; descriptors
+// are per-thread and allocated by NewRWHandle on each thread's own node).
+func (*RWQueueProvider) Prepare(*mem.Space, []ptr.Ptr) {}
+
+// NewHandle implements Provider.
+func (p *RWQueueProvider) NewHandle(ctx api.Ctx) api.Locker {
+	return p.NewRWHandle(ctx)
+}
+
+// NewRWHandle implements RWProvider.
+func (p *RWQueueProvider) NewRWHandle(ctx api.Ctx) api.RWLocker {
+	return NewRWQueueHandle(ctx, p.Cfg)
+}

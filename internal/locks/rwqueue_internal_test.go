@@ -1,0 +1,74 @@
+package locks
+
+import "testing"
+
+// mkGroup assembles an rw-queue group word from fields.
+func mkGroup(rdActive, grants uint64, wrActive, wrWaiting bool) uint64 {
+	s := rdActive<<rwqRdActiveShift | grants<<rwqGrantsShift
+	if wrActive {
+		s |= 1 << rwqWrActiveBit
+	}
+	if wrWaiting {
+		s |= 1 << rwqWrWaitBit
+	}
+	return s
+}
+
+func TestReaderFastPathBudgetGate(t *testing.T) {
+	h := &RWQueueHandle{cfg: RWConfig{ReadBudget: 4, WriteBudget: 2}}
+
+	// An open group under budget admits through the fast path.
+	if !h.readerFastEligible(mkGroup(2, 2, false, false)) {
+		t.Error("open group under budget rejected")
+	}
+	// The budget closes the fast path: bounded same-class admission runs
+	// keep a queued writer's wait finite.
+	if h.readerFastEligible(mkGroup(4, 4, false, false)) {
+		t.Error("fast path open past ReadBudget")
+	}
+	// A writer — active or registered for the drain wake — bars barging.
+	if h.readerFastEligible(mkGroup(0, 0, true, false)) {
+		t.Error("fast path open past an active writer")
+	}
+	if h.readerFastEligible(mkGroup(2, 1, false, true)) {
+		t.Error("fast path open past a registered writer")
+	}
+}
+
+// Regression (mirrors rw-budget's stale-grants episode bug): a fresh group
+// must not inherit the previous episode's admission count, or the fast
+// path closes after far fewer admissions than budgeted.
+func TestReaderFastEnterResetsStaleGrants(t *testing.T) {
+	h := &RWQueueHandle{cfg: RWConfig{ReadBudget: 4, WriteBudget: 2}}
+
+	s := mkGroup(0, 4, false, false) // idle, stale count from the last group
+	if !h.readerFastEligible(s) {
+		t.Fatal("stale grants closed the fast path on an idle lock")
+	}
+	ns := h.readerFastEnter(s)
+	if rwqRdActive(ns) != 1 || rwqGrants(ns) != 1 {
+		t.Fatalf("fresh group malformed: rd=%d grants=%d", rwqRdActive(ns), rwqGrants(ns))
+	}
+
+	// Joining an open group counts the admission.
+	ns = h.readerFastEnter(mkGroup(2, 2, false, false))
+	if rwqRdActive(ns) != 3 || rwqGrants(ns) != 3 {
+		t.Fatalf("group join malformed: rd=%d grants=%d", rwqRdActive(ns), rwqGrants(ns))
+	}
+}
+
+func TestGroupJoinSaturatesGrants(t *testing.T) {
+	// Queued FIFO readers are admitted past the budget (they waited their
+	// turn), so the count must saturate at its field width instead of
+	// overflowing into the writer bits.
+	ns := rwqGroupJoin(mkGroup(300, rwqGrantsMask, false, false))
+	if rwqRdActive(ns) != 301 {
+		t.Fatalf("rdActive = %d", rwqRdActive(ns))
+	}
+	if rwqGrants(ns) != rwqGrantsMask {
+		t.Fatalf("grants overflowed: %d", rwqGrants(ns))
+	}
+	if rwqWrActive(ns) || rwqWrWaiting(ns) {
+		t.Fatal("grants overflow corrupted the writer bits")
+	}
+}

@@ -8,22 +8,25 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"unicode/utf8"
 
 	"alock/internal/harness"
 	"alock/internal/stats"
 )
 
-// writeTable renders rows as an aligned text table with a header.
+// writeTable renders rows as an aligned text table with a header. Column
+// widths are measured in runes, not bytes, so multi-byte cells (µs units,
+// algorithm names beyond ASCII) keep the columns aligned.
 func writeTable(w io.Writer, title string, header []string, rows [][]string) {
 	fmt.Fprintf(w, "\n== %s ==\n", title)
 	widths := make([]int, len(header))
 	for i, h := range header {
-		widths[i] = len(h)
+		widths[i] = utf8.RuneCountInString(h)
 	}
 	for _, r := range rows {
 		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
+			if n := utf8.RuneCountInString(c); i < len(widths) && n > widths[i] {
+				widths[i] = n
 			}
 		}
 	}
@@ -34,7 +37,7 @@ func writeTable(w io.Writer, title string, header []string, rows [][]string) {
 				b.WriteString("  ")
 			}
 			b.WriteString(c)
-			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			b.WriteString(strings.Repeat(" ", widths[i]-utf8.RuneCountInString(c)))
 		}
 		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
 	}
@@ -349,34 +352,12 @@ func Sweep(w io.Writer, title string, results []harness.Result) {
 	var rows [][]string
 	for _, r := range results {
 		c := r.Config
-		extras := ""
-		if c.ReadPct > 0 {
-			extras += fmt.Sprintf(" read=%d%%", c.ReadPct)
-		}
-		if c.LeaseProb > 0 {
-			extras += fmt.Sprintf(" lease=%.1f%%/%v", c.LeaseProb*100, c.LeaseHold)
-		}
-		if c.Model.JitterProb > 0 {
-			extras += fmt.Sprintf(" jitter=%.1f%%/%s", c.Model.JitterProb*100, ns(c.Model.JitterNS))
-		}
-		if c.ZipfS > 0 {
-			extras += fmt.Sprintf(" zipf=%.1f", c.ZipfS)
-		}
-		if c.BurstOn > 0 {
-			extras += fmt.Sprintf(" burst=%v/%v", c.BurstOn, c.BurstOff)
-		}
-		if c.HomeSkewPct > 0 {
-			extras += fmt.Sprintf(" homeskew=%d%%", c.HomeSkewPct)
-		}
-		if c.CSWork > 0 || c.Think > 0 {
-			extras += fmt.Sprintf(" cs=%v think=%v", c.CSWork, c.Think)
-		}
 		row := []string{
 			c.Algorithm,
 			fmt.Sprintf("%dx%d", c.Nodes, c.ThreadsPerNode),
 			fmt.Sprintf("%d", c.Locks),
 			fmt.Sprintf("%d%%", c.LocalityPct),
-			strings.TrimSpace(extras),
+			workloadExtras(c),
 			ops(r.Throughput),
 			ns(r.Latency.P50NS),
 			ns(r.Latency.P99NS),
@@ -398,6 +379,86 @@ func Sweep(w io.Writer, title string, results []harness.Result) {
 		header = append(header, "read p99", "write p99")
 	}
 	writeTable(w, title, header, rows)
+}
+
+// workloadExtras summarizes the config knobs beyond the base grid — read
+// mix, leases, jitter, skew, bursts, think time — for sweep-style tables.
+func workloadExtras(c harness.Config) string {
+	extras := ""
+	if c.ReadPct > 0 {
+		extras += fmt.Sprintf(" read=%d%%", c.ReadPct)
+	}
+	if c.LeaseProb > 0 {
+		extras += fmt.Sprintf(" lease=%.1f%%/%v", c.LeaseProb*100, c.LeaseHold)
+	}
+	if c.Model.JitterProb > 0 {
+		extras += fmt.Sprintf(" jitter=%.1f%%/%s", c.Model.JitterProb*100, ns(c.Model.JitterNS))
+	}
+	if c.ZipfS > 0 {
+		extras += fmt.Sprintf(" zipf=%.1f", c.ZipfS)
+	}
+	if c.BurstOn > 0 {
+		extras += fmt.Sprintf(" burst=%v/%v", c.BurstOn, c.BurstOff)
+	}
+	if c.HomeSkewPct > 0 {
+		extras += fmt.Sprintf(" homeskew=%d%%", c.HomeSkewPct)
+	}
+	if c.CSWork > 0 || c.Think > 0 {
+		extras += fmt.Sprintf(" cs=%v think=%v", c.CSWork, c.Think)
+	}
+	return strings.TrimSpace(extras)
+}
+
+// FigureRW renders the reader/writer and failure figure: one table per
+// scenario family, one row per run, with per-class (read vs write) tail
+// latencies next to throughput — the storm's cost shows up in the write
+// tail long before it shows in aggregate throughput.
+func FigureRW(w io.Writer, groups []harness.FigRWGroup) {
+	for _, g := range groups {
+		var rows [][]string
+		for _, r := range g.Results {
+			c := r.Config
+			rp50, rp99 := "-", "-"
+			if r.ReadOps > 0 {
+				rp50, rp99 = ns(r.ReadLatency.P50NS), ns(r.ReadLatency.P99NS)
+			}
+			wp50, wp99 := "-", "-"
+			if r.WriteOps > 0 {
+				wp50, wp99 = ns(r.WriteLatency.P50NS), ns(r.WriteLatency.P99NS)
+			}
+			rows = append(rows, []string{
+				c.Algorithm,
+				fmt.Sprintf("%dx%d", c.Nodes, c.ThreadsPerNode),
+				fmt.Sprintf("%d", c.Locks),
+				workloadExtras(c),
+				ops(r.Throughput),
+				rp50, rp99, wp50, wp99,
+			})
+		}
+		writeTable(w, "Figure RW: "+g.Name,
+			[]string{"algorithm", "cluster", "locks", "workload",
+				"throughput(ops/s)", "read p50", "read p99", "write p50", "write p99"},
+			rows)
+	}
+}
+
+// FigureRWCSV emits one CSV row per run of the reader/writer figure, with
+// per-algorithm read and write percentile columns for replotting.
+func FigureRWCSV(w io.Writer, groups []harness.FigRWGroup) {
+	fmt.Fprintln(w, "figure,scenario,algorithm,nodes,threads_per_node,locks,locality_pct,read_pct,lease_prob,lease_hold_ns,jitter_prob,jitter_ns,throughput_ops,read_p50_ns,read_p99_ns,write_p50_ns,write_p99_ns,ops,read_ops,write_ops")
+	for _, g := range groups {
+		for _, r := range g.Results {
+			c := r.Config
+			fmt.Fprintf(w, "figrw,%s,%s,%d,%d,%d,%d,%d,%.4f,%d,%.4f,%d,%.1f,%d,%d,%d,%d,%d,%d,%d\n",
+				g.Name, c.Algorithm, c.Nodes, c.ThreadsPerNode, c.Locks, c.LocalityPct,
+				c.ReadPct, c.LeaseProb, c.LeaseHold.Nanoseconds(),
+				c.Model.JitterProb, c.Model.JitterNS,
+				r.Throughput,
+				r.ReadLatency.P50NS, r.ReadLatency.P99NS,
+				r.WriteLatency.P50NS, r.WriteLatency.P99NS,
+				r.Ops, r.ReadOps, r.WriteOps)
+		}
+	}
 }
 
 // SweepCSV emits one CSV row per run of a scenario sweep.

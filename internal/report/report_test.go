@@ -72,6 +72,70 @@ func TestFigure5RenderAndCSV(t *testing.T) {
 	}
 }
 
+// Regression: writeTable measured column widths in bytes, so any
+// multi-byte cell (µs units, non-ASCII algorithm names) threw off the
+// padding of every following column in its row.
+func TestWriteTableRunePadding(t *testing.T) {
+	var b strings.Builder
+	writeTable(&b, "t",
+		[]string{"latency", "mark"},
+		[][]string{
+			{"5µs", "x"},
+			{"500ns", "y"},
+		})
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("lines = %d:\n%s", len(lines), b.String())
+	}
+	colOf := func(line, mark string) int {
+		return len([]rune(line[:strings.Index(line, mark)]))
+	}
+	xCol := colOf(lines[3], "x")
+	yCol := colOf(lines[4], "y")
+	if xCol != yCol {
+		t.Errorf("second column misaligned: %q at rune %d vs %q at rune %d\n%s",
+			"x", xCol, "y", yCol, b.String())
+	}
+}
+
+func TestFigureRWRenderAndCSV(t *testing.T) {
+	groups := []harness.FigRWGroup{{
+		Name: "rw/storm-tails",
+		Results: []harness.Result{{
+			Config: harness.Config{Algorithm: "rw-queue", Nodes: 16, ThreadsPerNode: 8,
+				Locks: 20, LocalityPct: 90, ReadPct: 70},
+			Ops: 100, ReadOps: 70, WriteOps: 30, Throughput: 1.5e6,
+			ReadLatency:  stats.Summary{Count: 70, P50NS: 40_000, P99NS: 250_000},
+			WriteLatency: stats.Summary{Count: 30, P50NS: 45_000, P99NS: 220_000},
+		}},
+	}}
+	var b strings.Builder
+	FigureRW(&b, groups)
+	out := b.String()
+	for _, frag := range []string{"Figure RW: rw/storm-tails", "read p99", "write p99",
+		"rw-queue", "250.00us", "220.00us", "1.50M", "read=70%"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q in:\n%s", frag, out)
+		}
+	}
+
+	var csv strings.Builder
+	FigureRWCSV(&csv, groups)
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	for _, col := range []string{"read_p99_ns", "write_p99_ns", "read_p50_ns", "write_p50_ns", "scenario"} {
+		if !strings.Contains(lines[0], col) {
+			t.Errorf("csv header missing %q: %s", col, lines[0])
+		}
+	}
+	if !strings.Contains(lines[1], "figrw,rw/storm-tails,rw-queue,16,8,20,90,70") ||
+		!strings.Contains(lines[1], "250000") || !strings.Contains(lines[1], "220000") {
+		t.Errorf("csv row = %s", lines[1])
+	}
+}
+
 func TestFigure6Render(t *testing.T) {
 	panels := []harness.Fig6Panel{{
 		ID: "a", Locks: 20, LocalityPct: 100,

@@ -10,6 +10,7 @@ package scenario
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"alock/internal/harness"
@@ -92,4 +93,35 @@ func All() []Scenario {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// ByPrefix returns every registered scenario whose name starts with one of
+// the given prefixes, sorted by name. The reader/writer figure driver uses
+// it to sweep whole families (rw/, lease/, fail/) without naming each
+// member.
+func ByPrefix(prefixes ...string) []Scenario {
+	var out []Scenario
+	for _, sc := range All() {
+		for _, p := range prefixes {
+			if strings.HasPrefix(sc.Name, p) {
+				out = append(out, sc)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// RWFigureGroups expands the reader/writer figure's scenario families —
+// rw/*, lease/* and fail/* — into named config groups at the given scale,
+// ready for harness.FigureRW.
+func RWFigureGroups(s harness.Scale) []harness.RWSweepGroup {
+	var groups []harness.RWSweepGroup
+	for _, sc := range ByPrefix("rw/", "lease/", "fail/") {
+		groups = append(groups, harness.RWSweepGroup{
+			Name:    sc.Name,
+			Configs: sc.Configs(s),
+		})
+	}
+	return groups
 }

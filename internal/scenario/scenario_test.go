@@ -100,7 +100,7 @@ func TestPerScenarioScaleOverrides(t *testing.T) {
 
 func TestRWAndFailureScenariosRegistered(t *testing.T) {
 	for _, want := range []string{
-		"rw/read-heavy", "rw/mixed",
+		"rw/read-heavy", "rw/mixed", "rw/queue-scaling", "rw/storm-tails",
 		"lease/holders", "lease/rw-leases",
 		"fail/jitter-storm", "fail/jitter-recovery",
 	} {
@@ -125,6 +125,35 @@ func TestRWAndFailureScenariosRegistered(t *testing.T) {
 	for _, c := range storm.Configs(harness.Scale{TestTiny: true}) {
 		if c.Model.JitterProb == 0 || c.Model.JitterNS == 0 {
 			t.Error("fail/jitter-storm config has no jitter model")
+		}
+	}
+}
+
+func TestByPrefixAndRWFigureGroups(t *testing.T) {
+	fams := ByPrefix("rw/", "lease/", "fail/")
+	if len(fams) < 8 {
+		t.Fatalf("only %d scenarios in the RW figure families", len(fams))
+	}
+	for _, sc := range fams {
+		if !strings.HasPrefix(sc.Name, "rw/") && !strings.HasPrefix(sc.Name, "lease/") &&
+			!strings.HasPrefix(sc.Name, "fail/") {
+			t.Errorf("ByPrefix leaked %q", sc.Name)
+		}
+	}
+	if got := ByPrefix("paper/fig1"); len(got) != 1 || got[0].Name != "paper/fig1-loopback" {
+		t.Errorf("ByPrefix(paper/fig1) = %v", got)
+	}
+
+	groups := RWFigureGroups(harness.Scale{TestTiny: true})
+	if len(groups) != len(fams) {
+		t.Fatalf("groups = %d, want %d", len(groups), len(fams))
+	}
+	for i, g := range groups {
+		if g.Name != fams[i].Name {
+			t.Errorf("group %d = %q, want %q", i, g.Name, fams[i].Name)
+		}
+		if len(g.Configs) == 0 {
+			t.Errorf("group %q expands to nothing", g.Name)
 		}
 	}
 }

@@ -26,10 +26,10 @@ func fig5Grid(locks, localityPct int) func(harness.Scale) []harness.Config {
 	}
 }
 
-// rwAlgorithms are what the reader/writer scenarios compare: both native
-// RW locks plus ALock as the exclusive-degradation baseline (its RLock
-// behaves as Lock, so the gap it shows IS the value of shared mode).
-var rwAlgorithms = []string{"rw-budget", "rw-wpref", "alock"}
+// rwAlgorithms are what the reader/writer scenarios compare: the three
+// native RW locks plus ALock as the exclusive-degradation baseline (its
+// RLock behaves as Lock, so the gap it shows IS the value of shared mode).
+var rwAlgorithms = []string{"rw-queue", "rw-budget", "rw-wpref", "alock"}
 
 // sweepGrid enumerates algorithms x the scale's thread counts on the big
 // cluster at medium contention / 90% locality, applying mut to each config
@@ -186,6 +186,31 @@ func init() {
 				c.ReadPct = 70
 				c.Locks = locktable.HighContentionLocks
 			})
+		},
+	})
+
+	Register(Scenario{
+		Name:        "rw/queue-scaling",
+		Description: "90/10 read mix across thread counts: queued descriptors vs the single-word RW locks",
+		Expand: func(s harness.Scale) []harness.Config {
+			return sweepGrid(s, rwAlgorithms, func(c *harness.Config) {
+				c.ReadPct = 90
+			})
+		},
+	})
+	Register(Scenario{
+		Name:        "rw/storm-tails",
+		Description: "70/30 mix on 20 hot locks: the rCAS storm at the home NICs, read vs write tails",
+		Scale: func(s harness.Scale) harness.Scale {
+			s.ThreadsOverride = []int{4, 8, 12} // the tails, not a full thread sweep
+			return s
+		},
+		Expand: func(s harness.Scale) []harness.Config {
+			return sweepGrid(s, []string{"rw-queue", "rw-budget", "rw-wpref"},
+				func(c *harness.Config) {
+					c.ReadPct = 70
+					c.Locks = locktable.HighContentionLocks
+				})
 		},
 	})
 
