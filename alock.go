@@ -52,6 +52,7 @@ import (
 	"alock/internal/api"
 	"alock/internal/core"
 	"alock/internal/harness"
+	"alock/internal/locks"
 	"alock/internal/locktable"
 	"alock/internal/mem"
 	"alock/internal/ptr"
@@ -77,6 +78,68 @@ type Locker = api.Locker
 // RWLocker is a Locker with an additional shared (read) acquire mode:
 // RLock holders may overlap each other but never a Lock holder.
 type RWLocker = api.RWLocker
+
+// --- Acquisition-token API ---
+//
+// TokenLocker is the redesigned lock API: acquisitions are first-class
+// values (Guards) carrying a fencing token minted at grant time, acquire
+// attempts can carry deadlines and report explicit outcomes, and releases
+// are validated against the fence so a crashed holder's late unlock is
+// rejected instead of corrupting the lock. Lock/Unlock call sites migrate
+// by wrapping a TokenLocker in api.Blocking (or keep using the classic
+// handles, which are built on the same per-acquisition paths).
+
+// Mode selects the acquisition class (Exclusive or Shared).
+type Mode = api.Mode
+
+// Acquisition modes.
+const (
+	Exclusive = api.Exclusive
+	Shared    = api.Shared
+)
+
+// Outcome is an acquisition attempt's result (Acquired or TimedOut).
+type Outcome = api.Outcome
+
+// Acquisition outcomes.
+const (
+	Acquired = api.Acquired
+	TimedOut = api.TimedOut
+)
+
+// ReleaseOutcome is a release's result (Released or Fenced).
+type ReleaseOutcome = api.ReleaseOutcome
+
+// Release outcomes.
+const (
+	Released = api.Released
+	Fenced   = api.Fenced
+)
+
+// AcquireOpts carries an optional engine-time deadline.
+type AcquireOpts = api.AcquireOpts
+
+// Guard is one live acquisition: lock, mode, fencing token.
+type Guard = api.Guard
+
+// TokenLocker is the acquisition-token lock interface.
+type TokenLocker = api.TokenLocker
+
+// FenceTable is a run's fencing authority: it mints monotonically
+// increasing tokens at grant time and invalidates them at release or
+// recovery. Share one table among all handles of a cluster.
+type FenceTable = locks.FenceTable
+
+// NewFenceTable returns an empty fencing authority.
+func NewFenceTable() *FenceTable { return locks.NewFenceTable() }
+
+// NewTokenHandle returns a thread's ALock handle speaking the
+// acquisition-token API against the shared fencing authority. Set
+// cfg.Timed to enable acquire deadlines (a run-wide mode: every handle of
+// the cluster must agree).
+func NewTokenHandle(ctx Ctx, cfg Config, ft *FenceTable) TokenLocker {
+	return locks.TokenHandleFor(&locks.ALockProvider{Cfg: cfg}, ctx, ft)
+}
 
 // Cohort identifies the paper's two access cohorts.
 type Cohort = api.Cohort

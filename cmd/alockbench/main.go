@@ -11,13 +11,18 @@
 //	alockbench -algo rw-budget -read-pct 95
 //	alockbench -algo rw-queue -read-pct 70 -read-budget 32 -write-budget 8
 //	alockbench -algo mcs -lease-prob 0.02 -lease-hold 25us
+//	alockbench -algo alock -acquire-timeout 30us
+//	alockbench -algo rw-queue -acquire-timeout 30us -abandon-prob 0.01 -abandon-hold 200us
+//	alockbench -algo mcs -pair-prob 0.1
 //	alockbench -list-scenarios
-//	alockbench -scenario rw/read-heavy -quick -parallel 8
+//	alockbench -scenario fail/abandoned-holder -quick -parallel 8
 //	alockbench -figure-rw -quick -csv-out figrw.csv
 //
 // Algorithms: alock, alock-nobudget, alock-symmetric, spinlock, mcs,
 // filter, bakery, rw-budget, rw-wpref, rw-queue. Algorithms without native
-// shared mode run -read-pct workloads with reads degraded to exclusive.
+// shared mode run -read-pct workloads with reads degraded to exclusive;
+// algorithms without a native timed path (filter, bakery) overshoot
+// -acquire-timeout deadlines and report the acquisition as completed.
 package main
 
 import (
@@ -59,6 +64,10 @@ func main() {
 		readPct  = flag.Int("read-pct", 0, "percent of operations acquiring shared/read mode (0 = exclusive only)")
 		leaseP   = flag.Float64("lease-prob", 0, "per-op probability of a lease-style long hold (0 = off)")
 		leaseH   = flag.Duration("lease-hold", 0, "duration of a lease hold")
+		acqTO    = flag.Duration("acquire-timeout", 0, "give up acquisitions after this engine time (0 = block; switches queued locks to the timed protocol)")
+		abandonP = flag.Float64("abandon-prob", 0, "per-op probability the holder crashes and is reclaimed by recovery (0 = off; requires -acquire-timeout)")
+		abandonH = flag.Duration("abandon-hold", 0, "dead time an abandoned hold wedges its lock")
+		pairP    = flag.Float64("pair-prob", 0, "per-op probability of an ordered two-lock transaction (0 = off)")
 
 		scenName  = flag.String("scenario", "", "run a named scenario instead of a single config")
 		listScens = flag.Bool("list-scenarios", false, "list registered scenarios and exit")
@@ -109,6 +118,10 @@ func main() {
 		ReadPct:        *readPct,
 		LeaseProb:      *leaseP,
 		LeaseHold:      *leaseH,
+		AcquireTimeout: *acqTO,
+		AbandonProb:    *abandonP,
+		AbandonHold:    *abandonH,
+		PairProb:       *pairP,
 		Seed:           *seed,
 	}
 	res, err := harness.Run(cfg)

@@ -1,0 +1,82 @@
+// Fencing: crash a lock holder and watch the acquisition-token API keep
+// the system safe.
+//
+// Two workers on a two-node cluster contend for one ALock through the
+// token API. Worker 1 acquires and then "crashes" mid-critical-section:
+// it stops responding for two milliseconds while still holding the lock.
+// Worker 2's first attempt carries a deadline and times out — the distinct
+// TimedOut outcome, not a hang. When recovery reclaims the crashed hold
+// (TokenLocker.Abandon), worker 2's retry succeeds and its guard carries a
+// strictly larger fencing token than the crashed one. Finally the crashed
+// worker comes back and tries its release anyway — and the fence rejects
+// it: the lock worker 2 now holds is untouched.
+//
+//	go run ./examples/fencing
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"alock"
+)
+
+func main() {
+	cluster := alock.NewCluster(alock.ClusterConfig{Nodes: 2})
+	lock := cluster.AllocLock(0)
+	fence := alock.NewFenceTable()
+
+	cfg := alock.DefaultConfig()
+	cfg.Timed = true // acquire deadlines need the timed handoff protocol
+
+	done := make(chan struct{})
+
+	// Worker 1: acquires, crashes, is reclaimed, then releases too late.
+	cluster.Spawn(0, func(ctx alock.Ctx) {
+		h := alock.NewTokenHandle(ctx, cfg, fence)
+		g, _ := h.Acquire(lock, alock.Exclusive, alock.AcquireOpts{})
+		fmt.Printf("worker 1: acquired, fencing token %d — and now it wedges\n", g.Token)
+
+		ctx.Work(2 * time.Millisecond) // the crash: holding, not releasing
+
+		h.Abandon(g) // recovery reclaims the hold; the token is dead
+		fmt.Println("recovery : reclaimed worker 1's hold, token revoked")
+
+		ctx.Work(500 * time.Microsecond)
+		if h.Release(g) == alock.Fenced {
+			fmt.Println("worker 1: woke up and tried to unlock — FENCED, lock untouched")
+		} else {
+			panic("late release was not fenced")
+		}
+	})
+
+	// Worker 2: times out against the wedged lock, then wins after
+	// recovery. It runs on the lock's home node, joining the same cohort
+	// queue as the crashed holder — a lone waiter in the *other* cohort
+	// would become that cohort's leader, and leaders are committed (the
+	// Peterson wait is budget-bounded in healthy runs), so it would ride
+	// out the wedge instead of timing out.
+	cluster.Spawn(0, func(ctx alock.Ctx) {
+		defer close(done)
+		h := alock.NewTokenHandle(ctx, cfg, fence)
+		ctx.Work(200 * time.Microsecond) // let worker 1 wedge first
+
+		deadline := ctx.Now() + (500 * time.Microsecond).Nanoseconds()
+		if _, out := h.Acquire(lock, alock.Exclusive, alock.AcquireOpts{DeadlineNS: deadline}); out != alock.TimedOut {
+			panic("expected the first attempt to time out")
+		}
+		fmt.Println("worker 2: gave up at its deadline (TimedOut) — no hang, no corruption")
+
+		g, _ := h.Acquire(lock, alock.Exclusive, alock.AcquireOpts{}) // blocks until recovery
+		fmt.Printf("worker 2: acquired after recovery, fencing token %d (larger = newer)\n", g.Token)
+		ctx.Work(100 * time.Microsecond)
+		if h.Release(g) != alock.Released {
+			panic("live release rejected")
+		}
+		fmt.Println("worker 2: released cleanly")
+	})
+
+	<-done
+	cluster.Stop()
+	cluster.Wait()
+}

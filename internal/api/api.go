@@ -149,6 +149,148 @@ type RWLocker interface {
 	RUnlock(l ptr.Ptr)
 }
 
+// --- Acquisition-token API ---
+//
+// Lock and Unlock model the paper's evaluation exactly: one blocking
+// acquire, one implicit outstanding acquisition per handle. Everything the
+// paper does not evaluate — timeouts, crashed holders, overlapping holds of
+// several locks — needs acquisitions to be first-class values. TokenLocker
+// is that redesign: every acquisition attempt returns an explicit Outcome,
+// every grant returns a Guard carrying a fencing token minted at grant
+// time, and Release validates the token so a stale holder's late release
+// is rejected instead of corrupting the lock.
+
+// Mode selects the acquisition class of one lock operation.
+type Mode uint8
+
+const (
+	// Exclusive is a write-side acquisition: the holder excludes everyone.
+	Exclusive Mode = iota
+	// Shared is a read-side acquisition: holders may overlap. Algorithms
+	// without native shared mode degrade it to Exclusive.
+	Shared
+)
+
+// String names the mode for stats and test output.
+func (m Mode) String() string {
+	if m == Shared {
+		return "shared"
+	}
+	return "exclusive"
+}
+
+// Outcome is the result of one acquisition attempt.
+type Outcome uint8
+
+const (
+	// Acquired: the lock was granted; the returned Guard is live.
+	Acquired Outcome = iota
+	// TimedOut: the deadline passed before the grant; nothing is held and
+	// the returned Guard is dead (its release is rejected as Fenced).
+	TimedOut
+)
+
+// ReleaseOutcome is the result of releasing a Guard.
+type ReleaseOutcome uint8
+
+const (
+	// Released: the guard was live; the lock has been released.
+	Released ReleaseOutcome = iota
+	// Fenced: the guard's fencing token was no longer live — a double
+	// release, a timed-out acquire's guard, or the late release of an
+	// abandoned hold that recovery already reclaimed. The lock state is
+	// untouched.
+	Fenced
+)
+
+// AcquireOpts parameterizes one acquisition attempt.
+type AcquireOpts struct {
+	// DeadlineNS is the engine time (api.Ctx.Now scale) after which the
+	// attempt gives up and reports TimedOut. Zero means block until
+	// granted. Algorithms without a native timed path may overshoot the
+	// deadline and still return Acquired — a grant that races the timeout
+	// and wins is always reported as a grant, never abandoned.
+	DeadlineNS int64
+}
+
+// Guard is one live acquisition: the capability to release the lock it was
+// granted on. Guards are values — a thread may hold guards on several locks
+// at once (the algorithms allocate a descriptor per acquisition, not per
+// thread).
+type Guard struct {
+	// Lock is the lock the guard was granted on.
+	Lock ptr.Ptr
+	// Mode is the acquisition class that was granted.
+	Mode Mode
+	// Token is the fencing token minted at grant time. Tokens increase
+	// monotonically across the cluster, so of any two grants the later one
+	// carries the larger token — the classic fencing-token contract.
+	Token uint64
+	// State is the algorithm's per-acquisition bookkeeping (its queue
+	// descriptor, the installed state word); opaque to callers.
+	State any
+}
+
+// TokenLocker is the acquisition-token lock API. One TokenLocker belongs to
+// one thread, like Locker.
+type TokenLocker interface {
+	// Acquire attempts to take the lock at l in the given mode. On
+	// Acquired the returned Guard is live; on TimedOut nothing is held.
+	Acquire(l ptr.Ptr, mode Mode, opt AcquireOpts) (Guard, Outcome)
+	// Release ends the acquisition g. It validates g's fencing token
+	// first: a token that is no longer live (timed out, already released,
+	// or reclaimed by Abandon) returns Fenced and leaves the lock alone.
+	Release(g Guard) ReleaseOutcome
+	// Abandon models a crashed holder being reclaimed by recovery: the
+	// underlying lock is physically released so other threads make
+	// progress again, but g's token is revoked — the crashed holder's own
+	// later Release(g) reports Fenced. Abandon on a dead guard is a no-op.
+	Abandon(g Guard)
+}
+
+// Blocking adapts a TokenLocker back to the blocking RWLocker shape, so
+// call sites written against Lock/Unlock keep working unchanged on top of
+// the token API (the migration adapter). It tracks one outstanding guard
+// per lock; overlapping holds of distinct locks are fine.
+type Blocking struct {
+	T    TokenLocker
+	held []Guard
+}
+
+var _ RWLocker = (*Blocking)(nil)
+
+// NewBlocking wraps a TokenLocker in the blocking adapter.
+func NewBlocking(t TokenLocker) *Blocking { return &Blocking{T: t} }
+
+func (b *Blocking) acquire(l ptr.Ptr, mode Mode) {
+	g, _ := b.T.Acquire(l, mode, AcquireOpts{}) // no deadline: always Acquired
+	b.held = append(b.held, g)
+}
+
+func (b *Blocking) release(l ptr.Ptr, mode Mode) {
+	for i := len(b.held) - 1; i >= 0; i-- {
+		if b.held[i].Lock == l && b.held[i].Mode == mode {
+			g := b.held[i]
+			b.held = append(b.held[:i], b.held[i+1:]...)
+			b.T.Release(g)
+			return
+		}
+	}
+	panic("api: Blocking release without matching acquire")
+}
+
+// Lock implements RWLocker.
+func (b *Blocking) Lock(l ptr.Ptr) { b.acquire(l, Exclusive) }
+
+// Unlock implements RWLocker.
+func (b *Blocking) Unlock(l ptr.Ptr) { b.release(l, Exclusive) }
+
+// RLock implements RWLocker.
+func (b *Blocking) RLock(l ptr.Ptr) { b.acquire(l, Shared) }
+
+// RUnlock implements RWLocker.
+func (b *Blocking) RUnlock(l ptr.Ptr) { b.release(l, Shared) }
+
 // ExclusiveRW adapts any Locker to RWLocker by degrading shared acquires
 // to exclusive ones. It lets every exclusive-only algorithm run reader/
 // writer workloads as a baseline: correct, but readers serialize.

@@ -60,9 +60,21 @@ const (
 	DescWords = 8
 )
 
-// waiting is the budget sentinel meaning "enqueued, lock not yet passed"
-// (the descriptors in the paper's Figure 2 are initialized to -1).
-const waiting = ^uint64(0) // int64(-1)
+// Budget-word sentinels. Valid budgets are non-negative, so the top of the
+// unsigned range is free for protocol states. waiting is the paper's own
+// sentinel (the descriptors in Figure 2 are initialized to -1); abandoned
+// and skipped extend it for the timed protocol: a waiter whose deadline
+// passes CASes its budget word from waiting to abandoned and leaves, and
+// the granter that later bypasses the dead descriptor marks it skipped so
+// the owning thread can recycle it. Within one cohort the waiter's abandon
+// CAS and the granter's handoff CAS use the same access class (local cohort
+// -> CAS, remote cohort -> rCAS), so Table 1's cross-class RMW hazard never
+// arises on the budget word.
+const (
+	waiting   = ^uint64(0) // int64(-1): enqueued, lock not yet passed
+	abandoned = ^uint64(1) // int64(-2): waiter timed out and left the queue
+	skipped   = ^uint64(2) // int64(-3): granter bypassed this descriptor
+)
 
 // Config selects the cohort budgets (Section 6.1). The budget bounds how
 // many times a cohort may pass the lock internally before its leader must
@@ -81,6 +93,13 @@ type Config struct {
 	// against the plain RDMA MCS lock isolates the overhead of the
 	// embedded Peterson layer.
 	ForceRemote bool
+	// Timed switches the intra-cohort handoff from the paper's single
+	// descriptor write to a CAS-based protocol that tolerates waiters
+	// abandoning their descriptors on deadline (AcquireTimed). It is a
+	// run-wide mode: every handle of a run must agree, because granters
+	// and waiters speak the same handoff protocol. Left false, the lock is
+	// bit-identical to the paper's algorithm.
+	Timed bool
 }
 
 // DefaultConfig returns the budgets the paper selects after the Figure 4
@@ -116,24 +135,38 @@ type Stats struct {
 	RemoteOps  int64 // acquisitions classified remote
 }
 
-// Handle is one thread's capability to acquire ALocks. A handle owns one
-// local and one remote descriptor in its thread's own node's memory (a
-// thread waits on at most one lock at a time, so one descriptor per cohort
-// suffices, as in the paper's Figure 2).
+// heldAcq records one outstanding acquisition for the blocking Lock/Unlock
+// facade (the token API threads the descriptor through the Guard instead).
+type heldAcq struct {
+	lock ptr.Ptr
+	desc ptr.Ptr
+}
+
+// Handle is one thread's capability to acquire ALocks. Descriptors are
+// allocated per acquisition from a per-cohort free list (the paper's
+// one-descriptor-per-thread layout is the free list's steady state when a
+// thread holds one lock at a time), so a thread may hold several ALocks
+// concurrently. Descriptors abandoned on timeout park on a zombie list
+// until the granter that bypassed them marks them skipped, at which point
+// they are recycled.
 //
 // A Handle is not safe for concurrent use — it belongs to exactly one
 // thread, like the paper's per-thread metadata.
 type Handle struct {
-	ctx   api.Ctx
-	cfg   Config
-	desc  [2]ptr.Ptr // indexed by api.Cohort
-	stats Stats
+	ctx     api.Ctx
+	cfg     Config
+	seed    [2]ptr.Ptr   // first descriptor of each cohort (for tests)
+	free    [2][]ptr.Ptr // recyclable descriptors, indexed by api.Cohort
+	zombies [2][]ptr.Ptr // abandoned descriptors awaiting the skip mark
+	held    []heldAcq    // outstanding Lock/Unlock-facade acquisitions
+	stats   Stats
 }
 
 var _ api.Locker = (*Handle)(nil)
 
-// NewHandle allocates the per-thread descriptors on ctx's node and returns
-// a handle using the given budget configuration.
+// NewHandle allocates the thread's initial per-cohort descriptors on ctx's
+// node and returns a handle using the given budget configuration. Further
+// descriptors are allocated only if the thread actually overlaps holds.
 func NewHandle(ctx api.Ctx, cfg Config) *Handle {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
@@ -143,7 +176,8 @@ func NewHandle(ctx api.Ctx, cfg Config) *Handle {
 		d := ctx.Alloc(DescWords, DescWords)
 		ctx.Write(d.Add(descBudget), waiting)
 		ctx.Write(d.Add(descNext), ptr.Null.Word())
-		h.desc[co] = d
+		h.seed[co] = d
+		h.free[co] = append(h.free[co], d)
 	}
 	return h
 }
@@ -151,8 +185,37 @@ func NewHandle(ctx api.Ctx, cfg Config) *Handle {
 // Stats returns a copy of the handle's counters.
 func (h *Handle) Stats() Stats { return h.stats }
 
-// Descriptor exposes the cohort descriptor pointer (for tests).
-func (h *Handle) Descriptor(co api.Cohort) ptr.Ptr { return h.desc[co] }
+// Descriptor exposes the cohort's seed descriptor pointer (for tests).
+func (h *Handle) Descriptor(co api.Cohort) ptr.Ptr { return h.seed[co] }
+
+// getDesc pops a free descriptor for the cohort, first recycling any
+// zombies whose granter has marked them skipped, allocating fresh memory
+// only when every descriptor is in use or still awaiting its skip mark.
+func (h *Handle) getDesc(co api.Cohort) ptr.Ptr {
+	if zs := h.zombies[co]; len(zs) > 0 {
+		kept := zs[:0]
+		for _, z := range zs {
+			// Our own descriptor on our own node: a shared-memory read is
+			// atomic with the granter's skip mark in either class.
+			if h.ctx.Read(z.Add(descBudget)) == skipped {
+				h.free[co] = append(h.free[co], z)
+			} else {
+				kept = append(kept, z)
+			}
+		}
+		h.zombies[co] = kept
+	}
+	if n := len(h.free[co]); n > 0 {
+		d := h.free[co][n-1]
+		h.free[co] = h.free[co][:n-1]
+		return d
+	}
+	return h.ctx.Alloc(DescWords, DescWords)
+}
+
+func (h *Handle) putDesc(co api.Cohort, d ptr.Ptr) {
+	h.free[co] = append(h.free[co], d)
+}
 
 // TailPtr returns the pointer to the given cohort's MCS tail word within
 // the lock line at l.
@@ -202,14 +265,55 @@ func (v view) cas(p ptr.Ptr, old, new uint64) uint64 {
 // determined by the node ID embedded in the pointer: threads on the lock's
 // home node take the local path with shared-memory operations only (no
 // loopback), everyone else takes the remote path with RDMA verbs.
+//
+// Lock is the blocking facade over AcquireTimed; the descriptor is parked
+// on an internal held list so the matching Unlock(l) finds it.
 func (h *Handle) Lock(l ptr.Ptr) {
+	d, _ := h.AcquireTimed(l, 0) // no deadline: always acquires
+	h.held = append(h.held, heldAcq{lock: l, desc: d})
+}
+
+// Unlock releases the ALock at l (Algorithm 2 line 5-6).
+func (h *Handle) Unlock(l ptr.Ptr) {
+	for i := len(h.held) - 1; i >= 0; i-- {
+		if h.held[i].lock == l {
+			d := h.held[i].desc
+			h.held = append(h.held[:i], h.held[i+1:]...)
+			h.ReleaseDesc(l, d)
+			return
+		}
+	}
+	panic("core: Unlock without matching Lock")
+}
+
+// AcquireTimed acquires the ALock at l, giving up once engine time reaches
+// deadlineNS (0 = block until granted; deadlines require Config.Timed).
+// On success it returns the acquisition's descriptor, which the caller
+// must hand back through ReleaseDesc. On timeout nothing is held.
+//
+// The timeout window covers the queue wait: a waiter whose deadline passes
+// while spinning on its descriptor CASes the budget word from waiting to
+// abandoned and leaves (the granter patches the queue around the dead
+// descriptor). A thread that has become cohort leader is committed — the
+// Peterson wait is bounded by the other cohort's budget, so it finishes
+// the acquisition even past the deadline and reports it as acquired.
+func (h *Handle) AcquireTimed(l ptr.Ptr, deadlineNS int64) (ptr.Ptr, bool) {
 	co := h.classify(l)
+	if !h.cfg.Timed {
+		deadlineNS = 0 // granters don't speak the abandon protocol
+	}
+	d, passed, ok := h.qLock(l, co, deadlineNS)
+	if !ok {
+		return ptr.Null, false
+	}
+	// Cohort classification is counted per successful acquisition, with
+	// Acquires — a timed-out attempt would otherwise break the
+	// LocalOps+RemoteOps == Acquires invariant the reports divide by.
 	if co == api.CohortLocal {
 		h.stats.LocalOps++
 	} else {
 		h.stats.RemoteOps++
 	}
-	passed := h.qLock(l, co)
 	if !passed {
 		// We swapped onto an empty cohort queue: we are the cohort leader
 		// and must win Peterson's lock before entering the critical
@@ -219,14 +323,16 @@ func (h *Handle) Lock(l ptr.Ptr) {
 	// Fence after locking (§5.2).
 	h.ctx.Fence()
 	h.stats.Acquires++
+	return d, true
 }
 
-// Unlock releases the ALock at l (Algorithm 2 line 5-6).
-func (h *Handle) Unlock(l ptr.Ptr) {
+// ReleaseDesc releases an acquisition made by AcquireTimed.
+func (h *Handle) ReleaseDesc(l ptr.Ptr, d ptr.Ptr) {
 	co := h.classify(l)
 	// Fence before unlocking (§5.2).
 	h.ctx.Fence()
-	h.qUnlock(l, co)
+	h.qUnlock(l, co, d)
+	h.putDesc(co, d)
 }
 
 // classify determines the cohort for an access to l, honoring the
@@ -238,14 +344,21 @@ func (h *Handle) classify(l ptr.Ptr) api.Cohort {
 	return api.Classify(h.ctx.NodeID(), l)
 }
 
-// qLock is the modified (budgeted) MCS queue lock of Algorithm 3. It
-// returns true iff the lock was passed to us by a predecessor — in which
-// case Peterson's lock is already held by our cohort — and false iff we
-// swapped onto an empty queue and became the cohort leader.
-func (h *Handle) qLock(l ptr.Ptr, co api.Cohort) bool {
+// qLock is the modified (budgeted) MCS queue lock of Algorithm 3. On
+// success it returns the acquisition's descriptor and whether the lock was
+// passed to us by a predecessor (true — Peterson's lock is already held by
+// our cohort) or we became cohort leader on an empty queue (false). ok is
+// false iff the deadline expired while waiting, in which case the
+// descriptor has been abandoned in place and nothing is held.
+func (h *Handle) qLock(l ptr.Ptr, co api.Cohort, deadlineNS int64) (d ptr.Ptr, passed, ok bool) {
 	v := view{ctx: h.ctx, remote: co == api.CohortRemote}
-	d := h.desc[co]
+	d = h.getDesc(co)
 	tail := TailPtr(l, co)
+
+	if deadlineNS > 0 && h.ctx.Now() >= deadlineNS {
+		h.putDesc(co, d) // gave up before touching shared state
+		return ptr.Null, false, false
+	}
 
 	// Reset our descriptor (Algorithm 3 line 2; the descriptor's own words
 	// live on our node, so these are always shared-memory writes).
@@ -268,7 +381,7 @@ func (h *Handle) qLock(l ptr.Ptr, co api.Cohort) bool {
 		// Queue was empty: cohort lock acquired outright, not passed
 		// (Algorithm 3 lines 4-6).
 		h.ctx.Write(d.Add(descBudget), uint64(h.cfg.budget(co)))
-		return false
+		return d, false, true
 	}
 
 	// We have a predecessor: link ourselves behind it (Algorithm 3 line
@@ -279,6 +392,16 @@ func (h *Handle) qLock(l ptr.Ptr, co api.Cohort) bool {
 
 	iter := 0
 	for h.ctx.Read(d.Add(descBudget)) == waiting {
+		if deadlineNS > 0 && h.ctx.Now() >= deadlineNS {
+			// Deadline passed: try to abandon the descriptor. The CAS and
+			// the granter's handoff CAS share the cohort's access class,
+			// so exactly one of them wins.
+			if v.cas(d.Add(descBudget), waiting, abandoned) == waiting {
+				h.zombies[co] = append(h.zombies[co], d)
+				return ptr.Null, false, false
+			}
+			break // the grant raced the timeout and won: we hold the lock
+		}
 		h.ctx.Pause(iter)
 		iter++
 	}
@@ -291,16 +414,18 @@ func (h *Handle) qLock(l ptr.Ptr, co api.Cohort) bool {
 		h.pReacquire(l, co)
 		h.ctx.Write(d.Add(descBudget), uint64(h.cfg.budget(co)))
 	}
-	return true
+	return d, true, true
 }
 
 // qUnlock releases the cohort MCS lock (Algorithm 3 lines 14-18). If no
 // successor is queued, CASing the tail back to NULL also lowers the
 // cohort's Peterson flag, releasing the ALock entirely. Otherwise the lock
-// is passed: the successor's budget word receives ours minus one.
-func (h *Handle) qUnlock(l ptr.Ptr, co api.Cohort) {
+// is passed: the successor's budget word receives ours minus one — a
+// single descriptor write in the paper's protocol, or a CAS against the
+// waiting sentinel under Config.Timed, so a successor that abandoned its
+// descriptor on deadline is detected and patched around instead of woken.
+func (h *Handle) qUnlock(l ptr.Ptr, co api.Cohort, d ptr.Ptr) {
 	v := view{ctx: h.ctx, remote: co == api.CohortRemote}
-	d := h.desc[co]
 	tail := TailPtr(l, co)
 
 	if v.cas(tail, d.Word(), ptr.Null.Word()) == d.Word() {
@@ -316,9 +441,40 @@ func (h *Handle) qUnlock(l ptr.Ptr, co api.Cohort) {
 	}
 	succ := ptr.FromWord(h.ctx.Read(d.Add(descNext)))
 	myBudget := int64(h.ctx.Read(d.Add(descBudget)))
-	// Pass the lock (Algorithm 3 line 18): the successor's spin ends when
-	// its budget turns non-negative.
-	v.write(succ.Add(descBudget), uint64(myBudget-1))
+	pass := uint64(myBudget - 1)
+
+	if !h.cfg.Timed {
+		// Pass the lock (Algorithm 3 line 18): the successor's spin ends
+		// when its budget turns non-negative.
+		v.write(succ.Add(descBudget), pass)
+		return
+	}
+	for {
+		prev := v.cas(succ.Add(descBudget), waiting, pass)
+		if prev == waiting {
+			return // passed
+		}
+		// prev == abandoned: the successor timed out. Patch the queue
+		// around its descriptor: either the queue ends there (tail CAS
+		// back to NULL releases the ALock) or we move on to its own
+		// successor, marking the dead descriptor skipped once its next
+		// word is no longer needed.
+		next := v.read(succ.Add(descNext))
+		if next == ptr.Null.Word() {
+			if v.cas(tail, succ.Word(), ptr.Null.Word()) == succ.Word() {
+				v.write(succ.Add(descBudget), skipped)
+				return // queue drained; ALock released
+			}
+			iter := 0
+			for next == ptr.Null.Word() {
+				h.ctx.Pause(iter)
+				iter++
+				next = v.read(succ.Add(descNext))
+			}
+		}
+		v.write(succ.Add(descBudget), skipped)
+		succ = ptr.FromWord(next)
+	}
 }
 
 // pReacquire is the modified Peterson's lock (Algorithm 4): yield to the

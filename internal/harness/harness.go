@@ -74,6 +74,23 @@ type Config struct {
 	// operation always acquires exclusive mode regardless of ReadPct.
 	LeaseProb float64
 	LeaseHold time.Duration
+	// AcquireTimeout, when > 0, bounds every acquisition: acquires still
+	// waiting after this much engine time give up and are recorded as
+	// timeouts. Setting it also switches the queued algorithms into the
+	// abandonment-tolerant handoff protocol (locks.Options.Timed);
+	// timeout-free configs keep the paper-exact paths and replay
+	// bit-identically.
+	AcquireTimeout time.Duration
+	// AbandonProb/AbandonHold, when both set, make that fraction of
+	// exclusive holds "crash": the lock wedges for AbandonHold, then
+	// recovery reclaims it and the holder's late release is fenced off by
+	// its stale token (failure-injection extension; pair ops are exempt).
+	AbandonProb float64
+	AbandonHold time.Duration
+	// PairProb, when > 0, turns that fraction of operations into two-lock
+	// transactions: both locks acquired in ascending table order, one
+	// critical section, released in reverse order.
+	PairProb float64
 	// Seed makes the run reproducible.
 	Seed int64
 	// WordsPerNode sizes each node's memory region (0 = 1Mi words = 8 MiB).
@@ -134,6 +151,22 @@ func (c Config) Validate() error {
 		return fmt.Errorf("harness: lease needs both probability and hold (prob=%v hold=%v)",
 			c.LeaseProb, c.LeaseHold)
 	}
+	if c.AcquireTimeout < 0 {
+		return fmt.Errorf("harness: negative acquire timeout %v", c.AcquireTimeout)
+	}
+	if c.AbandonProb < 0 || c.AbandonProb > 1 || c.AbandonHold < 0 ||
+		(c.AbandonProb > 0) != (c.AbandonHold > 0) {
+		return fmt.Errorf("harness: abandon needs both probability and hold (prob=%v hold=%v)",
+			c.AbandonProb, c.AbandonHold)
+	}
+	if c.AbandonProb > 0 && c.AcquireTimeout <= 0 {
+		// A wedged lock with unbounded waiters makes no progress at all;
+		// the timeout is the recovery story's other half.
+		return fmt.Errorf("harness: AbandonProb requires AcquireTimeout so waiters can escape")
+	}
+	if c.PairProb < 0 || c.PairProb > 1 {
+		return fmt.Errorf("harness: pair probability %v out of range", c.PairProb)
+	}
 	return c.Model.Validate()
 }
 
@@ -172,6 +205,17 @@ type Result struct {
 	WriteOps     int64
 	ReadLatency  stats.Summary
 	WriteLatency stats.Summary
+	// Acquisition-outcome counters (token API; post-warmup, like Ops).
+	// Timeouts counts acquires that gave up at their deadline and
+	// TimeoutLatency is their acquire-latency-to-outcome digest; Abandons
+	// counts simulated holder crashes; FencedReleases counts releases
+	// rejected by a stale fencing token (late releases after timeout or
+	// recovery); PairOps counts completed two-lock transactions.
+	Timeouts       int64
+	TimeoutLatency stats.Summary
+	Abandons       int64
+	FencedReleases int64
+	PairOps        int64
 	// CDF is the empirical latency distribution (Figure 6).
 	CDF []stats.Point
 	// NIC aggregates fabric counters (whole run, including warmup).
@@ -201,6 +245,9 @@ func Run(cfg Config) (Result, error) {
 			WriteBudget: cfg.WriteBudget,
 		},
 		Threads: threads,
+		// Deadlines need the abandonment-tolerant handoff protocol; every
+		// other config keeps the paper-exact paths (bit-identical replay).
+		Timed: cfg.AcquireTimeout > 0,
 	})
 	if err != nil {
 		return Result{}, err
@@ -215,18 +262,26 @@ func Run(cfg Config) (Result, error) {
 	prov.Prepare(e.Space(), table.All())
 
 	spec := workload.Spec{
-		LocalityPct: cfg.LocalityPct,
-		CSWork:      cfg.CSWork,
-		Think:       cfg.Think,
-		WarmupNS:    cfg.WarmupNS,
-		ZipfS:       cfg.ZipfS,
-		BurstOnNS:   cfg.BurstOn.Nanoseconds(),
-		BurstOffNS:  cfg.BurstOff.Nanoseconds(),
-		ReadPct:     cfg.ReadPct,
-		LeaseProb:   cfg.LeaseProb,
-		LeaseHoldNS: cfg.LeaseHold.Nanoseconds(),
+		LocalityPct:      cfg.LocalityPct,
+		CSWork:           cfg.CSWork,
+		Think:            cfg.Think,
+		WarmupNS:         cfg.WarmupNS,
+		ZipfS:            cfg.ZipfS,
+		BurstOnNS:        cfg.BurstOn.Nanoseconds(),
+		BurstOffNS:       cfg.BurstOff.Nanoseconds(),
+		ReadPct:          cfg.ReadPct,
+		LeaseProb:        cfg.LeaseProb,
+		LeaseHoldNS:      cfg.LeaseHold.Nanoseconds(),
+		AcquireTimeoutNS: cfg.AcquireTimeout.Nanoseconds(),
+		AbandonProb:      cfg.AbandonProb,
+		AbandonHoldNS:    cfg.AbandonHold.Nanoseconds(),
+		PairProb:         cfg.PairProb,
 	}
 
+	// One fencing authority per run: grant order (hence every token) is
+	// part of the deterministic schedule. It lives outside simulated
+	// memory, so the token layer costs no simulated operations.
+	ft := locks.NewFenceTable()
 	results := make([]workload.ThreadResult, threads)
 	var opsDone int64
 	idx := 0
@@ -236,7 +291,7 @@ func Run(cfg Config) (Result, error) {
 			node := n
 			idx++
 			e.Spawn(node, func(ctx api.Ctx) {
-				h := locks.RWHandleFor(prov, ctx)
+				h := locks.TokenHandleFor(prov, ctx, ft)
 				results[slot] = workload.Run(ctx, h, table, spec, &opsDone, cfg.TargetOps, e)
 			})
 		}
@@ -244,16 +299,21 @@ func Run(cfg Config) (Result, error) {
 	e.Run(cfg.WarmupNS + cfg.MeasureNS)
 
 	res := Result{Config: cfg, Events: e.Events()}
-	var hist, readHist, writeHist stats.Hist
+	var hist, readHist, writeHist, timeoutHist stats.Hist
 	var firstRec, lastRec int64
 	for i := range results {
 		r := &results[i]
 		res.Ops += r.Ops
 		res.ReadOps += r.ReadOps
 		res.WriteOps += r.WriteOps
+		res.Timeouts += r.Timeouts
+		res.Abandons += r.Abandons
+		res.FencedReleases += r.FencedReleases
+		res.PairOps += r.PairOps
 		hist.Merge(&r.Latency)
 		readHist.Merge(&r.ReadLatency)
 		writeHist.Merge(&r.WriteLatency)
+		timeoutHist.Merge(&r.TimeoutLatency)
 		if r.Ops > 0 {
 			if firstRec == 0 || r.FirstRecNS < firstRec {
 				firstRec = r.FirstRecNS
@@ -271,6 +331,7 @@ func Run(cfg Config) (Result, error) {
 	res.Latency = hist.Summarize()
 	res.ReadLatency = readHist.Summarize()
 	res.WriteLatency = writeHist.Summarize()
+	res.TimeoutLatency = timeoutHist.Summarize()
 	res.CDF = hist.CDF()
 
 	for n := 0; n < cfg.Nodes; n++ {

@@ -377,6 +377,85 @@ func TestReadWriteWorkloadConfigs(t *testing.T) {
 
 // --- Table 1 ---
 
+// TestTokenAxisConfigs pins the acquisition-token plumbing end to end:
+// deadlines produce timeout counts with their own latency digest, abandons
+// produce matching fenced releases, pair ops complete, and the validator
+// rejects half-set failure knobs.
+func TestTokenAxisConfigs(t *testing.T) {
+	cfg := quickCfg("mcs")
+	cfg.Locks = 3 // hot enough that a tight deadline fires
+	cfg.AcquireTimeout = 6 * time.Microsecond
+	cfg.AbandonProb = 0.01
+	cfg.AbandonHold = 40 * time.Microsecond
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Timeouts == 0 {
+		t.Error("no timeouts under a tight deadline on hot locks")
+	}
+	if r.TimeoutLatency.Count != r.Timeouts {
+		t.Errorf("timeout digest count %d != timeouts %d", r.TimeoutLatency.Count, r.Timeouts)
+	}
+	if r.Abandons == 0 || r.FencedReleases != r.Abandons {
+		t.Errorf("abandons=%d fenced=%d, want equal and non-zero", r.Abandons, r.FencedReleases)
+	}
+	if r.Ops == 0 {
+		t.Error("non-abandoning work made no progress (no recovery)")
+	}
+
+	pair := quickCfg("alock")
+	pair.PairProb = 0.2
+	rp, err := Run(pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.PairOps == 0 || rp.PairOps > rp.Ops {
+		t.Errorf("pair ops %d of %d", rp.PairOps, rp.Ops)
+	}
+	if rp.Timeouts != 0 || rp.FencedReleases != 0 {
+		t.Errorf("pair-only config leaked failure outcomes: %+v", rp)
+	}
+
+	bad := quickCfg("mcs")
+	bad.AbandonProb = 0.01 // no hold, no timeout
+	if _, err := Run(bad); err == nil {
+		t.Error("half-set abandon config accepted")
+	}
+	bad = quickCfg("mcs")
+	bad.AbandonProb = 0.01
+	bad.AbandonHold = 10 * time.Microsecond // still no timeout: waiters wedge
+	if _, err := Run(bad); err == nil {
+		t.Error("abandon without acquire timeout accepted")
+	}
+}
+
+// TestTimedRunsDeterministic: the failure axis must stay bit-reproducible
+// (the CI serial-vs-parallel diff depends on it).
+func TestTimedRunsDeterministic(t *testing.T) {
+	mk := func() Config {
+		cfg := quickCfg("rw-queue")
+		cfg.Locks = 5
+		cfg.ReadPct = 50
+		cfg.AcquireTimeout = 10 * time.Microsecond
+		cfg.AbandonProb = 0.01
+		cfg.AbandonHold = 50 * time.Microsecond
+		return cfg
+	}
+	a, err := Run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ops != b.Ops || a.Timeouts != b.Timeouts || a.Abandons != b.Abandons ||
+		a.FencedReleases != b.FencedReleases || a.Events != b.Events {
+		t.Fatalf("timed runs nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
 func TestTable1MatchesPaper(t *testing.T) {
 	expected := map[string]bool{
 		"Read/Read": true, "Read/Write": true, "Read/CAS": true,

@@ -1,0 +1,60 @@
+// descpool.go: the per-thread queue-descriptor pool shared by the queued
+// locks. Descriptors are allocated per acquisition (so one thread can hold
+// several locks), recycled through a free list, and — under the timed
+// protocol — parked on a zombie list when abandoned on deadline until the
+// granter that patched the queue around them writes the skip mark into
+// their spin word, at which point the owner may reuse them.
+package locks
+
+import (
+	"alock/internal/api"
+	"alock/internal/ptr"
+)
+
+// descPool manages one thread's descriptors for one queued lock algorithm.
+type descPool struct {
+	ctx   api.Ctx
+	words int    // allocation size and alignment, in words
+	spin  uint64 // offset of the word the granter writes the skip mark to
+	skip  uint64 // the skip-mark value releasing a zombie to its owner
+	free  []ptr.Ptr
+	zombs []ptr.Ptr
+}
+
+// get pops a free descriptor, first recycling zombies whose granter has
+// marked them skipped, allocating fresh memory only when every descriptor
+// is in use or still awaiting its skip mark.
+func (p *descPool) get() ptr.Ptr {
+	if len(p.zombs) > 0 {
+		kept := p.zombs[:0]
+		for _, z := range p.zombs {
+			// Our own descriptor on our own node: a shared-memory read is
+			// atomic with the granter's skip mark in either class.
+			if p.ctx.Read(z.Add(p.spin)) == p.skip {
+				p.free = append(p.free, z)
+			} else {
+				kept = append(kept, z)
+			}
+		}
+		p.zombs = kept
+	}
+	if n := len(p.free); n > 0 {
+		d := p.free[n-1]
+		p.free = p.free[:n-1]
+		return d
+	}
+	return p.ctx.Alloc(p.words, p.words)
+}
+
+// put returns a released descriptor to the free list (Null is a no-op, for
+// fast-path acquisitions that never took a descriptor).
+func (p *descPool) put(d ptr.Ptr) {
+	if d != ptr.Null {
+		p.free = append(p.free, d)
+	}
+}
+
+// zombie parks an abandoned descriptor until its skip mark lands.
+func (p *descPool) zombie(d ptr.Ptr) {
+	p.zombs = append(p.zombs, d)
+}

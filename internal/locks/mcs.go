@@ -9,15 +9,27 @@ import (
 // (word 0 holds the queue tail).
 const MCSLockWords = 8
 
-// Descriptor layout for the RDMA MCS lock: word 0 is the spin flag
-// (1 = waiting, 0 = lock passed), word 1 is the next pointer. Padded to a
-// cache line.
+// Descriptor layout for the RDMA MCS lock: word 0 is the spin flag, word 1
+// is the next pointer. Padded to a cache line.
+//
+// Spin-flag protocol: the flag starts at mcsWaiting; in the paper's
+// protocol the granter simply writes mcsGranted. Under the timed protocol
+// every transition out of mcsWaiting is an rCAS (the lock is all-RDMA, so
+// waiter and granter share the remote RMW class and the CASes are mutually
+// atomic): a waiter whose deadline passes CASes to mcsAbandoned and leaves,
+// and the granter that later bypasses the dead descriptor marks it
+// mcsSkipped so the owning thread can recycle it.
 const (
 	mcsLocked = 0
 	mcsNext   = 1
 
 	// MCSDescWords is the descriptor allocation size.
 	MCSDescWords = 8
+
+	mcsGranted   = 0
+	mcsWaiting   = 1
+	mcsAbandoned = 2
+	mcsSkipped   = 3
 )
 
 // MCSHandle is the paper's second competitor: the classic Mellor-Crummey &
@@ -32,22 +44,76 @@ const (
 // which is why MCS tolerates high contention far better than the spinlock
 // (Section 6.2) while still paying verb latency for everything.
 type MCSHandle struct {
-	ctx  api.Ctx
+	ctx api.Ctx
+	// timed selects the CAS-based handoff protocol that tolerates waiters
+	// abandoning descriptors on deadline; it is a run-wide mode (granters
+	// and waiters must agree). Off, the lock is the paper's byte-for-byte.
+	timed bool
+	pool  descPool
+	held  []mcsHeld // outstanding Lock/Unlock-facade acquisitions
+}
+
+type mcsHeld struct {
+	lock ptr.Ptr
 	desc ptr.Ptr
 }
 
 var _ api.Locker = (*MCSHandle)(nil)
 
-// NewMCSHandle allocates the thread's queue descriptor on its own node.
+// NewMCSHandle allocates the thread's first queue descriptor on its own
+// node; further descriptors are allocated only for overlapping holds.
 func NewMCSHandle(ctx api.Ctx) *MCSHandle {
-	d := ctx.Alloc(MCSDescWords, MCSDescWords)
-	return &MCSHandle{ctx: ctx, desc: d}
+	h := &MCSHandle{ctx: ctx, pool: descPool{
+		ctx: ctx, words: MCSDescWords, spin: mcsLocked, skip: mcsSkipped,
+	}}
+	h.pool.put(ctx.Alloc(MCSDescWords, MCSDescWords))
+	return h
+}
+
+// NewTimedMCSHandle returns a handle speaking the timed handoff protocol.
+func NewTimedMCSHandle(ctx api.Ctx) *MCSHandle {
+	h := NewMCSHandle(ctx)
+	h.timed = true
+	return h
 }
 
 // Lock enqueues onto the lock's tail word and waits to reach the head.
 func (h *MCSHandle) Lock(l ptr.Ptr) {
+	d, _ := h.AcquireTimedDesc(l, 0)
+	h.held = append(h.held, mcsHeld{lock: l, desc: d})
+}
+
+// Unlock dequeues: if no successor is queued the tail is CASed back to
+// NULL; otherwise we wait for the successor's link and pass the lock by
+// clearing its spin flag.
+func (h *MCSHandle) Unlock(l ptr.Ptr) {
+	for i := len(h.held) - 1; i >= 0; i-- {
+		if h.held[i].lock == l {
+			d := h.held[i].desc
+			h.held = append(h.held[:i], h.held[i+1:]...)
+			h.ReleaseDesc(l, d)
+			return
+		}
+	}
+	panic("locks: MCS Unlock without matching Lock")
+}
+
+// AcquireTimedDesc enqueues onto the lock's tail and waits to reach the
+// head, giving up once engine time reaches deadlineNS (0 = block; deadlines
+// require the timed protocol). On success it returns the acquisition's
+// descriptor for ReleaseDesc; on timeout the descriptor has been CAS-marked
+// abandoned in place — the granter patches the queue around it — and
+// nothing is held.
+func (h *MCSHandle) AcquireTimedDesc(l ptr.Ptr, deadlineNS int64) (ptr.Ptr, bool) {
 	ctx := h.ctx
-	d := h.desc
+	if !h.timed {
+		deadlineNS = 0
+	}
+	d := h.pool.get()
+	if deadlineNS > 0 && ctx.Now() >= deadlineNS {
+		h.pool.put(d)
+		return ptr.Null, false
+	}
 
 	// Reset the descriptor with shared-memory writes: the descriptor is
 	// the thread's own scratch (on its own node) and is not yet linked
@@ -55,7 +121,7 @@ func (h *MCSHandle) Lock(l ptr.Ptr) {
 	// (Table 1), so this is safe and is how an optimized port prepares
 	// its metadata. All *shared* queue state below goes through verbs.
 	ctx.Write(d.Add(mcsNext), ptr.Null.Word())
-	ctx.Write(d.Add(mcsLocked), 1)
+	ctx.Write(d.Add(mcsLocked), mcsWaiting)
 
 	// Swap onto the tail (CAS-retry loop: RDMA has no unconditional swap).
 	expected := ptr.Null.Word()
@@ -68,32 +134,68 @@ func (h *MCSHandle) Lock(l ptr.Ptr) {
 	}
 	if expected == ptr.Null.Word() {
 		ctx.Fence()
-		return // queue was empty: lock acquired
+		return d, true // queue was empty: lock acquired
 	}
 
 	// Link behind the predecessor, then spin on our own descriptor via
 	// loopback reads until the predecessor passes the lock.
 	prev := ptr.FromWord(expected)
 	ctx.RWrite(prev.Add(mcsNext), d.Word())
-	for ctx.RRead(d.Add(mcsLocked)) == 1 {
+	for ctx.RRead(d.Add(mcsLocked)) == mcsWaiting {
 		// Each poll is a full loopback verb; no extra pacing needed.
+		if deadlineNS > 0 && ctx.Now() >= deadlineNS {
+			// Deadline passed: abandon the descriptor unless the grant
+			// races the timeout and wins (both transitions are rCAS, so
+			// exactly one wins).
+			if ctx.RCAS(d.Add(mcsLocked), mcsWaiting, mcsAbandoned) == mcsWaiting {
+				h.pool.zombie(d)
+				return ptr.Null, false
+			}
+			break // granted just in time
+		}
 	}
 	ctx.Fence()
+	return d, true
 }
 
-// Unlock dequeues: if no successor is queued the tail is CASed back to
-// NULL; otherwise we wait for the successor's link and pass the lock by
-// clearing its spin flag.
-func (h *MCSHandle) Unlock(l ptr.Ptr) {
+// ReleaseDesc releases an acquisition made by AcquireTimedDesc.
+func (h *MCSHandle) ReleaseDesc(l ptr.Ptr, d ptr.Ptr) {
 	ctx := h.ctx
-	d := h.desc
 	ctx.Fence()
 
 	if ctx.RCAS(l, d.Word(), ptr.Null.Word()) == d.Word() {
+		h.pool.put(d)
 		return
 	}
 	for ctx.RRead(d.Add(mcsNext)) == ptr.Null.Word() {
 	}
 	succ := ptr.FromWord(ctx.RRead(d.Add(mcsNext)))
-	ctx.RWrite(succ.Add(mcsLocked), 0)
+	if !h.timed {
+		ctx.RWrite(succ.Add(mcsLocked), mcsGranted)
+		h.pool.put(d)
+		return
+	}
+	for {
+		if ctx.RCAS(succ.Add(mcsLocked), mcsWaiting, mcsGranted) == mcsWaiting {
+			break // handed off
+		}
+		// Abandoned successor: patch the queue around its descriptor —
+		// either the queue ends there (tail CAS back to NULL releases the
+		// lock) or we move on to its own successor, marking the dead
+		// descriptor skipped once its next word is no longer needed.
+		next := ctx.RRead(succ.Add(mcsNext))
+		if next == ptr.Null.Word() {
+			if ctx.RCAS(l, succ.Word(), ptr.Null.Word()) == succ.Word() {
+				ctx.RWrite(succ.Add(mcsLocked), mcsSkipped)
+				h.pool.put(d)
+				return // queue drained; lock released
+			}
+			for next == ptr.Null.Word() {
+				next = ctx.RRead(succ.Add(mcsNext))
+			}
+		}
+		ctx.RWrite(succ.Add(mcsLocked), mcsSkipped)
+		succ = ptr.FromWord(next)
+	}
+	h.pool.put(d)
 }

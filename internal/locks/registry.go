@@ -51,6 +51,11 @@ func (p *ALockProvider) NewHandle(ctx api.Ctx) api.Locker {
 	return core.NewHandle(ctx, p.Cfg)
 }
 
+// NewTimedHandle implements TimedProvider.
+func (p *ALockProvider) NewTimedHandle(ctx api.Ctx) TimedHandle {
+	return alockTimed{h: core.NewHandle(ctx, p.Cfg)}
+}
+
 // SpinProvider supplies the RDMA spinlock competitor.
 type SpinProvider struct{}
 
@@ -63,8 +68,14 @@ func (SpinProvider) Prepare(*mem.Space, []ptr.Ptr) {}
 // NewHandle implements Provider.
 func (SpinProvider) NewHandle(ctx api.Ctx) api.Locker { return NewSpinHandle(ctx) }
 
-// MCSProvider supplies the RDMA MCS queue lock competitor.
-type MCSProvider struct{}
+// NewTimedHandle implements TimedProvider.
+func (SpinProvider) NewTimedHandle(ctx api.Ctx) TimedHandle {
+	return spinTimed{h: NewSpinHandle(ctx)}
+}
+
+// MCSProvider supplies the RDMA MCS queue lock competitor. Timed selects
+// the abandonment-tolerant handoff protocol (run-wide mode).
+type MCSProvider struct{ Timed bool }
 
 // Name implements Provider.
 func (MCSProvider) Name() string { return "mcs" }
@@ -73,7 +84,19 @@ func (MCSProvider) Name() string { return "mcs" }
 func (MCSProvider) Prepare(*mem.Space, []ptr.Ptr) {}
 
 // NewHandle implements Provider.
-func (MCSProvider) NewHandle(ctx api.Ctx) api.Locker { return NewMCSHandle(ctx) }
+func (p MCSProvider) NewHandle(ctx api.Ctx) api.Locker { return p.newHandle(ctx) }
+
+// NewTimedHandle implements TimedProvider.
+func (p MCSProvider) NewTimedHandle(ctx api.Ctx) TimedHandle {
+	return mcsTimed{h: p.newHandle(ctx)}
+}
+
+func (p MCSProvider) newHandle(ctx api.Ctx) *MCSHandle {
+	if p.Timed {
+		return NewTimedMCSHandle(ctx)
+	}
+	return NewMCSHandle(ctx)
+}
 
 // trackedProvider wraps ALockProvider to retain handles for stats
 // harvesting after a run.
@@ -84,6 +107,16 @@ type trackedALockProvider struct {
 }
 
 func (p *trackedALockProvider) NewHandle(ctx api.Ctx) api.Locker {
+	return p.newTracked(ctx)
+}
+
+// NewTimedHandle implements TimedProvider (the tracked handle keeps
+// feeding AggregateStats).
+func (p *trackedALockProvider) NewTimedHandle(ctx api.Ctx) TimedHandle {
+	return alockTimed{h: p.newTracked(ctx)}
+}
+
+func (p *trackedALockProvider) newTracked(ctx api.Ctx) *core.Handle {
 	h := core.NewHandle(ctx, p.Cfg)
 	p.mu.Lock()
 	p.handles = append(p.handles, h)
@@ -149,6 +182,12 @@ type Options struct {
 	// Threads is the total thread count, required by the filter and
 	// bakery baselines.
 	Threads int
+	// Timed puts the queued algorithms (alock, mcs, rw-queue) into the
+	// abandonment-tolerant handoff protocol required for token-API
+	// deadlines. It is a run-wide mode: granters and waiters must speak
+	// the same protocol. Off, every algorithm runs its paper-exact paths,
+	// keeping feature-off schedules bit-identical.
+	Timed bool
 }
 
 // Names lists every constructible algorithm, sorted.
@@ -192,6 +231,7 @@ func ByName(name string, opts Options) (Provider, error) {
 		// make the same flags behave differently across -algo values.
 		return nil, err
 	}
+	cfg.Timed = opts.Timed
 	switch name {
 	case "alock":
 		return NewTrackedALockProvider(cfg), nil
@@ -201,21 +241,21 @@ func ByName(name string, opts Options) (Provider, error) {
 		// passing continues indefinitely, removing the fairness mechanism.
 		nb.LocalBudget = 1 << 40
 		nb.RemoteBudget = 1 << 40
-		return &nobudgetProvider{Provider: NewTrackedALockProvider(nb)}, nil
+		return &nobudgetProvider{NewTrackedALockProvider(nb).(*trackedALockProvider)}, nil
 	case "alock-symmetric":
 		sym := cfg
 		sym.ForceRemote = true
-		return &symmetricProvider{Provider: NewTrackedALockProvider(sym)}, nil
+		return &symmetricProvider{NewTrackedALockProvider(sym).(*trackedALockProvider)}, nil
 	case "spinlock":
 		return SpinProvider{}, nil
 	case "mcs":
-		return MCSProvider{}, nil
+		return MCSProvider{Timed: opts.Timed}, nil
 	case "rw-budget":
 		return &RWBudgetProvider{Cfg: rwCfg}, nil
 	case "rw-wpref":
 		return RWPrefProvider{}, nil
 	case "rw-queue":
-		return &RWQueueProvider{Cfg: rwCfg}, nil
+		return &RWQueueProvider{Cfg: rwCfg, Timed: opts.Timed}, nil
 	case "filter":
 		if opts.Threads < 1 {
 			return nil, fmt.Errorf("locks: %q requires Options.Threads", name)
@@ -231,11 +271,13 @@ func ByName(name string, opts Options) (Provider, error) {
 	}
 }
 
-// nobudgetProvider / symmetricProvider rename wrapped ALock providers.
-type nobudgetProvider struct{ Provider }
+// nobudgetProvider / symmetricProvider rename wrapped ALock providers
+// (the concrete embed keeps the TimedProvider and StatsAggregator methods
+// promoted).
+type nobudgetProvider struct{ *trackedALockProvider }
 
 func (nobudgetProvider) Name() string { return "alock-nobudget" }
 
-type symmetricProvider struct{ Provider }
+type symmetricProvider struct{ *trackedALockProvider }
 
 func (symmetricProvider) Name() string { return "alock-symmetric" }

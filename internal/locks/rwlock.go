@@ -201,12 +201,18 @@ func (h *RWHandle) writerEnter(s uint64) uint64 {
 // the home node) happen only between Pause back-offs while waiting.
 
 // RLock implements api.RWLocker: shared acquire.
-func (h *RWHandle) RLock(l ptr.Ptr) {
+func (h *RWHandle) RLock(l ptr.Ptr) { h.AcquireSharedTimed(l, 0) }
+
+// AcquireSharedTimed is RLock with a deadline (0 = block). The single-word
+// timeout path is a bounded poll followed by a CAS retraction: a waiter
+// that registered in rdWait takes itself back out before giving up, so
+// writer admissions stop consuming budget on behalf of a goner.
+func (h *RWHandle) AcquireSharedTimed(l ptr.Ptr, deadlineNS int64) bool {
 	// Optimistic: a pristine idle lock is entered with a single rCAS.
 	s := h.ctx.RCAS(l, 0, h.readerEnter(0, false))
 	if s == 0 {
 		h.ctx.Fence()
-		return
+		return true
 	}
 	registered := false
 	iter := 0
@@ -215,10 +221,21 @@ func (h *RWHandle) RLock(l ptr.Ptr) {
 			prev := h.ctx.RCAS(l, s, h.readerEnter(s, registered))
 			if prev == s {
 				h.ctx.Fence()
-				return
+				return true
 			}
 			s = prev
 			continue
+		}
+		if deadlineNS > 0 && h.ctx.Now() >= deadlineNS {
+			for registered {
+				prev := h.ctx.RCAS(l, s, s-(1<<rwRdWaitShift))
+				if prev == s {
+					registered = false
+				} else {
+					s = prev
+				}
+			}
+			return false
 		}
 		if h.budgeted && !registered {
 			// Register as a waiting reader so writer admissions consume
@@ -252,14 +269,20 @@ func (h *RWHandle) RUnlock(l ptr.Ptr) {
 }
 
 // Lock implements api.Locker: exclusive (write) acquire.
-func (h *RWHandle) Lock(l ptr.Ptr) {
+func (h *RWHandle) Lock(l ptr.Ptr) { h.AcquireExclTimed(l, 0) }
+
+// AcquireExclTimed is Lock with a deadline (0 = block). On success the
+// returned word is the state the acquire installed — the optimistic seed
+// its matching release should use. On timeout the registration in wrWait
+// is retracted by CAS and nothing is held.
+func (h *RWHandle) AcquireExclTimed(l ptr.Ptr, deadlineNS int64) (uint64, bool) {
 	// Optimistic: a pristine idle lock is claimed with a single rCAS,
 	// skipping the registration round trip the slow path pays.
 	s := h.ctx.RCAS(l, 0, uint64(1)<<rwWrActiveBit)
 	if s == 0 {
 		h.held = 1 << rwWrActiveBit
 		h.ctx.Fence()
-		return
+		return h.held, true
 	}
 	// Idle but with residual phase/grants bits: still a single-CAS claim.
 	if rwRdActive(s) == 0 && !rwWrActive(s) && rwWrWait(s) == 0 && rwRdWait(s) == 0 {
@@ -270,7 +293,7 @@ func (h *RWHandle) Lock(l ptr.Ptr) {
 		if prev := h.ctx.RCAS(l, s, ns); prev == s {
 			h.held = ns
 			h.ctx.Fence()
-			return
+			return h.held, true
 		}
 	}
 	// Register first — registration doubles as the "writer interested"
@@ -292,10 +315,19 @@ func (h *RWHandle) Lock(l ptr.Ptr) {
 			if prev == s {
 				h.held = ns
 				h.ctx.Fence()
-				return
+				return h.held, true
 			}
 			s = prev
 			continue
+		}
+		if deadlineNS > 0 && h.ctx.Now() >= deadlineNS {
+			for {
+				prev := h.ctx.RCAS(l, s, s-(1<<rwWrWaitShift))
+				if prev == s {
+					return 0, false
+				}
+				s = prev
+			}
 		}
 		h.ctx.Pause(iter)
 		iter++
@@ -304,9 +336,14 @@ func (h *RWHandle) Lock(l ptr.Ptr) {
 }
 
 // Unlock implements api.Locker: exclusive release.
-func (h *RWHandle) Unlock(l ptr.Ptr) {
+func (h *RWHandle) Unlock(l ptr.Ptr) { h.ReleaseExcl(l, h.held) }
+
+// ReleaseExcl releases an exclusive acquisition, seeded with the state
+// word that acquisition installed (per-acquisition state, so overlapping
+// exclusive holds of different locks release correctly).
+func (h *RWHandle) ReleaseExcl(l ptr.Ptr, held uint64) {
 	h.ctx.Fence()
-	s := h.held // expected state from our own acquire: usually still exact
+	s := held // expected state from the acquire: usually still exact
 	for {
 		prev := h.ctx.RCAS(l, s, s&^(uint64(1)<<rwWrActiveBit))
 		if prev == s {
@@ -342,6 +379,11 @@ func (p *RWBudgetProvider) NewRWHandle(ctx api.Ctx) api.RWLocker {
 	return NewRWBudgetHandle(ctx, p.Cfg)
 }
 
+// NewTimedHandle implements TimedProvider.
+func (p *RWBudgetProvider) NewTimedHandle(ctx api.Ctx) TimedHandle {
+	return rwTimed{h: NewRWBudgetHandle(ctx, p.Cfg)}
+}
+
 // RWPrefProvider supplies the writer-preference baseline.
 type RWPrefProvider struct{}
 
@@ -356,3 +398,8 @@ func (p RWPrefProvider) NewHandle(ctx api.Ctx) api.Locker { return p.NewRWHandle
 
 // NewRWHandle implements RWProvider.
 func (RWPrefProvider) NewRWHandle(ctx api.Ctx) api.RWLocker { return NewRWPrefHandle(ctx) }
+
+// NewTimedHandle implements TimedProvider.
+func (RWPrefProvider) NewTimedHandle(ctx api.Ctx) TimedHandle {
+	return rwTimed{h: NewRWPrefHandle(ctx)}
+}

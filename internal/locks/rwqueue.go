@@ -5,32 +5,43 @@
 // storm — the same scalability failure the paper's ALock avoids with its
 // queue-per-cohort discipline. rw-queue distributes the waiting instead:
 //
-//   - Every waiter that cannot enter immediately enqueues a per-thread
-//     descriptor (allocated on its own node, like the exclusive MCS lock in
-//     mcs.go) and spins on the descriptor's own word with shared-memory
-//     reads — waiting costs the fabric nothing.
+//   - Every waiter that cannot enter immediately enqueues a descriptor
+//     (allocated per acquisition from the thread's free list, on its own
+//     node like the exclusive MCS lock in mcs.go) and spins on the
+//     descriptor's own word with shared-memory reads — waiting costs the
+//     fabric nothing. Per-acquisition descriptors let one thread hold
+//     several locks at once.
 //   - Readers batch into reader groups: a granted reader admits a reader
 //     successor immediately (chain admission), so queued readers still
 //     overlap inside the critical section.
-//   - The ALock budget idea bounds same-class admission runs: arriving
-//     readers may barge into the open group through a one-rCAS fast path,
-//     but only until the group has admitted ReadBudget readers; after that
-//     they enqueue behind any waiting writer, so a queued writer's wait is
-//     bounded by the budget plus the queue prefix ahead of it. Handoff
-//     among queued waiters is strictly FIFO; writers have no group to
-//     barge into, so rw-queue consumes only ReadBudget (WriteBudget
-//     applies to rw-budget). The one writer-side shortcut is the
-//     optimistic idle claim below, which can win an idle lock against a
-//     queue-head waiter's next poll — the same claim race the single-word
-//     locks run, with the window capped by the poll back-off bound rather
-//     than by a budget.
+//   - The ALock budget idea bounds same-class admission runs in both
+//     directions. Arriving readers may barge into the open group through a
+//     one-rCAS fast path, but only until the group has admitted ReadBudget
+//     readers; after that they enqueue behind any waiting writer. Writers
+//     symmetrically may claim an idle lock through a one-rCAS fast path —
+//     the window that opens right after a group drains — but only
+//     WriteBudget consecutive times: the state word counts optimistic
+//     writer claims, the count survives release-to-idle, and it resets
+//     whenever the lock is granted through the queue, so queue-head
+//     waiters are overtaken at most WriteBudget times per episode.
 //   - Lock handoff is one rCAS on the tail (or group word) plus a single
 //     write to the successor's descriptor — no shared-word polling storm.
 //
+// Under the timed protocol (token API deadlines) every transition out of a
+// descriptor's waiting state is an rCAS, so a waiter whose deadline passes
+// can abandon its descriptor in place (CAS waiting -> abandoned) and the
+// granter patches the queue around it; a granter instead claims a live
+// successor (CAS waiting -> claimed) before doing its group bookkeeping,
+// which commits the successor — its own timeout CAS can no longer win. A
+// queue-head waiter that times out hands its head position to the next
+// live waiter with a distinct head wake value.
+//
 // Class discipline (Table 1): the lock line's tail and group words are
-// mutated exclusively with rCAS from every node; the wake word and the
-// descriptors see only reads and writes (either class), which are atomic
-// with everything. Threads poll the group word and spin on their own
+// mutated exclusively with rCAS from every node; descriptor spin words are
+// mutated by rCAS only (timed protocol) or by plain writes with read-only
+// polling (paper protocol), and the wake word and descriptor next words
+// see only reads and writes (either class), which are atomic with
+// everything. Threads poll the group word and spin on their own
 // descriptors with shared-memory reads when the memory is node-local.
 package locks
 
@@ -51,17 +62,31 @@ const (
 	rwqWake  = 2 // descriptor to wake on group drain (plain writes/reads)
 )
 
-// Descriptor layout: word 0 is the spin flag, word 1 the tagged successor
-// pointer. Padded to a cache line; each thread's descriptor lives on its
-// own node so the spin is a shared-memory read.
+// Descriptor layout: word 0 is the spin word, word 1 the tagged successor
+// pointer. Padded to a cache line; descriptors live on their owner's node
+// so the spin is a shared-memory read.
 const (
 	rwqSpin = 0
 	rwqNext = 1
 
-	// RWQDescWords is the per-thread descriptor allocation size.
+	// RWQDescWords is the descriptor allocation size.
 	RWQDescWords = 8
+)
 
-	rwqSpinWait = 1 // still waiting; the granter writes 0
+// Spin-word protocol. The paper-style protocol uses only wait/granted
+// (granter: one plain write). The timed protocol adds: abandoned (waiter
+// timed out; granter must patch around the descriptor), skipped (granter
+// finished patching; the owner may recycle the descriptor), claimed
+// (granter reserved the waiter before its bookkeeping; the waiter is
+// committed and spins on), and head (the waiter inherited the queue head
+// position and must poll the group word itself rather than enter).
+const (
+	rwqSpinGranted = 0
+	rwqSpinWait    = 1
+	rwqSpinAband   = 2
+	rwqSpinSkip    = 3
+	rwqSpinClaim   = 4
+	rwqSpinHead    = 5
 )
 
 // Descriptors are 8-word aligned, so a descriptor pointer's low bits are
@@ -76,6 +101,7 @@ const (
 	rwqWrActiveBit   = 16 // bit 16: a writer inside the lock
 	rwqWrWaitBit     = 17 // bit 17: the queue-head writer awaits the drain wake
 	rwqGrantsShift   = 18 // bits 18..25: readers admitted into this group
+	rwqWClaimShift   = 26 // bits 26..33: consecutive optimistic writer claims
 
 	rwqFieldMask  = 0xffff
 	rwqGrantsMask = 0xff
@@ -85,35 +111,73 @@ func rwqRdActive(s uint64) uint64 { return (s >> rwqRdActiveShift) & rwqFieldMas
 func rwqWrActive(s uint64) bool   { return s&(1<<rwqWrActiveBit) != 0 }
 func rwqWrWaiting(s uint64) bool  { return s&(1<<rwqWrWaitBit) != 0 }
 func rwqGrants(s uint64) uint64   { return (s >> rwqGrantsShift) & rwqGrantsMask }
+func rwqWClaims(s uint64) uint64  { return (s >> rwqWClaimShift) & rwqGrantsMask }
+
+// rwqAcq is one acquisition's state, created by the acquire path and
+// consumed by the matching release (the token API threads it through the
+// Guard; the blocking facade parks it on a held list).
+type rwqAcq struct {
+	desc   ptr.Ptr // queue descriptor; Null for fast-path acquisitions
+	tagged uint64  // desc.Word() | class tag (0 when desc is Null)
+	// queuedRead marks a shared acquisition that went through the queue
+	// (not the fast path); succDone marks that its queue successor was
+	// already admitted/registered at grant time.
+	queuedRead bool
+	succDone   bool
+	// seen is the last group word this acquisition observed or installed —
+	// the optimistic expected value for the release path's first rCAS. A
+	// stale value only costs one failed CAS (the retry loop reseeds from
+	// the returned previous value), never correctness.
+	seen uint64
+}
+
+// spinDescTimed outcomes.
+const (
+	rwqSpinOutGranted = iota
+	rwqSpinOutHead
+	rwqSpinOutTimeout
+)
 
 // RWQueueHandle is one thread's handle onto the queued reader/writer lock.
-// Like the exclusive MCS lock it owns a single queue descriptor, so a
-// thread must release a queued acquisition before starting the next one
-// (the workloads hold one lock at a time).
+// Descriptors come from a per-thread free list, one per outstanding
+// acquisition, so a thread may hold several rw-queue locks concurrently.
 type RWQueueHandle struct {
-	ctx  api.Ctx
-	cfg  RWConfig
-	desc ptr.Ptr
-	// Per-acquisition state, set by the acquire path and consumed by the
-	// matching release.
-	queuedRead bool // the last RLock went through the queue (not fast path)
-	succDone   bool // our queue successor was already admitted/registered
-	// seen is the last group word this handle observed or installed — the
-	// optimistic expected value for the release path's first rCAS. A stale
-	// value only costs one failed CAS (the retry loop reseeds from the
-	// returned previous value), never correctness.
-	seen uint64
+	ctx api.Ctx
+	cfg RWConfig
+	// timed selects the CAS-based descriptor protocol that tolerates
+	// abandonment on deadline; it is a run-wide mode (granters and waiters
+	// must agree). Off, handoff is the plain-write protocol.
+	timed bool
+	pool  descPool
+	held  []rwqHeld // outstanding Lock/Unlock-facade acquisitions
+}
+
+type rwqHeld struct {
+	lock ptr.Ptr
+	mode api.Mode
+	a    *rwqAcq
 }
 
 var _ api.RWLocker = (*RWQueueHandle)(nil)
 
-// NewRWQueueHandle allocates the thread's queue descriptor on its own node.
+// NewRWQueueHandle allocates the thread's first queue descriptor on its
+// own node; more are allocated only for overlapping holds.
 func NewRWQueueHandle(ctx api.Ctx, cfg RWConfig) *RWQueueHandle {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	d := ctx.Alloc(RWQDescWords, RWQDescWords)
-	return &RWQueueHandle{ctx: ctx, cfg: cfg, desc: d}
+	h := &RWQueueHandle{ctx: ctx, cfg: cfg, pool: descPool{
+		ctx: ctx, words: RWQDescWords, spin: rwqSpin, skip: rwqSpinSkip,
+	}}
+	h.pool.put(ctx.Alloc(RWQDescWords, RWQDescWords))
+	return h
+}
+
+// NewTimedRWQueueHandle returns a handle speaking the timed protocol.
+func NewTimedRWQueueHandle(ctx api.Ctx, cfg RWConfig) *RWQueueHandle {
+	h := NewRWQueueHandle(ctx, cfg)
+	h.timed = true
+	return h
 }
 
 // poll reads a lock-line word with the cheapest atomic class available:
@@ -135,23 +199,41 @@ func (h *RWQueueHandle) write(p ptr.Ptr, v uint64) {
 	h.ctx.RWrite(p, v)
 }
 
-// spinDesc waits on the thread's own descriptor until a granter clears the
-// spin flag — a shared-memory spin, the MCS property that keeps waiting off
-// the fabric entirely.
-func (h *RWQueueHandle) spinDesc() {
-	d := h.desc.Add(rwqSpin)
+// spinDescTimed waits on the acquisition's own descriptor — a shared-memory
+// spin, the MCS property that keeps waiting off the fabric entirely — until
+// a granter resolves it: granted, promoted to queue head, or (past the
+// deadline) successfully abandoned. A descriptor in the claimed state is
+// committed: the grant is already in flight, so the deadline no longer
+// applies and the only exits are granted or head.
+func (h *RWQueueHandle) spinDescTimed(d ptr.Ptr, deadlineNS int64) int {
+	spin := d.Add(rwqSpin)
 	iter := 0
-	for h.ctx.Read(d) == rwqSpinWait {
+	for {
+		switch h.ctx.Read(spin) {
+		case rwqSpinGranted:
+			return rwqSpinOutGranted
+		case rwqSpinHead:
+			return rwqSpinOutHead
+		case rwqSpinWait:
+			if deadlineNS > 0 && h.ctx.Now() >= deadlineNS {
+				// The abandon CAS and the granter's claim/grant CAS share
+				// the remote RMW class, so exactly one wins.
+				if h.ctx.RCAS(spin, rwqSpinWait, rwqSpinAband) == rwqSpinWait {
+					return rwqSpinOutTimeout
+				}
+				continue // a grant raced the timeout and won: re-read
+			}
+		}
 		h.ctx.Pause(iter)
 		iter++
 	}
 }
 
-// resetDesc prepares the descriptor for an enqueue with shared-memory
+// resetDesc prepares a descriptor for an enqueue with shared-memory
 // writes: it is the thread's own scratch and not yet linked into any queue.
-func (h *RWQueueHandle) resetDesc() {
-	h.ctx.Write(h.desc.Add(rwqSpin), rwqSpinWait)
-	h.ctx.Write(h.desc.Add(rwqNext), ptr.Null.Word())
+func (h *RWQueueHandle) resetDesc(d ptr.Ptr) {
+	h.ctx.Write(d.Add(rwqSpin), rwqSpinWait)
+	h.ctx.Write(d.Add(rwqNext), ptr.Null.Word())
 }
 
 // swapTail swaps the tagged descriptor word onto the queue tail (CAS-retry
@@ -166,6 +248,64 @@ func (h *RWQueueHandle) swapTail(l ptr.Ptr, tagged uint64) uint64 {
 		}
 		expected = prev
 	}
+}
+
+// claimNext walks the queue from the tagged successor word `next`,
+// bypassing abandoned descriptors, until it claims a live successor (spin
+// word CAS wait -> claimed) or finds the queue drained (the last
+// descriptor was abandoned and the tail CASes back to NULL). Bypassed
+// descriptors are marked skipped once their next word is no longer needed,
+// releasing them to their owners. Returns the claimed successor's tagged
+// word; ok is false when the queue drained. Timed protocol only.
+func (h *RWQueueHandle) claimNext(l ptr.Ptr, next uint64) (uint64, bool) {
+	for {
+		succ := ptr.FromWord(next &^ rwqWriterTag)
+		if h.ctx.RCAS(succ.Add(rwqSpin), rwqSpinWait, rwqSpinClaim) == rwqSpinWait {
+			return next, true
+		}
+		// Abandoned: read its successor, patching the tail if it was last.
+		next2 := h.poll(succ.Add(rwqNext))
+		if next2 == ptr.Null.Word() {
+			if h.ctx.RCAS(l.Add(rwqTail), next, ptr.Null.Word()) == next {
+				h.write(succ.Add(rwqSpin), rwqSpinSkip)
+				return 0, false
+			}
+			iter := 0
+			for next2 == ptr.Null.Word() {
+				h.ctx.Pause(iter)
+				iter++
+				next2 = h.poll(succ.Add(rwqNext))
+			}
+		}
+		h.write(succ.Add(rwqSpin), rwqSpinSkip)
+		next = next2
+	}
+}
+
+// abandonHead dequeues a queue-head waiter that timed out while polling
+// the group word: either the queue ends at it (tail CAS back to NULL) or
+// the next live waiter inherits the head position through the head wake
+// value. The descriptor was never granted, so it is immediately reusable.
+func (h *RWQueueHandle) abandonHead(l ptr.Ptr, a *rwqAcq) {
+	d := a.desc
+	next := h.ctx.Read(d.Add(rwqNext))
+	if next == ptr.Null.Word() {
+		if h.ctx.RCAS(l.Add(rwqTail), a.tagged, ptr.Null.Word()) == a.tagged {
+			h.pool.put(d)
+			return
+		}
+		iter := 0
+		for next == ptr.Null.Word() {
+			h.ctx.Pause(iter)
+			iter++
+			next = h.ctx.Read(d.Add(rwqNext))
+		}
+	}
+	if tagged, ok := h.claimNext(l, next); ok {
+		succ := ptr.FromWord(tagged &^ rwqWriterTag)
+		h.write(succ.Add(rwqSpin), rwqSpinHead)
+	}
+	h.pool.put(d)
 }
 
 // --- Reader side ---
@@ -191,8 +331,11 @@ func (h *RWQueueHandle) readerFastEligible(s uint64) bool {
 func (h *RWQueueHandle) readerFastEnter(s uint64) uint64 {
 	if rwqRdActive(s) == 0 {
 		// A fresh group: reset the admission count so a stale count from
-		// the previous episode cannot close the fast path early.
+		// the previous episode cannot close the fast path early, and the
+		// writer-claim count — the lock is entering a reader episode, so
+		// the post-drain claim window starts over.
 		ns := s &^ (uint64(rwqGrantsMask) << rwqGrantsShift)
+		ns &^= uint64(rwqGrantsMask) << rwqWClaimShift
 		return ns + 1<<rwqRdActiveShift + 1<<rwqGrantsShift
 	}
 	return rwqGroupJoin(s)
@@ -210,65 +353,78 @@ func rwqGroupJoin(s uint64) uint64 {
 	return ns
 }
 
-// RLock implements api.RWLocker: shared acquire. Like the single-word
-// locks, the acquire is verb-frugal: the first rCAS is seeded optimistically
-// (a pristine idle lock costs exactly one verb) and every failed rCAS
-// returns the current word, which seeds the next attempt — the fast path
-// never pays a separate read round trip.
+// RLock implements api.RWLocker: shared acquire (blocking facade).
 func (h *RWQueueHandle) RLock(l ptr.Ptr) {
+	a, _ := h.acquireShared(l, 0)
+	h.held = append(h.held, rwqHeld{lock: l, mode: api.Shared, a: a})
+}
+
+// RUnlock implements api.RWLocker: shared release (blocking facade).
+func (h *RWQueueHandle) RUnlock(l ptr.Ptr) { h.releaseShared(l, h.popHeld(l, api.Shared)) }
+
+// Lock implements api.Locker: exclusive acquire (blocking facade).
+func (h *RWQueueHandle) Lock(l ptr.Ptr) {
+	a, _ := h.acquireExcl(l, 0)
+	h.held = append(h.held, rwqHeld{lock: l, mode: api.Exclusive, a: a})
+}
+
+// Unlock implements api.Locker: exclusive release (blocking facade).
+func (h *RWQueueHandle) Unlock(l ptr.Ptr) { h.releaseExcl(l, h.popHeld(l, api.Exclusive)) }
+
+func (h *RWQueueHandle) popHeld(l ptr.Ptr, mode api.Mode) *rwqAcq {
+	for i := len(h.held) - 1; i >= 0; i-- {
+		if h.held[i].lock == l && h.held[i].mode == mode {
+			a := h.held[i].a
+			h.held = append(h.held[:i], h.held[i+1:]...)
+			return a
+		}
+	}
+	panic("locks: rw-queue release without matching acquire")
+}
+
+// acquireShared acquires in shared mode, giving up at deadlineNS (0 =
+// block; deadlines require the timed protocol). Like the single-word
+// locks, the acquire is verb-frugal: the first rCAS is seeded
+// optimistically (a pristine idle lock costs exactly one verb) and every
+// failed rCAS returns the current word, which seeds the next attempt.
+func (h *RWQueueHandle) acquireShared(l ptr.Ptr, deadlineNS int64) (*rwqAcq, bool) {
+	if !h.timed {
+		deadlineNS = 0
+	}
 	group := l.Add(rwqGroup)
 	// Fast path: join the open reader group with a single rCAS.
 	s := uint64(0)
 	for h.readerFastEligible(s) {
+		if deadlineNS > 0 && h.ctx.Now() >= deadlineNS {
+			return nil, false // gave up holding nothing
+		}
 		ns := h.readerFastEnter(s)
 		prev := h.ctx.RCAS(group, s, ns)
 		if prev == s {
-			h.queuedRead = false
-			h.seen = ns
 			h.ctx.Fence()
-			return
+			return &rwqAcq{seen: ns}, true
 		}
 		s = prev
 	}
-	h.rlockQueued(l)
+	return h.rlockQueued(l, deadlineNS)
 }
 
 // rlockQueued is the reader slow path: enqueue, wait for admission, then
 // chain-admit a reader successor (or register a writer successor for the
 // drain wake) so the group keeps its concurrency.
-func (h *RWQueueHandle) rlockQueued(l ptr.Ptr) {
-	h.resetDesc()
-	tagged := h.desc.Word() // reader class: tag bit clear
+func (h *RWQueueHandle) rlockQueued(l ptr.Ptr, deadlineNS int64) (*rwqAcq, bool) {
+	d := h.pool.get()
+	if deadlineNS > 0 && h.ctx.Now() >= deadlineNS {
+		h.pool.put(d)
+		return nil, false
+	}
+	h.resetDesc(d)
+	a := &rwqAcq{desc: d, tagged: d.Word()} // reader class: tag bit clear
 
-	pred := h.swapTail(l, tagged)
+	pred := h.swapTail(l, a.tagged)
 	if pred == ptr.Null.Word() {
-		// Queue head: admit ourselves as soon as no writer holds the lock
-		// or awaits the drain. (wrWaiting implies its writer is still
-		// queued, so a queue-head reader only ever sees the narrow window
-		// where a departing writer has dequeued but not yet cleared
-		// wrActive.)
-		group := l.Add(rwqGroup)
-		s := h.poll(group)
-		iter := 0
-		for {
-			if !rwqWrActive(s) && !rwqWrWaiting(s) {
-				var ns uint64
-				if rwqRdActive(s) == 0 {
-					ns = h.readerFastEnter(s) // fresh group, grants reset
-				} else {
-					ns = rwqGroupJoin(s) // FIFO-entitled: budget does not gate
-				}
-				prev := h.ctx.RCAS(group, s, ns)
-				if prev == s {
-					h.seen = ns
-					break
-				}
-				s = prev
-				continue
-			}
-			h.ctx.Pause(iter)
-			iter++
-			s = h.poll(group)
+		if !h.readerHeadLoop(l, a, deadlineNS) {
+			return nil, false
 		}
 	} else {
 		// Link behind the predecessor and spin on our own descriptor; the
@@ -276,24 +432,80 @@ func (h *RWQueueHandle) rlockQueued(l ptr.Ptr) {
 		// flag. We did not observe the group word, so guess the smallest
 		// consistent state for the release path's optimistic rCAS.
 		p := ptr.FromWord(pred &^ rwqWriterTag)
-		h.write(p.Add(rwqNext), tagged)
-		h.spinDesc()
-		h.seen = 1<<rwqRdActiveShift + 1<<rwqGrantsShift
+		h.write(p.Add(rwqNext), a.tagged)
+		switch h.spinDescTimed(d, deadlineNS) {
+		case rwqSpinOutTimeout:
+			h.pool.zombie(d)
+			return nil, false
+		case rwqSpinOutHead:
+			if !h.readerHeadLoop(l, a, deadlineNS) {
+				return nil, false
+			}
+		default:
+			a.seen = 1<<rwqRdActiveShift + 1<<rwqGrantsShift
+		}
 	}
 
-	h.queuedRead = true
-	h.succDone = h.handleSuccessor(l, h.ctx.Read(h.desc.Add(rwqNext)))
+	a.queuedRead = true
+	a.succDone = h.handleSuccessor(l, a, h.ctx.Read(d.Add(rwqNext)))
 	h.ctx.Fence()
+	return a, true
+}
+
+// readerHeadLoop is the queue-head reader's wait: admit ourselves as soon
+// as no writer holds the lock or awaits the drain. (wrWaiting implies its
+// writer is still queued, so a queue-head reader only ever sees the narrow
+// window where a departing writer has dequeued but not yet cleared
+// wrActive.) On deadline the head position is passed on via abandonHead.
+func (h *RWQueueHandle) readerHeadLoop(l ptr.Ptr, a *rwqAcq, deadlineNS int64) bool {
+	group := l.Add(rwqGroup)
+	s := h.poll(group)
+	iter := 0
+	for {
+		if !rwqWrActive(s) && !rwqWrWaiting(s) {
+			var ns uint64
+			if rwqRdActive(s) == 0 {
+				ns = h.readerFastEnter(s) // fresh group, counts reset
+			} else {
+				ns = rwqGroupJoin(s) // FIFO-entitled: budget does not gate
+			}
+			prev := h.ctx.RCAS(group, s, ns)
+			if prev == s {
+				a.seen = ns
+				return true
+			}
+			s = prev
+			continue
+		}
+		if deadlineNS > 0 && h.ctx.Now() >= deadlineNS {
+			h.abandonHead(l, a)
+			return false
+		}
+		h.ctx.Pause(iter)
+		iter++
+		s = h.poll(group)
+	}
 }
 
 // handleSuccessor performs a granted reader's queue duty for the given
 // tagged successor word: admit a reader successor into the group and wake
 // it, or register a writer successor for the drain wake (wake pointer
 // first, then the flag, so the draining reader always finds the pointer).
-// It reports whether a successor was handled.
-func (h *RWQueueHandle) handleSuccessor(l ptr.Ptr, next uint64) bool {
+// Under the timed protocol the successor is claimed first — bypassing any
+// abandoned descriptors — so the bookkeeping below always lands on a live
+// waiter (a claimed writer stays claimed until the drain wake grants it).
+// It reports whether the duty is done (a successor was handled, or the
+// queue drained while bypassing the dead tail).
+func (h *RWQueueHandle) handleSuccessor(l ptr.Ptr, a *rwqAcq, next uint64) bool {
 	if next == ptr.Null.Word() {
 		return false
+	}
+	if h.timed {
+		var ok bool
+		next, ok = h.claimNext(l, next)
+		if !ok {
+			return true // queue drained: no duty left
+		}
 	}
 	group := l.Add(rwqGroup)
 	succ := ptr.FromWord(next &^ rwqWriterTag)
@@ -301,11 +513,11 @@ func (h *RWQueueHandle) handleSuccessor(l ptr.Ptr, next uint64) bool {
 		// Writer successor: it is woken by whichever reader drains the
 		// group last, via the wake pointer.
 		h.write(l.Add(rwqWake), succ.Word())
-		s := h.seen
+		s := a.seen
 		for {
 			prev := h.ctx.RCAS(group, s, s|1<<rwqWrWaitBit)
 			if prev == s {
-				h.seen = s | 1<<rwqWrWaitBit
+				a.seen = s | 1<<rwqWrWaitBit
 				return true
 			}
 			s = prev
@@ -313,38 +525,39 @@ func (h *RWQueueHandle) handleSuccessor(l ptr.Ptr, next uint64) bool {
 	}
 	// Reader successor: chain admission — count it into the group, then
 	// one write to its descriptor. It will chain its own successor.
-	s := h.seen
+	s := a.seen
 	for {
 		ns := rwqGroupJoin(s)
 		prev := h.ctx.RCAS(group, s, ns)
 		if prev == s {
-			h.seen = ns
+			a.seen = ns
 			break
 		}
 		s = prev
 	}
-	h.write(succ.Add(rwqSpin), 0)
+	h.write(succ.Add(rwqSpin), rwqSpinGranted)
 	return true
 }
 
-// RUnlock implements api.RWLocker: shared release.
-func (h *RWQueueHandle) RUnlock(l ptr.Ptr) {
+// releaseShared releases a shared acquisition.
+func (h *RWQueueHandle) releaseShared(l ptr.Ptr, a *rwqAcq) {
 	h.ctx.Fence()
-	if h.queuedRead && !h.succDone {
-		h.readerDequeue(l)
+	if a.queuedRead && !a.succDone {
+		h.readerDequeue(l, a)
 	}
-	h.drainExit(l)
+	h.drainExit(l, a)
+	h.pool.put(a.desc)
 }
 
 // readerDequeue removes a queued reader whose successor was not handled at
 // grant time: either the queue still ends at us (CAS the tail back to
 // NULL), or a successor is linking right now — wait for the link and do the
 // grant-time duty late.
-func (h *RWQueueHandle) readerDequeue(l ptr.Ptr) {
-	d := h.desc
+func (h *RWQueueHandle) readerDequeue(l ptr.Ptr, a *rwqAcq) {
+	d := a.desc
 	next := h.ctx.Read(d.Add(rwqNext))
 	if next == ptr.Null.Word() {
-		if h.ctx.RCAS(l.Add(rwqTail), d.Word(), ptr.Null.Word()) == d.Word() {
+		if h.ctx.RCAS(l.Add(rwqTail), a.tagged, ptr.Null.Word()) == a.tagged {
 			return
 		}
 		iter := 0
@@ -354,15 +567,15 @@ func (h *RWQueueHandle) readerDequeue(l ptr.Ptr) {
 			next = h.ctx.Read(d.Add(rwqNext))
 		}
 	}
-	h.handleSuccessor(l, next)
+	h.handleSuccessor(l, a, next)
 }
 
 // drainExit decrements the active-reader count; the reader that drains the
 // group with a writer registered transfers the lock in the same rCAS and
 // wakes the writer with one descriptor write.
-func (h *RWQueueHandle) drainExit(l ptr.Ptr) {
+func (h *RWQueueHandle) drainExit(l ptr.Ptr, a *rwqAcq) {
 	group := l.Add(rwqGroup)
-	s := h.seen
+	s := a.seen
 	for {
 		transfer := rwqRdActive(s) == 1 && rwqWrWaiting(s)
 		var ns uint64
@@ -375,7 +588,7 @@ func (h *RWQueueHandle) drainExit(l ptr.Ptr) {
 		if prev == s {
 			if transfer {
 				w := ptr.FromWord(h.poll(l.Add(rwqWake)))
-				h.write(w.Add(rwqSpin), 0)
+				h.write(w.Add(rwqSpin), rwqSpinGranted)
 			}
 			return
 		}
@@ -385,62 +598,124 @@ func (h *RWQueueHandle) drainExit(l ptr.Ptr) {
 
 // --- Writer side ---
 
-// Lock implements api.Locker: exclusive acquire.
-func (h *RWQueueHandle) Lock(l ptr.Ptr) {
+// writerFastEligible reports whether a writer may claim the lock through
+// the optimistic fast path under state s: the lock must look idle, and the
+// consecutive-claim count must be under WriteBudget — the post-drain
+// fast-claim window, bounded so queue-head waiters lose the claim race at
+// most WriteBudget times before a queue-mediated grant resets the count
+// (the reader budget's symmetric twin).
+func (h *RWQueueHandle) writerFastEligible(s uint64) bool {
+	return rwqRdActive(s) == 0 && !rwqWrActive(s) && !rwqWrWaiting(s) &&
+		rwqWClaims(s) < uint64(h.cfg.WriteBudget)
+}
+
+// writerFastEnter computes the successor state of an optimistic claim: the
+// writer bit plus the bumped claim count (stale reader grants cleared).
+func writerFastEnter(s uint64) uint64 {
+	c := rwqWClaims(s)
+	if c < rwqGrantsMask {
+		c++
+	}
+	return 1<<rwqWrActiveBit | c<<rwqWClaimShift
+}
+
+// acquireExcl acquires in exclusive mode, giving up at deadlineNS (0 =
+// block; deadlines require the timed protocol).
+func (h *RWQueueHandle) acquireExcl(l ptr.Ptr, deadlineNS int64) (*rwqAcq, bool) {
+	if !h.timed {
+		deadlineNS = 0
+	}
 	group := l.Add(rwqGroup)
 
-	// Optimistic: an idle lock (possibly with a stale admission count) is
-	// claimed with a single rCAS, skipping the enqueue round trip. The
+	// Optimistic: an idle lock is claimed with a single rCAS, skipping the
+	// enqueue round trip, for at most WriteBudget consecutive claims. The
 	// first attempt assumes a pristine word; failures seed the next.
 	s := uint64(0)
-	for rwqRdActive(s) == 0 && !rwqWrActive(s) && !rwqWrWaiting(s) {
-		prev := h.ctx.RCAS(group, s, 1<<rwqWrActiveBit)
+	for h.writerFastEligible(s) {
+		if deadlineNS > 0 && h.ctx.Now() >= deadlineNS {
+			return nil, false
+		}
+		ns := writerFastEnter(s)
+		prev := h.ctx.RCAS(group, s, ns)
 		if prev == s {
-			h.succDone = true // not enqueued: release has no queue duty
 			h.ctx.Fence()
-			return
+			return &rwqAcq{seen: ns}, true // not enqueued: release has no queue duty
 		}
 		s = prev
 	}
 
-	h.resetDesc()
-	tagged := h.desc.Word() | rwqWriterTag
-	pred := h.swapTail(l, tagged)
+	d := h.pool.get()
+	if deadlineNS > 0 && h.ctx.Now() >= deadlineNS {
+		h.pool.put(d)
+		return nil, false
+	}
+	h.resetDesc(d)
+	a := &rwqAcq{desc: d, tagged: d.Word() | rwqWriterTag}
+	pred := h.swapTail(l, a.tagged)
 	if pred != ptr.Null.Word() {
 		// Link behind the predecessor and spin on our own descriptor. The
 		// handoff that wakes us leaves wrActive set for us.
 		p := ptr.FromWord(pred &^ rwqWriterTag)
-		h.write(p.Add(rwqNext), tagged)
-		h.spinDesc()
-		h.succDone = false
-		h.ctx.Fence()
-		return
+		h.write(p.Add(rwqNext), a.tagged)
+		switch h.spinDescTimed(d, deadlineNS) {
+		case rwqSpinOutTimeout:
+			h.pool.zombie(d)
+			return nil, false
+		case rwqSpinOutGranted:
+			a.seen = 1 << rwqWrActiveBit // exact after every queue-mediated grant
+			h.ctx.Fence()
+			return a, true
+		}
+		// Inherited the queue head: fall through to the head loop.
 	}
+	if !h.writerHeadLoop(l, a, deadlineNS) {
+		return nil, false
+	}
+	h.ctx.Fence()
+	return a, true
+}
 
-	// Queue head: claim directly once idle, or register for the drain wake
-	// (wake pointer first, then the flag) and spin on our own descriptor.
-	s = h.poll(group)
+// writerHeadLoop is the queue-head writer's wait: claim directly once
+// idle, or register for the drain wake (wake pointer first, then the
+// flag) and spin on our own descriptor. Registration commits the writer —
+// under the timed protocol its spin word moves to claimed first, so its
+// own deadline CAS can no longer win and the drain wake always lands.
+func (h *RWQueueHandle) writerHeadLoop(l ptr.Ptr, a *rwqAcq, deadlineNS int64) bool {
+	group := l.Add(rwqGroup)
+	d := a.desc
+	s := h.poll(group)
 	iter := 0
 	for {
 		if !rwqWrActive(s) {
 			if rwqRdActive(s) == 0 && !rwqWrWaiting(s) {
+				// Queue-mediated claim: the word resets to exactly the
+				// writer bit, restarting the optimistic-claim window.
 				prev := h.ctx.RCAS(group, s, 1<<rwqWrActiveBit)
 				if prev == s {
-					break
+					a.seen = 1 << rwqWrActiveBit
+					return true
 				}
 				s = prev
 				continue
 			}
 			if rwqRdActive(s) > 0 && !rwqWrWaiting(s) {
-				h.write(l.Add(rwqWake), h.desc.Word())
+				if h.timed {
+					h.ctx.Write(d.Add(rwqSpin), rwqSpinClaim) // commit: no abandon past here
+				}
+				h.write(l.Add(rwqWake), d.Word())
 				prev := h.ctx.RCAS(group, s, s|1<<rwqWrWaitBit)
 				if prev == s {
-					h.spinDesc()
-					break
+					h.spinDescWait(d)
+					a.seen = 1 << rwqWrActiveBit // the drain transfer installs this
+					return true
 				}
 				s = prev
 				continue
 			}
+		}
+		if deadlineNS > 0 && h.ctx.Now() >= deadlineNS {
+			h.abandonHead(l, a)
+			return false
 		}
 		// A departing writer is between its dequeue and clearing wrActive
 		// (narrow race window): back off and re-poll.
@@ -448,17 +723,26 @@ func (h *RWQueueHandle) Lock(l ptr.Ptr) {
 		iter++
 		s = h.poll(group)
 	}
-	h.succDone = false
-	h.ctx.Fence()
+}
+
+// spinDescWait waits for the granted value on a committed descriptor (the
+// registered drain-wake target: no timeout can apply).
+func (h *RWQueueHandle) spinDescWait(d ptr.Ptr) {
+	spin := d.Add(rwqSpin)
+	iter := 0
+	for h.ctx.Read(spin) != rwqSpinGranted {
+		h.ctx.Pause(iter)
+		iter++
+	}
 }
 
 // releaseIdle is the writer's release-to-idle transition: one rCAS
-// clearing the writer bit. While a writer holds, the group word is exactly
-// the writer bit (every claim path clears the rest), so the first attempt
-// needs no poll and the loop runs once; the retry preserves any other bits
-// it finds (a fresh group resets the admission count on entry).
-func (h *RWQueueHandle) releaseIdle(group ptr.Ptr) {
-	s := uint64(1) << rwqWrActiveBit
+// clearing the writer bit, seeded with the state word the acquire
+// installed. The optimistic-claim count is preserved across the release,
+// so consecutive fast claims stay counted; the retry preserves any other
+// bits it finds (a fresh group resets the counts on entry).
+func (h *RWQueueHandle) releaseIdle(group ptr.Ptr, seed uint64) {
+	s := seed
 	for {
 		prev := h.ctx.RCAS(group, s, s&^(uint64(1)<<rwqWrActiveBit))
 		if prev == s {
@@ -468,24 +752,24 @@ func (h *RWQueueHandle) releaseIdle(group ptr.Ptr) {
 	}
 }
 
-// Unlock implements api.Locker: exclusive release.
-func (h *RWQueueHandle) Unlock(l ptr.Ptr) {
+// releaseExcl releases an exclusive acquisition.
+func (h *RWQueueHandle) releaseExcl(l ptr.Ptr, a *rwqAcq) {
 	h.ctx.Fence()
 	group := l.Add(rwqGroup)
 
-	if h.succDone {
-		// Optimistic acquire: not in the queue, so release is just the
-		// idle transition.
-		h.releaseIdle(group)
+	if a.desc == ptr.Null {
+		// Optimistic claim: not in the queue, so release is just the idle
+		// transition.
+		h.releaseIdle(group, a.seen)
 		return
 	}
 
-	d := h.desc
+	d := a.desc
 	next := h.ctx.Read(d.Add(rwqNext))
 	if next == ptr.Null.Word() {
-		if h.ctx.RCAS(l.Add(rwqTail), d.Word()|rwqWriterTag, ptr.Null.Word()) ==
-			d.Word()|rwqWriterTag {
-			h.releaseIdle(group) // queue empty: no successor to hand to
+		if h.ctx.RCAS(l.Add(rwqTail), a.tagged, ptr.Null.Word()) == a.tagged {
+			h.releaseIdle(group, a.seen) // queue empty: no successor to hand to
+			h.pool.put(d)
 			return
 		}
 		iter := 0
@@ -496,17 +780,27 @@ func (h *RWQueueHandle) Unlock(l ptr.Ptr) {
 		}
 	}
 
+	if h.timed {
+		var ok bool
+		next, ok = h.claimNext(l, next)
+		if !ok {
+			h.releaseIdle(group, a.seen) // queue drained while bypassing
+			h.pool.put(d)
+			return
+		}
+	}
 	succ := ptr.FromWord(next &^ rwqWriterTag)
 	if next&rwqWriterTag != 0 {
 		// Writer-to-writer handoff: wrActive simply stays set for the
 		// successor — the entire handoff is one descriptor write.
-		h.write(succ.Add(rwqSpin), 0)
+		h.write(succ.Add(rwqSpin), rwqSpinGranted)
+		h.pool.put(d)
 		return
 	}
 	// Writer-to-reader handoff: open a fresh group containing the
 	// successor (one rCAS), then wake it (one descriptor write). The
 	// successor chain-admits any reader queued behind it.
-	s := uint64(1) << rwqWrActiveBit // exact while a writer holds
+	s := a.seen
 	for {
 		ns := uint64(1)<<rwqRdActiveShift | uint64(1)<<rwqGrantsShift
 		prev := h.ctx.RCAS(group, s, ns)
@@ -515,12 +809,16 @@ func (h *RWQueueHandle) Unlock(l ptr.Ptr) {
 		}
 		s = prev
 	}
-	h.write(succ.Add(rwqSpin), 0)
+	h.write(succ.Add(rwqSpin), rwqSpinGranted)
+	h.pool.put(d)
 }
 
 // RWQueueProvider supplies the queued reader/writer lock.
 type RWQueueProvider struct {
 	Cfg RWConfig
+	// Timed makes every handle speak the timed descriptor protocol
+	// (required for token-API deadlines; a run-wide mode).
+	Timed bool
 }
 
 // NewRWQueueProvider returns a provider with the default budgets.
@@ -537,10 +835,22 @@ func (*RWQueueProvider) Prepare(*mem.Space, []ptr.Ptr) {}
 
 // NewHandle implements Provider.
 func (p *RWQueueProvider) NewHandle(ctx api.Ctx) api.Locker {
-	return p.NewRWHandle(ctx)
+	return p.newHandle(ctx)
 }
 
 // NewRWHandle implements RWProvider.
 func (p *RWQueueProvider) NewRWHandle(ctx api.Ctx) api.RWLocker {
+	return p.newHandle(ctx)
+}
+
+// NewTimedHandle implements TimedProvider.
+func (p *RWQueueProvider) NewTimedHandle(ctx api.Ctx) TimedHandle {
+	return rwqTimed{h: p.newHandle(ctx)}
+}
+
+func (p *RWQueueProvider) newHandle(ctx api.Ctx) *RWQueueHandle {
+	if p.Timed {
+		return NewTimedRWQueueHandle(ctx, p.Cfg)
+	}
 	return NewRWQueueHandle(ctx, p.Cfg)
 }

@@ -57,6 +57,68 @@ func TestReaderFastEnterResetsStaleGrants(t *testing.T) {
 	}
 }
 
+// TestWriterFastClaimBudgetGate pins the writer-side symmetry: the
+// post-drain fast-claim window admits optimistic writer claims only while
+// the consecutive-claim count is under WriteBudget, the count rides the
+// state word across claim/release cycles, and every queue-mediated grant
+// resets it.
+func TestWriterFastClaimBudgetGate(t *testing.T) {
+	h := &RWQueueHandle{cfg: RWConfig{ReadBudget: 4, WriteBudget: 2}}
+
+	// Claims accumulate: claim -> release-to-idle -> claim, WriteBudget
+	// times, then the window closes and the writer must queue.
+	s := uint64(0)
+	for i := 0; i < 2; i++ {
+		if !h.writerFastEligible(s) {
+			t.Fatalf("claim %d rejected under budget (s=%#x)", i+1, s)
+		}
+		s = writerFastEnter(s)
+		if !rwqWrActive(s) || rwqWClaims(s) != uint64(i+1) {
+			t.Fatalf("claim %d malformed: s=%#x", i+1, s)
+		}
+		if h.writerFastEligible(s) {
+			t.Fatal("fast path open while a writer holds")
+		}
+		s &^= uint64(1) << rwqWrActiveBit // release-to-idle preserves the count
+	}
+	if h.writerFastEligible(s) {
+		t.Fatalf("fast path open past WriteBudget (s=%#x)", s)
+	}
+
+	// A queue-mediated writer grant installs exactly the writer bit,
+	// restarting the window.
+	if got := uint64(1) << rwqWrActiveBit; rwqWClaims(got) != 0 || !h.writerFastEligible(got&^(1<<rwqWrActiveBit)) {
+		t.Fatal("queue-mediated grant did not reset the claim window")
+	}
+
+	// A fresh reader group resets the count too: reader episodes end the
+	// consecutive-claim run.
+	ns := h.readerFastEnter(s)
+	if rwqWClaims(ns) != 0 {
+		t.Fatalf("fresh reader group kept writer claims: s=%#x", ns)
+	}
+
+	// Stale reader grants on the idle word do not gate writer claims.
+	stale := mkGroup(0, 4, false, false)
+	if !h.writerFastEligible(stale) {
+		t.Fatal("stale reader grants closed the writer fast path")
+	}
+	if ns := writerFastEnter(stale); rwqGrants(ns) != 0 {
+		t.Fatalf("writer claim kept stale reader grants: %#x", ns)
+	}
+}
+
+func TestWriterFastClaimSaturates(t *testing.T) {
+	s := uint64(rwqGrantsMask) << rwqWClaimShift // count at field width
+	ns := writerFastEnter(s)
+	if rwqWClaims(ns) != rwqGrantsMask {
+		t.Fatalf("claim count overflowed: %#x", ns)
+	}
+	if rwqRdActive(ns) != 0 || !rwqWrActive(ns) {
+		t.Fatalf("saturated claim corrupted the word: %#x", ns)
+	}
+}
+
 func TestGroupJoinSaturatesGrants(t *testing.T) {
 	// Queued FIFO readers are admitted past the budget (they waited their
 	// turn), so the count must saturate at its field width instead of

@@ -41,9 +41,20 @@ func NewSpinHandle(ctx api.Ctx) *SpinHandle {
 // the paper's spinlock "simply repeats RDMA rCAS until it succeeds", with
 // each retry paced only by the verb's own round-trip time.
 func (h *SpinHandle) Lock(l ptr.Ptr) {
+	h.AcquireTimedWord(l, 0)
+}
+
+// AcquireTimedWord is Lock with a deadline (0 = block): the poll is bounded
+// by engine time, and a failed rCAS holds nothing, so giving up needs no
+// retraction — the single-word lock's trivial timeout path.
+func (h *SpinHandle) AcquireTimedWord(l ptr.Ptr, deadlineNS int64) bool {
 	for h.ctx.RCAS(l, 0, h.tag) != 0 {
+		if deadlineNS > 0 && h.ctx.Now() >= deadlineNS {
+			return false
+		}
 	}
 	h.ctx.Fence()
+	return true
 }
 
 // Unlock releases with a single rWrite of zero.

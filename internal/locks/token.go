@@ -1,0 +1,242 @@
+// token.go is the acquisition-token layer: it turns the per-algorithm
+// timed acquire/release primitives into the api.TokenLocker contract —
+// explicit outcomes, per-acquisition descriptors threaded through Guards,
+// and fencing tokens minted at grant time and validated at release.
+//
+// The fencing authority (FenceTable) is deliberately *outside* simulated
+// memory: it models the lock service's grant log, the thing a real system
+// keeps in its lease manager or its storage heads, not in the lock word.
+// It costs no simulated operations, so routing a workload through the
+// token layer leaves feature-off schedules bit-identical to the blocking
+// Lock/Unlock paths.
+package locks
+
+import (
+	"sync"
+
+	"alock/internal/api"
+	"alock/internal/core"
+	"alock/internal/ptr"
+)
+
+// FenceTable mints and validates fencing tokens for one experiment run.
+// Tokens are monotonically increasing across the whole cluster: of any two
+// grants, the later one carries the larger token, so downstream systems
+// can reject writes guarded by a superseded grant — the classic
+// fencing-token contract. A token is live from grant until its first
+// retire; a second retire (double release, a timed-out guard, the late
+// release of an abandoned hold) reports false and must not touch the lock.
+//
+// Safe for concurrent use (the real-goroutine engine shares one table);
+// under the deterministic simulator the mutex is uncontended and the grant
+// order — hence every token value — is part of the reproducible schedule.
+type FenceTable struct {
+	mu   sync.Mutex
+	next uint64
+	live map[uint64]map[uint64]struct{} // lock word -> live token set
+}
+
+// NewFenceTable returns an empty fencing authority.
+func NewFenceTable() *FenceTable {
+	return &FenceTable{live: make(map[uint64]map[uint64]struct{})}
+}
+
+// Grant mints the next fencing token for a grant on l.
+func (t *FenceTable) Grant(l ptr.Ptr) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.next++
+	set := t.live[l.Word()]
+	if set == nil {
+		set = make(map[uint64]struct{})
+		t.live[l.Word()] = set
+	}
+	set[t.next] = struct{}{}
+	return t.next
+}
+
+// Retire ends the token's life. It reports whether the token was live —
+// false means the release it guards must be fenced off.
+func (t *FenceTable) Retire(l ptr.Ptr, token uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	set := t.live[l.Word()]
+	if _, ok := set[token]; !ok {
+		return false
+	}
+	delete(set, token)
+	return true
+}
+
+// TimedHandle is the per-thread algorithm contract the token layer builds
+// on: a mode-aware acquire bounded by an engine-time deadline (0 = block)
+// returning opaque per-acquisition state, and the matching release.
+// Algorithms without native shared mode treat Shared as Exclusive;
+// algorithms without a native timed path may overshoot the deadline and
+// still acquire.
+type TimedHandle interface {
+	AcquireTimed(l ptr.Ptr, mode api.Mode, deadlineNS int64) (state any, acquired bool)
+	ReleaseAcq(l ptr.Ptr, mode api.Mode, state any)
+}
+
+// TimedProvider is implemented by providers whose algorithm has a native
+// timed acquire path (bounded poll + CAS retraction for the single-word
+// locks, descriptor abandonment + successor patching for the queued ones).
+type TimedProvider interface {
+	Provider
+	NewTimedHandle(ctx api.Ctx) TimedHandle
+}
+
+// tokenHandle implements api.TokenLocker over a TimedHandle and the run's
+// fencing authority.
+type tokenHandle struct {
+	ft  *FenceTable
+	alg TimedHandle
+}
+
+var _ api.TokenLocker = (*tokenHandle)(nil)
+
+func (h *tokenHandle) Acquire(l ptr.Ptr, mode api.Mode, opt api.AcquireOpts) (api.Guard, api.Outcome) {
+	st, ok := h.alg.AcquireTimed(l, mode, opt.DeadlineNS)
+	if !ok {
+		return api.Guard{}, api.TimedOut
+	}
+	return api.Guard{Lock: l, Mode: mode, Token: h.ft.Grant(l), State: st}, api.Acquired
+}
+
+func (h *tokenHandle) Release(g api.Guard) api.ReleaseOutcome {
+	if !h.ft.Retire(g.Lock, g.Token) {
+		return api.Fenced // stale guard: leave the lock alone
+	}
+	h.alg.ReleaseAcq(g.Lock, g.Mode, g.State)
+	return api.Released
+}
+
+func (h *tokenHandle) Abandon(g api.Guard) {
+	if h.ft.Retire(g.Lock, g.Token) {
+		// Recovery physically reclaims the crashed holder's lock; the
+		// retired token fences the holder's own late Release off.
+		h.alg.ReleaseAcq(g.Lock, g.Mode, g.State)
+	}
+}
+
+// TokenHandleFor returns a token-API handle for any provider: the native
+// timed handle when the algorithm has one, otherwise the blocking fallback
+// (deadlines overshoot — the acquire blocks and reports Acquired — but
+// fencing-token semantics hold in full).
+func TokenHandleFor(p Provider, ctx api.Ctx, ft *FenceTable) api.TokenLocker {
+	if tp, ok := p.(TimedProvider); ok {
+		return &tokenHandle{ft: ft, alg: tp.NewTimedHandle(ctx)}
+	}
+	return &tokenHandle{ft: ft, alg: blockingTimed{rw: RWHandleFor(p, ctx)}}
+}
+
+// --- TimedHandle adapters, one per algorithm family ---
+
+// spinTimed: the RDMA spinlock — bounded poll, no retraction needed.
+type spinTimed struct{ h *SpinHandle }
+
+func (a spinTimed) AcquireTimed(l ptr.Ptr, _ api.Mode, deadlineNS int64) (any, bool) {
+	return nil, a.h.AcquireTimedWord(l, deadlineNS) // shared degrades to exclusive
+}
+
+func (a spinTimed) ReleaseAcq(l ptr.Ptr, _ api.Mode, _ any) { a.h.Unlock(l) }
+
+// mcsTimed: the RDMA MCS lock — per-acquisition descriptor as state.
+type mcsTimed struct{ h *MCSHandle }
+
+func (a mcsTimed) AcquireTimed(l ptr.Ptr, _ api.Mode, deadlineNS int64) (any, bool) {
+	d, ok := a.h.AcquireTimedDesc(l, deadlineNS)
+	if !ok {
+		return nil, false
+	}
+	return d, true
+}
+
+func (a mcsTimed) ReleaseAcq(l ptr.Ptr, _ api.Mode, st any) {
+	a.h.ReleaseDesc(l, st.(ptr.Ptr))
+}
+
+// alockTimed: the paper's ALock — per-acquisition cohort descriptor.
+type alockTimed struct{ h *core.Handle }
+
+func (a alockTimed) AcquireTimed(l ptr.Ptr, _ api.Mode, deadlineNS int64) (any, bool) {
+	d, ok := a.h.AcquireTimed(l, deadlineNS)
+	if !ok {
+		return nil, false
+	}
+	return d, true
+}
+
+func (a alockTimed) ReleaseAcq(l ptr.Ptr, _ api.Mode, st any) {
+	a.h.ReleaseDesc(l, st.(ptr.Ptr))
+}
+
+// rwTimed: the single-word reader/writer locks — the exclusive side's
+// installed state word as state, nothing for the shared side.
+type rwTimed struct{ h *RWHandle }
+
+func (a rwTimed) AcquireTimed(l ptr.Ptr, mode api.Mode, deadlineNS int64) (any, bool) {
+	if mode == api.Shared {
+		return nil, a.h.AcquireSharedTimed(l, deadlineNS)
+	}
+	held, ok := a.h.AcquireExclTimed(l, deadlineNS)
+	if !ok {
+		return nil, false
+	}
+	return held, true
+}
+
+func (a rwTimed) ReleaseAcq(l ptr.Ptr, mode api.Mode, st any) {
+	if mode == api.Shared {
+		a.h.RUnlock(l)
+		return
+	}
+	a.h.ReleaseExcl(l, st.(uint64))
+}
+
+// rwqTimed: the queued reader/writer lock — the full acquisition record.
+type rwqTimed struct{ h *RWQueueHandle }
+
+func (a rwqTimed) AcquireTimed(l ptr.Ptr, mode api.Mode, deadlineNS int64) (any, bool) {
+	var acq *rwqAcq
+	var ok bool
+	if mode == api.Shared {
+		acq, ok = a.h.acquireShared(l, deadlineNS)
+	} else {
+		acq, ok = a.h.acquireExcl(l, deadlineNS)
+	}
+	if !ok {
+		return nil, false
+	}
+	return acq, true
+}
+
+func (a rwqTimed) ReleaseAcq(l ptr.Ptr, mode api.Mode, st any) {
+	if mode == api.Shared {
+		a.h.releaseShared(l, st.(*rwqAcq))
+		return
+	}
+	a.h.releaseExcl(l, st.(*rwqAcq))
+}
+
+// blockingTimed is the fallback for algorithms without a native timed path
+// (filter, bakery): acquires block past any deadline and always succeed.
+type blockingTimed struct{ rw api.RWLocker }
+
+func (a blockingTimed) AcquireTimed(l ptr.Ptr, mode api.Mode, _ int64) (any, bool) {
+	if mode == api.Shared {
+		a.rw.RLock(l)
+	} else {
+		a.rw.Lock(l)
+	}
+	return nil, true
+}
+
+func (a blockingTimed) ReleaseAcq(l ptr.Ptr, mode api.Mode, _ any) {
+	if mode == api.Shared {
+		a.rw.RUnlock(l)
+		return
+	}
+	a.rw.Unlock(l)
+}

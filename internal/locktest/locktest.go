@@ -7,6 +7,9 @@
 // ownership handshake. Any interleaving of two critical sections loses an
 // increment or trips the ownership check, so a correct run proves the lock
 // serialized every critical section under that schedule.
+// CheckOverlappingHolds extends the same idea to two locks held at once
+// through the acquisition-token API, proving descriptor-per-acquisition
+// correctness and fencing-token acceptance of every valid release.
 package locktest
 
 import (
@@ -28,6 +31,11 @@ type MutexConfig struct {
 	LocalityPct    int // percentage of operations targeting the own node
 	Seed           int64
 	Model          model.Params
+	// TokenAPI routes every acquisition through the acquisition-token
+	// layer (locks.TokenHandleFor behind the api.Blocking adapter) instead
+	// of the provider's plain handles, proving the same serialization
+	// under the redesigned API.
+	TokenAPI bool
 }
 
 // DefaultMutexConfig returns a small-but-contended configuration with
@@ -75,11 +83,17 @@ func RunMutex(prov locks.Provider, cfg MutexConfig) Result {
 
 	res := Result{Entries: make([][]int, cfg.Locks)}
 
+	ft := locks.NewFenceTable()
 	for n := 0; n < cfg.Nodes; n++ {
 		for k := 0; k < cfg.ThreadsPerNode; k++ {
 			node := n
 			e.Spawn(node, func(ctx api.Ctx) {
-				h := prov.NewHandle(ctx)
+				var h api.Locker
+				if cfg.TokenAPI {
+					h = api.NewBlocking(locks.TokenHandleFor(prov, ctx, ft))
+				} else {
+					h = prov.NewHandle(ctx)
+				}
 				rw := rwFor(ctx)
 				for it := 0; it < cfg.Iters; it++ {
 					li := pickLock(ctx, cfg, lockPtrs)
@@ -134,6 +148,145 @@ func CheckMutualExclusion(t *testing.T, prov locks.Provider, cfg MutexConfig) {
 	if res.OwnerTramples != 0 {
 		t.Errorf("%s: %d ownership violations (overlapping critical sections)",
 			prov.Name(), res.OwnerTramples)
+	}
+}
+
+// OverlapConfig parameterizes CheckOverlappingHolds.
+type OverlapConfig struct {
+	Nodes          int
+	ThreadsPerNode int
+	Locks          int // must be >= 2
+	Iters          int // two-lock transactions per thread
+	Seed           int64
+	Model          model.Params
+}
+
+// DefaultOverlapConfig returns a small-but-contended configuration with
+// tearing enabled.
+func DefaultOverlapConfig() OverlapConfig {
+	m := model.Uniform(7)
+	m.TornRCAS = true
+	m.TornGapNS = 90
+	return OverlapConfig{
+		Nodes:          3,
+		ThreadsPerNode: 2,
+		Locks:          3,
+		Iters:          60,
+		Seed:           1,
+		Model:          m,
+	}
+}
+
+// CheckOverlappingHolds proves descriptor-per-acquisition correctness
+// under the token API: every thread repeatedly acquires two distinct locks
+// (in ascending index order, the deadlock-avoiding discipline), mutates
+// both locks' protected counters inside the doubly-held section, and
+// releases in both orders (ascending on even iterations, descending on
+// odd). A lock algorithm that still ties one descriptor to the thread —
+// rather than to the acquisition — corrupts its queue on the second
+// acquire and loses increments or tramples ownership; a correct run also
+// sees every release accepted by its fencing token.
+func CheckOverlappingHolds(t *testing.T, prov locks.Provider, cfg OverlapConfig) {
+	t.Helper()
+	if cfg.Locks < 2 {
+		t.Fatalf("CheckOverlappingHolds needs >= 2 locks, got %d", cfg.Locks)
+	}
+	e := sim.New(cfg.Nodes, 1<<20, cfg.Model, cfg.Seed)
+	space := e.Space()
+
+	lockPtrs := make([]ptr.Ptr, cfg.Locks)
+	counterPtrs := make([]ptr.Ptr, cfg.Locks)
+	ownerPtrs := make([]ptr.Ptr, cfg.Locks)
+	for i := range lockPtrs {
+		node := i % cfg.Nodes
+		lockPtrs[i] = space.AllocLine(node)
+		counterPtrs[i] = space.AllocLine(node)
+		ownerPtrs[i] = space.AllocLine(node)
+	}
+	prov.Prepare(space, lockPtrs)
+
+	ft := locks.NewFenceTable()
+	var totalOps, tramples, fenced int64
+	for n := 0; n < cfg.Nodes; n++ {
+		for k := 0; k < cfg.ThreadsPerNode; k++ {
+			node := n
+			e.Spawn(node, func(ctx api.Ctx) {
+				h := locks.TokenHandleFor(prov, ctx, ft)
+				rw := rwFor(ctx)
+				for it := 0; it < cfg.Iters; it++ {
+					a := ctx.Rand().Intn(cfg.Locks)
+					b := ctx.Rand().Intn(cfg.Locks - 1)
+					if b >= a {
+						b++
+					}
+					if b < a {
+						a, b = b, a
+					}
+					ga, out := h.Acquire(lockPtrs[a], api.Exclusive, api.AcquireOpts{})
+					if out != api.Acquired {
+						tramples++ // blocking acquire must not time out
+						continue
+					}
+					gb, out := h.Acquire(lockPtrs[b], api.Exclusive, api.AcquireOpts{})
+					if out != api.Acquired {
+						tramples++
+						continue
+					}
+					// Doubly-held section: the handshake on both locks'
+					// data trips if any other critical section overlaps.
+					tag := uint64(ctx.ThreadID()) + 1
+					for _, li := range []int{a, b} {
+						if rw.read(ctx, ownerPtrs[li]) != 0 {
+							tramples++
+						}
+						rw.write(ctx, ownerPtrs[li], tag)
+					}
+					for _, li := range []int{a, b} {
+						c := rw.read(ctx, counterPtrs[li])
+						rw.write(ctx, counterPtrs[li], c+1)
+						if rw.read(ctx, ownerPtrs[li]) != tag {
+							tramples++
+						}
+						rw.write(ctx, ownerPtrs[li], 0)
+					}
+					first, second := ga, gb
+					if it%2 == 1 {
+						first, second = gb, ga // release in both orders
+					}
+					if h.Release(first) != api.Released {
+						fenced++
+					}
+					if h.Release(second) != api.Released {
+						fenced++
+					}
+					totalOps++
+				}
+			})
+		}
+	}
+	e.Run(1 << 62)
+
+	var counterSum int64
+	e.Spawn(0, func(ctx api.Ctx) {
+		for i := range counterPtrs {
+			counterSum += int64(ctx.Read(counterPtrs[i]))
+		}
+	})
+	e.Run(1 << 62)
+
+	want := int64(cfg.Nodes * cfg.ThreadsPerNode * cfg.Iters)
+	if totalOps != want {
+		t.Fatalf("%s: completed %d two-lock ops, want %d", prov.Name(), totalOps, want)
+	}
+	if counterSum != 2*want {
+		t.Errorf("%s: lost updates under overlapping holds — counter sum %d, want %d",
+			prov.Name(), counterSum, 2*want)
+	}
+	if tramples != 0 {
+		t.Errorf("%s: %d ownership violations under overlapping holds", prov.Name(), tramples)
+	}
+	if fenced != 0 {
+		t.Errorf("%s: %d valid releases rejected by fencing tokens", prov.Name(), fenced)
 	}
 }
 

@@ -289,6 +289,13 @@ func Summary(w io.Writer, r harness.Result) {
 	}
 	fmt.Fprintf(w, "ops recorded   : %d over %s\n", r.Ops, ns(r.SpanNS))
 	fmt.Fprintf(w, "throughput     : %s ops/s\n", ops(r.Throughput))
+	if r.Timeouts > 0 || r.Abandons > 0 || r.FencedReleases > 0 {
+		fmt.Fprintf(w, "outcomes       : %d timeouts (p50 give-up %s), %d abandons, %d fenced releases\n",
+			r.Timeouts, ns(r.TimeoutLatency.P50NS), r.Abandons, r.FencedReleases)
+	}
+	if r.PairOps > 0 {
+		fmt.Fprintf(w, "two-lock ops   : %d of %d recorded ops\n", r.PairOps, r.Ops)
+	}
 	fmt.Fprintf(w, "latency        : mean=%s p50=%s p99=%s p99.9=%s max=%s\n",
 		ns(int64(r.Latency.MeanNS)), ns(r.Latency.P50NS), ns(r.Latency.P99NS),
 		ns(r.Latency.P999NS), ns(r.Latency.MaxNS))
@@ -341,12 +348,15 @@ func CDFSparkline(pts []stats.Point, width int) string {
 // one row per run, with the config knobs that differ between runs spelled
 // out alongside throughput and tail latency.
 func Sweep(w io.Writer, title string, results []harness.Result) {
-	// Per-class latency columns appear only when some run recorded reads.
-	hasReads := false
+	// Per-class latency columns appear only when some run recorded reads;
+	// outcome columns only when some run recorded non-happy-path outcomes.
+	hasReads, hasOutcomes := false, false
 	for _, r := range results {
 		if r.ReadOps > 0 {
 			hasReads = true
-			break
+		}
+		if r.Timeouts > 0 || r.Abandons > 0 || r.FencedReleases > 0 {
+			hasOutcomes = true
 		}
 	}
 	var rows [][]string
@@ -372,11 +382,20 @@ func Sweep(w io.Writer, title string, results []harness.Result) {
 			}
 			row = append(row, rp99, wp99)
 		}
+		if hasOutcomes {
+			row = append(row,
+				fmt.Sprintf("%d", r.Timeouts),
+				fmt.Sprintf("%d", r.Abandons),
+				fmt.Sprintf("%d", r.FencedReleases))
+		}
 		rows = append(rows, row)
 	}
 	header := []string{"algorithm", "cluster", "locks", "locality", "workload", "throughput(ops/s)", "p50", "p99"}
 	if hasReads {
 		header = append(header, "read p99", "write p99")
+	}
+	if hasOutcomes {
+		header = append(header, "timeouts", "abandons", "fenced")
 	}
 	writeTable(w, title, header, rows)
 }
@@ -403,6 +422,15 @@ func workloadExtras(c harness.Config) string {
 	if c.HomeSkewPct > 0 {
 		extras += fmt.Sprintf(" homeskew=%d%%", c.HomeSkewPct)
 	}
+	if c.AcquireTimeout > 0 {
+		extras += fmt.Sprintf(" timeout=%v", c.AcquireTimeout)
+	}
+	if c.AbandonProb > 0 {
+		extras += fmt.Sprintf(" abandon=%.1f%%/%v", c.AbandonProb*100, c.AbandonHold)
+	}
+	if c.PairProb > 0 {
+		extras += fmt.Sprintf(" pair=%.0f%%", c.PairProb*100)
+	}
 	if c.CSWork > 0 || c.Think > 0 {
 		extras += fmt.Sprintf(" cs=%v think=%v", c.CSWork, c.Think)
 	}
@@ -412,9 +440,18 @@ func workloadExtras(c harness.Config) string {
 // FigureRW renders the reader/writer and failure figure: one table per
 // scenario family, one row per run, with per-class (read vs write) tail
 // latencies next to throughput — the storm's cost shows up in the write
-// tail long before it shows in aggregate throughput.
+// tail long before it shows in aggregate throughput. Families whose runs
+// produce acquisition outcomes beyond the happy path (timeouts, abandons,
+// fenced releases) grow the outcome columns.
 func FigureRW(w io.Writer, groups []harness.FigRWGroup) {
 	for _, g := range groups {
+		hasOutcomes := false
+		for _, r := range g.Results {
+			if r.Timeouts > 0 || r.Abandons > 0 || r.FencedReleases > 0 {
+				hasOutcomes = true
+				break
+			}
+		}
 		var rows [][]string
 		for _, r := range g.Results {
 			c := r.Config
@@ -426,54 +463,72 @@ func FigureRW(w io.Writer, groups []harness.FigRWGroup) {
 			if r.WriteOps > 0 {
 				wp50, wp99 = ns(r.WriteLatency.P50NS), ns(r.WriteLatency.P99NS)
 			}
-			rows = append(rows, []string{
+			row := []string{
 				c.Algorithm,
 				fmt.Sprintf("%dx%d", c.Nodes, c.ThreadsPerNode),
 				fmt.Sprintf("%d", c.Locks),
 				workloadExtras(c),
 				ops(r.Throughput),
 				rp50, rp99, wp50, wp99,
-			})
+			}
+			if hasOutcomes {
+				giveUp := "-"
+				if r.Timeouts > 0 {
+					giveUp = ns(r.TimeoutLatency.P99NS)
+				}
+				row = append(row,
+					fmt.Sprintf("%d", r.Timeouts), giveUp,
+					fmt.Sprintf("%d", r.Abandons),
+					fmt.Sprintf("%d", r.FencedReleases))
+			}
+			rows = append(rows, row)
 		}
-		writeTable(w, "Figure RW: "+g.Name,
-			[]string{"algorithm", "cluster", "locks", "workload",
-				"throughput(ops/s)", "read p50", "read p99", "write p50", "write p99"},
-			rows)
+		header := []string{"algorithm", "cluster", "locks", "workload",
+			"throughput(ops/s)", "read p50", "read p99", "write p50", "write p99"}
+		if hasOutcomes {
+			header = append(header, "timeouts", "give-up p99", "abandons", "fenced")
+		}
+		writeTable(w, "Figure RW: "+g.Name, header, rows)
 	}
 }
 
 // FigureRWCSV emits one CSV row per run of the reader/writer figure, with
 // per-algorithm read and write percentile columns for replotting.
 func FigureRWCSV(w io.Writer, groups []harness.FigRWGroup) {
-	fmt.Fprintln(w, "figure,scenario,algorithm,nodes,threads_per_node,locks,locality_pct,read_pct,lease_prob,lease_hold_ns,jitter_prob,jitter_ns,throughput_ops,read_p50_ns,read_p99_ns,write_p50_ns,write_p99_ns,ops,read_ops,write_ops")
+	fmt.Fprintln(w, "figure,scenario,algorithm,nodes,threads_per_node,locks,locality_pct,read_pct,lease_prob,lease_hold_ns,jitter_prob,jitter_ns,acquire_timeout_ns,abandon_prob,pair_prob,throughput_ops,read_p50_ns,read_p99_ns,write_p50_ns,write_p99_ns,ops,read_ops,write_ops,timeouts,giveup_p50_ns,giveup_p99_ns,abandons,fenced_releases,pair_ops")
 	for _, g := range groups {
 		for _, r := range g.Results {
 			c := r.Config
-			fmt.Fprintf(w, "figrw,%s,%s,%d,%d,%d,%d,%d,%.4f,%d,%.4f,%d,%.1f,%d,%d,%d,%d,%d,%d,%d\n",
+			fmt.Fprintf(w, "figrw,%s,%s,%d,%d,%d,%d,%d,%.4f,%d,%.4f,%d,%d,%.4f,%.4f,%.1f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 				g.Name, c.Algorithm, c.Nodes, c.ThreadsPerNode, c.Locks, c.LocalityPct,
 				c.ReadPct, c.LeaseProb, c.LeaseHold.Nanoseconds(),
 				c.Model.JitterProb, c.Model.JitterNS,
+				c.AcquireTimeout.Nanoseconds(), c.AbandonProb, c.PairProb,
 				r.Throughput,
 				r.ReadLatency.P50NS, r.ReadLatency.P99NS,
 				r.WriteLatency.P50NS, r.WriteLatency.P99NS,
-				r.Ops, r.ReadOps, r.WriteOps)
+				r.Ops, r.ReadOps, r.WriteOps,
+				r.Timeouts, r.TimeoutLatency.P50NS, r.TimeoutLatency.P99NS,
+				r.Abandons, r.FencedReleases, r.PairOps)
 		}
 	}
 }
 
 // SweepCSV emits one CSV row per run of a scenario sweep.
 func SweepCSV(w io.Writer, name string, results []harness.Result) {
-	fmt.Fprintln(w, "scenario,algorithm,nodes,threads_per_node,locks,locality_pct,zipf_s,burst_on_ns,burst_off_ns,home_skew_pct,read_pct,lease_prob,lease_hold_ns,jitter_prob,jitter_ns,throughput_ops,p50_ns,p99_ns,read_p99_ns,write_p99_ns,ops,read_ops,write_ops")
+	fmt.Fprintln(w, "scenario,algorithm,nodes,threads_per_node,locks,locality_pct,zipf_s,burst_on_ns,burst_off_ns,home_skew_pct,read_pct,lease_prob,lease_hold_ns,jitter_prob,jitter_ns,acquire_timeout_ns,abandon_prob,pair_prob,throughput_ops,p50_ns,p99_ns,read_p99_ns,write_p99_ns,ops,read_ops,write_ops,timeouts,abandons,fenced_releases,pair_ops")
 	for _, r := range results {
 		c := r.Config
-		fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d,%.2f,%d,%d,%d,%d,%.4f,%d,%.4f,%d,%.1f,%d,%d,%d,%d,%d,%d,%d\n",
+		fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d,%.2f,%d,%d,%d,%d,%.4f,%d,%.4f,%d,%d,%.4f,%.4f,%.1f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 			name, c.Algorithm, c.Nodes, c.ThreadsPerNode, c.Locks, c.LocalityPct,
 			c.ZipfS, c.BurstOn.Nanoseconds(), c.BurstOff.Nanoseconds(), c.HomeSkewPct,
 			c.ReadPct, c.LeaseProb, c.LeaseHold.Nanoseconds(),
 			c.Model.JitterProb, c.Model.JitterNS,
+			c.AcquireTimeout.Nanoseconds(), c.AbandonProb, c.PairProb,
 			r.Throughput, r.Latency.P50NS, r.Latency.P99NS,
 			r.ReadLatency.P99NS, r.WriteLatency.P99NS,
-			r.Ops, r.ReadOps, r.WriteOps)
+			r.Ops, r.ReadOps, r.WriteOps,
+			r.Timeouts, r.Abandons, r.FencedReleases, r.PairOps)
 	}
 }
 

@@ -208,6 +208,84 @@ func TestSpinlockRealParallelism(t *testing.T) {
 	mutexRun(t, locks.SpinProvider{}, 2, 4, 500)
 }
 
+// tokenMutexRun is mutexRun through the acquisition-token API: the shared
+// FenceTable and the per-acquisition descriptor paths run under real
+// goroutines, so the race detector checks the whole token layer.
+func tokenMutexRun(t *testing.T, prov locks.Provider, nodes, threadsPerNode, iters int) {
+	t.Helper()
+	e := rt.New(nodes, 1<<18, rt.Config{}, 7)
+	lockP := e.Space().AllocLine(0)
+	prov.Prepare(e.Space(), []ptr.Ptr{lockP})
+	ft := locks.NewFenceTable()
+	counter := 0 // deliberately unsynchronized: protected only by the lock
+	fenced := uint64(0)
+	for n := 0; n < nodes; n++ {
+		for k := 0; k < threadsPerNode; k++ {
+			e.Spawn(n, func(ctx api.Ctx) {
+				h := locks.TokenHandleFor(prov, ctx, ft)
+				for i := 0; i < iters; i++ {
+					g, _ := h.Acquire(lockP, api.Exclusive, api.AcquireOpts{})
+					counter++
+					if h.Release(g) != api.Released {
+						atomic.AddUint64(&fenced, 1)
+					}
+				}
+			})
+		}
+	}
+	e.Wait()
+	if want := nodes * threadsPerNode * iters; counter != want {
+		t.Fatalf("%s: counter = %d, want %d", prov.Name(), counter, want)
+	}
+	if fenced != 0 {
+		t.Fatalf("%s: %d live releases fenced", prov.Name(), fenced)
+	}
+}
+
+func TestTokenAPIRealParallelism(t *testing.T) {
+	tokenMutexRun(t, locks.NewALockProvider(), 2, 4, 600)
+}
+
+func TestTokenAPIRealParallelismTimedMCS(t *testing.T) {
+	tokenMutexRun(t, locks.MCSProvider{Timed: true}, 2, 4, 600)
+}
+
+// TestTokenOverlapRealParallelism: overlapping holds of two locks under
+// real goroutines — per-acquisition descriptors with the race detector
+// watching the protected counters.
+func TestTokenOverlapRealParallelism(t *testing.T) {
+	e := rt.New(2, 1<<18, rt.Config{}, 11)
+	la := e.Space().AllocLine(0)
+	lb := e.Space().AllocLine(1)
+	prov := locks.NewALockProvider()
+	prov.Prepare(e.Space(), []ptr.Ptr{la, lb})
+	ft := locks.NewFenceTable()
+	ca, cb := 0, 0
+	const threads, iters = 6, 400
+	for i := 0; i < threads; i++ {
+		e.Spawn(i%2, func(ctx api.Ctx) {
+			h := locks.TokenHandleFor(prov, ctx, ft)
+			for k := 0; k < iters; k++ {
+				ga, _ := h.Acquire(la, api.Exclusive, api.AcquireOpts{})
+				gb, _ := h.Acquire(lb, api.Exclusive, api.AcquireOpts{})
+				ca++
+				cb++
+				if k%2 == 0 {
+					h.Release(gb)
+					h.Release(ga)
+				} else {
+					h.Release(ga)
+					h.Release(gb)
+				}
+			}
+		})
+	}
+	e.Wait()
+	if want := threads * iters; ca != want || cb != want {
+		t.Fatalf("counters = %d/%d, want %d", ca, cb, want)
+	}
+}
+
 func TestALockManyLocksRealParallelism(t *testing.T) {
 	e := rt.New(2, 1<<18, rt.Config{}, 9)
 	const nLocks = 16

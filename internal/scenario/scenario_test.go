@@ -1,8 +1,10 @@
 package scenario
 
 import (
+	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"alock/internal/harness"
 	"alock/internal/sweep"
@@ -130,13 +132,13 @@ func TestRWAndFailureScenariosRegistered(t *testing.T) {
 }
 
 func TestByPrefixAndRWFigureGroups(t *testing.T) {
-	fams := ByPrefix("rw/", "lease/", "fail/")
-	if len(fams) < 8 {
+	fams := ByPrefix("rw/", "lease/", "fail/", "multi/")
+	if len(fams) < 11 {
 		t.Fatalf("only %d scenarios in the RW figure families", len(fams))
 	}
 	for _, sc := range fams {
 		if !strings.HasPrefix(sc.Name, "rw/") && !strings.HasPrefix(sc.Name, "lease/") &&
-			!strings.HasPrefix(sc.Name, "fail/") {
+			!strings.HasPrefix(sc.Name, "fail/") && !strings.HasPrefix(sc.Name, "multi/") {
 			t.Errorf("ByPrefix leaked %q", sc.Name)
 		}
 	}
@@ -172,6 +174,63 @@ func TestRegisterRejectsDuplicatesAndEmpty(t *testing.T) {
 		Name:   "paper/fig1-loopback",
 		Expand: func(harness.Scale) []harness.Config { return nil },
 	})
+}
+
+// TestListingDeterministicallySorted pins the -list-scenarios contract:
+// Names and All enumerate the registry in sorted order (maps iterate
+// randomly; the sort is what makes CLI output and the figure groups
+// reproducible run to run).
+func TestListingDeterministicallySorted(t *testing.T) {
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Names() not sorted: %v", names)
+	}
+	all := All()
+	if len(all) != len(names) {
+		t.Fatalf("All() has %d entries, Names() %d", len(all), len(names))
+	}
+	for i, sc := range all {
+		if sc.Name != names[i] {
+			t.Errorf("All()[%d] = %q, Names()[%d] = %q", i, sc.Name, i, names[i])
+		}
+	}
+}
+
+// TestTokenScenariosRegistered pins the failure/transaction catalog added
+// with the acquisition-token API.
+func TestTokenScenariosRegistered(t *testing.T) {
+	ab, ok := Get("fail/abandoned-holder")
+	if !ok {
+		t.Fatal("fail/abandoned-holder not registered")
+	}
+	for _, c := range ab.Configs(harness.Scale{TestTiny: true}) {
+		if c.AcquireTimeout <= 0 || c.AbandonProb <= 0 || c.AbandonHold <= 0 {
+			t.Errorf("fail/abandoned-holder config missing failure knobs: %+v", c)
+		}
+	}
+	to, ok := Get("fail/timeout-recovery")
+	if !ok {
+		t.Fatal("fail/timeout-recovery not registered")
+	}
+	timeouts := map[time.Duration]bool{}
+	for _, c := range to.Configs(harness.Scale{TestTiny: true}) {
+		if c.AcquireTimeout <= 0 {
+			t.Errorf("fail/timeout-recovery config without deadline: %+v", c)
+		}
+		timeouts[c.AcquireTimeout] = true
+	}
+	if len(timeouts) != 3 {
+		t.Errorf("fail/timeout-recovery sweeps %d deadlines, want 3", len(timeouts))
+	}
+	pair, ok := Get("multi/two-lock")
+	if !ok {
+		t.Fatal("multi/two-lock not registered")
+	}
+	for _, c := range pair.Configs(harness.Scale{TestTiny: true}) {
+		if c.PairProb <= 0 {
+			t.Errorf("multi/two-lock config without pair share: %+v", c)
+		}
+	}
 }
 
 // TestScenariosRunEndToEnd executes every scenario at smoke-test scale

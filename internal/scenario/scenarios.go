@@ -296,6 +296,62 @@ func init() {
 		},
 	})
 
+	// --- Failure injection on the acquisition-token API ---
+
+	Register(Scenario{
+		Name:        "fail/abandoned-holder",
+		Description: "0.5% of holds crash and wedge the lock 150us: timeouts keep the rest alive, recovery fences the late release",
+		Scale: func(s harness.Scale) harness.Scale {
+			s.ThreadsOverride = []int{4, 8}
+			s.MeasureOverride = 8_000_000
+			return s
+		},
+		Expand: func(s harness.Scale) []harness.Config {
+			return sweepGrid(s, []string{"alock", "mcs", "spinlock", "rw-queue"},
+				func(c *harness.Config) {
+					c.Locks = locktable.HighContentionLocks
+					c.AcquireTimeout = 30 * time.Microsecond
+					c.AbandonProb = 0.005
+					c.AbandonHold = 150 * time.Microsecond
+				})
+		},
+	})
+	Register(Scenario{
+		Name:        "fail/timeout-recovery",
+		Description: "acquire deadline sweep 10/30/90us on hot locks: how tight a deadline each queue discipline tolerates",
+		Scale: func(s harness.Scale) harness.Scale {
+			s.ThreadsOverride = []int{8}
+			return s
+		},
+		Expand: func(s harness.Scale) []harness.Config {
+			var cfgs []harness.Config
+			for _, timeout := range []time.Duration{10, 30, 90} {
+				cfgs = append(cfgs, sweepGrid(s, []string{"alock", "mcs", "spinlock", "rw-queue"},
+					func(c *harness.Config) {
+						c.Locks = locktable.HighContentionLocks
+						c.AcquireTimeout = timeout * time.Microsecond
+					})...)
+			}
+			return cfgs
+		},
+	})
+
+	// --- Multi-lock transactions (descriptor-per-acquisition) ---
+
+	Register(Scenario{
+		Name:        "multi/two-lock",
+		Description: "10% of ops are ordered two-lock transactions: overlapping holds via per-acquisition descriptors",
+		Scale: func(s harness.Scale) harness.Scale {
+			s.ThreadsOverride = []int{2, 4, 8}
+			return s
+		},
+		Expand: func(s harness.Scale) []harness.Config {
+			return sweepGrid(s, harness.EvalAlgorithms, func(c *harness.Config) {
+				c.PairProb = 0.10
+			})
+		},
+	})
+
 	Register(Scenario{
 		Name:        "think-heavy",
 		Description: "application profile with 2us critical sections and 5us think time between ops",

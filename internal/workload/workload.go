@@ -56,6 +56,31 @@ type Spec struct {
 	LeaseProb float64
 	// LeaseHoldNS is the duration of a lease hold.
 	LeaseHoldNS int64
+	// AcquireTimeoutNS, when > 0, bounds every acquisition: an acquire
+	// still waiting after this much engine time gives up and the
+	// operation completes with the timeout outcome (recorded separately —
+	// never in Ops/Latency). Requires a run whose lock handles speak the
+	// timed protocol (harness wires this through locks.Options.Timed).
+	// Deadlines draw nothing from the RNG, so timeout-free specs replay
+	// bit-identically.
+	AcquireTimeoutNS int64
+	// AbandonProb, when > 0, is the per-operation probability that the
+	// holder "crashes": it holds the lock for AbandonHoldNS — during
+	// which waiters must time out to make progress — after which recovery
+	// reclaims the lock (TokenLocker.Abandon) and the crashed holder's
+	// own late release is fenced off by its stale token. Only exclusive
+	// single-lock holds crash (the case that wedges the lock); the draw
+	// is RNG-gated so abandon-free specs replay bit-identically.
+	AbandonProb float64
+	// AbandonHoldNS is the dead time an abandoned hold wedges its lock.
+	AbandonHoldNS int64
+	// PairProb, when > 0, is the per-operation probability of a two-lock
+	// transaction: the thread acquires two distinct locks in ascending
+	// table order (the classic deadlock-avoiding discipline), runs one
+	// critical section under both, and releases in reverse order. Pairs
+	// acquire exclusive mode and need descriptor-per-acquisition locks
+	// (every registered algorithm qualifies). RNG-gated.
+	PairProb float64
 }
 
 // Validate rejects nonsensical specs.
@@ -86,13 +111,26 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("workload: lease needs both probability and hold (prob=%v hold=%d)",
 			s.LeaseProb, s.LeaseHoldNS)
 	}
+	if s.AcquireTimeoutNS < 0 {
+		return fmt.Errorf("workload: negative acquire timeout %d", s.AcquireTimeoutNS)
+	}
+	if s.AbandonProb < 0 || s.AbandonProb > 1 {
+		return fmt.Errorf("workload: abandon probability %v out of range", s.AbandonProb)
+	}
+	if s.AbandonHoldNS < 0 || (s.AbandonProb > 0) != (s.AbandonHoldNS > 0) {
+		return fmt.Errorf("workload: abandon needs both probability and hold (prob=%v hold=%d)",
+			s.AbandonProb, s.AbandonHoldNS)
+	}
+	if s.PairProb < 0 || s.PairProb > 1 {
+		return fmt.Errorf("workload: pair probability %v out of range", s.PairProb)
+	}
 	return nil
 }
 
 // ThreadResult is what one thread's loop produced.
 type ThreadResult struct {
-	Ops        int64 // recorded (post-warmup) operations
-	TotalOps   int64 // including warmup
+	Ops        int64 // recorded (post-warmup) completed operations
+	TotalOps   int64 // including warmup, timeouts and abandons
 	Latency    stats.Hist
 	FirstRecNS int64 // engine time of first recorded completion
 	LastRecNS  int64 // engine time of last recorded completion
@@ -103,6 +141,20 @@ type ThreadResult struct {
 	WriteOps     int64
 	ReadLatency  stats.Hist
 	WriteLatency stats.Hist
+	// Acquisition outcomes beyond the happy path (recorded post-warmup,
+	// like Ops). Timeouts counts operations that gave up waiting;
+	// TimeoutLatency is their acquire-latency-to-outcome histogram — how
+	// long a thread burned before giving up, the tail the deadline is
+	// supposed to cap. Abandons counts simulated holder crashes, and
+	// FencedReleases counts releases rejected by a stale fencing token
+	// (every abandoned hold produces one when the "crashed" holder
+	// retries its release).
+	Timeouts       int64
+	TimeoutLatency stats.Hist
+	Abandons       int64
+	FencedReleases int64
+	// PairOps counts completed two-lock transactions (a subset of Ops).
+	PairOps int64
 }
 
 // StopRequester is the subset of the engine the loop needs to end a run
@@ -110,15 +162,19 @@ type ThreadResult struct {
 type StopRequester interface{ RequestStop() }
 
 // Run executes the operation loop until ctx.Stopped(). Every operation is
-// one Lock + CS + Unlock on a lock drawn from the table per the locality
-// spec — shared (RLock) for the ReadPct share, exclusive otherwise.
-// Latency is the full Lock-to-Unlock-return span, as in the paper
-// ("operations that encompass both one lock and one unlock operation").
+// one acquisition (shared for the ReadPct share, exclusive otherwise; a
+// PairProb draw acquires a second lock in ascending order), an optional
+// critical-section body, and the matching release(s) — all through the
+// acquisition-token API, so outcomes are explicit: a deadline that fires
+// records a timeout, an AbandonProb draw simulates a crashed holder whose
+// late release is fenced. Latency is the full acquire-to-release-return
+// span, as in the paper ("operations that encompass both one lock and one
+// unlock operation").
 //
 // If stopper is non-nil and opsDone (shared across threads) reaches
 // targetOps, the run is cut short — throughput remains unbiased because it
 // is computed from recorded spans, not from the nominal horizon.
-func Run(ctx api.Ctx, h api.RWLocker, table *locktable.Table, spec Spec,
+func Run(ctx api.Ctx, h api.TokenLocker, table *locktable.Table, spec Spec,
 	opsDone *int64, targetOps int64, stopper StopRequester) ThreadResult {
 
 	if err := spec.Validate(); err != nil {
@@ -141,36 +197,112 @@ func Run(ctx api.Ctx, h api.RWLocker, table *locktable.Table, spec Spec,
 			continue
 		}
 		idx := table.PickSkewed(rng, ctx.NodeID(), spec.LocalityPct, skew)
-		l := table.Ptr(idx)
 
 		// Feature draws are gated so a spec without them consumes nothing
-		// from the stream: pre-RW schedules replay bit-identically.
+		// from the stream: feature-free schedules replay bit-identically.
 		isRead := spec.ReadPct > 0 && rng.Intn(100) < spec.ReadPct
 		hold := spec.CSWork
 		if spec.LeaseProb > 0 && rng.Float64() < spec.LeaseProb {
 			hold = time.Duration(spec.LeaseHoldNS)
 			isRead = false // a lease is ownership: always a write-side hold
 		}
+		pairIdx := -1
+		if spec.PairProb > 0 && rng.Float64() < spec.PairProb && table.Len() > 1 {
+			// Second lock, uniform over the rest of the table; the pair is
+			// ordered ascending so no two transactions deadlock.
+			j := rng.Intn(table.Len() - 1)
+			if j >= idx {
+				j++
+			}
+			if j < idx {
+				idx, j = j, idx
+			}
+			pairIdx = j
+			isRead = false // transactions take ownership of both locks
+		}
+		// Crashes are modeled on exclusive single-lock holds — the case
+		// that wedges the lock (a crashed reader leaves other readers
+		// running, a different severity). The draw itself stays gated
+		// only on the spec so RNG consumption is mode-independent.
+		abandon := spec.AbandonProb > 0 && rng.Float64() < spec.AbandonProb &&
+			pairIdx < 0 && !isRead
+
+		l := table.Ptr(idx)
+		mode := api.Exclusive
+		if isRead {
+			mode = api.Shared
+		}
+		var opt api.AcquireOpts
+		if spec.AcquireTimeoutNS > 0 {
+			opt.DeadlineNS = ctx.Now() + spec.AcquireTimeoutNS
+		}
 
 		start := ctx.Now()
-		if isRead {
-			h.RLock(l)
-		} else {
-			h.Lock(l)
+		g, out := h.Acquire(l, mode, opt)
+		if out == api.TimedOut {
+			res.recordTimeout(spec, start, ctx.Now())
+			res.TotalOps++
+			if spec.Think > 0 {
+				ctx.Work(spec.Think)
+			}
+			continue
 		}
+		var g2 api.Guard
+		if pairIdx >= 0 {
+			g2, out = h.Acquire(table.Ptr(pairIdx), api.Exclusive, opt)
+			if out == api.TimedOut {
+				// The transaction cannot complete: back out of the first
+				// lock and record the whole operation as a timeout.
+				h.Release(g)
+				res.recordTimeout(spec, start, ctx.Now())
+				res.TotalOps++
+				if spec.Think > 0 {
+					ctx.Work(spec.Think)
+				}
+				continue
+			}
+		}
+
+		if abandon {
+			// A crashed holder: the lock stays wedged for the abandon hold
+			// (waiters must time out to survive), then recovery reclaims
+			// it and the holder's own late release bounces off the fence.
+			ctx.Work(time.Duration(spec.AbandonHoldNS))
+			h.Abandon(g)
+			if h.Release(g) == api.Fenced {
+				if start >= spec.WarmupNS {
+					res.FencedReleases++
+				}
+			}
+			if start >= spec.WarmupNS {
+				res.Abandons++
+			}
+			res.TotalOps++
+			if spec.Think > 0 {
+				ctx.Work(spec.Think)
+			}
+			continue
+		}
+
 		if hold > 0 {
 			ctx.Work(hold)
 		}
-		if isRead {
-			h.RUnlock(l)
-		} else {
-			h.Unlock(l)
+		if pairIdx >= 0 {
+			if h.Release(g2) == api.Fenced && start >= spec.WarmupNS {
+				res.FencedReleases++
+			}
+		}
+		if h.Release(g) == api.Fenced && start >= spec.WarmupNS {
+			res.FencedReleases++
 		}
 		end := ctx.Now()
 
 		res.TotalOps++
 		if start >= spec.WarmupNS {
 			res.Ops++
+			if pairIdx >= 0 {
+				res.PairOps++
+			}
 			if isRead {
 				res.ReadOps++
 				res.ReadLatency.Add(end - start)
@@ -202,4 +334,14 @@ func Run(ctx api.Ctx, h api.RWLocker, table *locktable.Table, spec Spec,
 	res.Latency.Merge(&res.ReadLatency)
 	res.Latency.Merge(&res.WriteLatency)
 	return res
+}
+
+// recordTimeout books one timed-out acquisition (post-warmup only, like
+// every recorded statistic).
+func (res *ThreadResult) recordTimeout(spec Spec, start, end int64) {
+	if start < spec.WarmupNS {
+		return
+	}
+	res.Timeouts++
+	res.TimeoutLatency.Add(end - start)
 }

@@ -49,8 +49,9 @@ func runLoopWith(t *testing.T, prov locks.Provider, spec Spec, horizon int64) Th
 	table := locktable.New(e.Space(), 10)
 	prov.Prepare(e.Space(), table.All())
 	var res ThreadResult
+	ft := locks.NewFenceTable()
 	e.Spawn(0, func(ctx api.Ctx) {
-		h := locks.RWHandleFor(prov, ctx)
+		h := locks.TokenHandleFor(prov, ctx, ft)
 		res = Run(ctx, h, table, spec, nil, 0, nil)
 	})
 	e.Run(horizon)
@@ -209,10 +210,11 @@ func TestReadHeavyOutpacesExclusiveOnRWLock(t *testing.T) {
 		prov := locks.NewRWBudgetProvider()
 		prov.Prepare(e.Space(), table.All())
 		var total int64
+		ft := locks.NewFenceTable()
 		for i := 0; i < 4; i++ {
 			node := i % 2
 			e.Spawn(node, func(ctx api.Ctx) {
-				h := locks.RWHandleFor(prov, ctx)
+				h := locks.TokenHandleFor(prov, ctx, ft)
 				r := Run(ctx, h, table, Spec{
 					LocalityPct: 50,
 					ReadPct:     readPct,
@@ -231,6 +233,134 @@ func TestReadHeavyOutpacesExclusiveOnRWLock(t *testing.T) {
 	}
 }
 
+func TestSpecValidateTokenFeatures(t *testing.T) {
+	good := Spec{LocalityPct: 90, AcquireTimeoutNS: 10_000,
+		AbandonProb: 0.01, AbandonHoldNS: 50_000, PairProb: 0.1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Spec{
+		{LocalityPct: 50, AcquireTimeoutNS: -1},
+		{LocalityPct: 50, AbandonProb: 1.5, AbandonHoldNS: 1000},
+		{LocalityPct: 50, AbandonProb: 0.1},    // hold missing
+		{LocalityPct: 50, AbandonHoldNS: 1000}, // probability missing
+		{LocalityPct: 50, PairProb: -0.1},
+		{LocalityPct: 50, PairProb: 1.1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// timedProv returns an MCS provider speaking the timed protocol (direct
+// workload tests must match spec deadlines with a timed provider, the way
+// the harness does via locks.Options.Timed).
+func timedProv(t *testing.T) locks.Provider {
+	t.Helper()
+	p, err := locks.ByName("mcs", locks.Options{Timed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestTimeoutsRecordedUnderContention(t *testing.T) {
+	// 4 threads on 1 lock with 5us critical sections: a 4us deadline is
+	// below the typical queue wait, so timeouts must appear — recorded
+	// separately from completed ops, with their own latency histogram.
+	e := sim.New(2, 1<<18, model.Uniform(10), 1)
+	table := locktable.New(e.Space(), 1)
+	prov := timedProv(t)
+	prov.Prepare(e.Space(), table.All())
+	ft := locks.NewFenceTable()
+	results := make([]ThreadResult, 4)
+	for i := 0; i < 4; i++ {
+		slot := i
+		e.Spawn(i%2, func(ctx api.Ctx) {
+			h := locks.TokenHandleFor(prov, ctx, ft)
+			results[slot] = Run(ctx, h, table, Spec{
+				LocalityPct:      50,
+				CSWork:           5 * time.Microsecond,
+				AcquireTimeoutNS: 4_000,
+			}, nil, 0, nil)
+		})
+	}
+	e.Run(500_000)
+	var ops, timeouts, tlCount int64
+	for _, r := range results {
+		ops += r.Ops
+		timeouts += r.Timeouts
+		tlCount += r.TimeoutLatency.Count()
+	}
+	if timeouts == 0 {
+		t.Fatal("no timeouts under a sub-service-time deadline")
+	}
+	if ops == 0 {
+		t.Fatal("no completed ops: the lock must survive timeouts")
+	}
+	if tlCount != timeouts {
+		t.Fatalf("timeout histogram count %d != timeouts %d", tlCount, timeouts)
+	}
+}
+
+func TestAbandonsProduceFencedReleases(t *testing.T) {
+	res := runLoopWith(t, timedProv(t), Spec{
+		LocalityPct:   100,
+		WarmupNS:      20_000,
+		AbandonProb:   1, // every op crashes
+		AbandonHoldNS: 2_000,
+	}, 300_000)
+	if res.Abandons == 0 {
+		t.Fatal("no abandons with AbandonProb=1")
+	}
+	if res.Ops != 0 {
+		t.Fatalf("abandoned ops counted as completed: %d", res.Ops)
+	}
+	if res.FencedReleases != res.Abandons {
+		t.Fatalf("every abandon must fence its late release: abandons=%d fenced=%d",
+			res.Abandons, res.FencedReleases)
+	}
+	if res.TotalOps <= res.Abandons {
+		t.Fatalf("warmup abandons leaked into recorded counts: total=%d abandons=%d",
+			res.TotalOps, res.Abandons)
+	}
+}
+
+func TestPairOpsHoldBothAndComplete(t *testing.T) {
+	res := runLoop(t, Spec{LocalityPct: 100, PairProb: 0.5}, 300_000)
+	if res.PairOps == 0 {
+		t.Fatal("no two-lock transactions with PairProb=0.5")
+	}
+	if res.PairOps > res.Ops {
+		t.Fatalf("pair ops %d exceed ops %d", res.PairOps, res.Ops)
+	}
+	frac := float64(res.PairOps) / float64(res.Ops)
+	if frac < 0.35 || frac > 0.65 {
+		t.Errorf("pair fraction %.2f, want ~0.50", frac)
+	}
+	if res.FencedReleases != 0 {
+		t.Errorf("%d valid pair releases fenced", res.FencedReleases)
+	}
+}
+
+// TestFeatureFreeSpecIgnoresTokenKnobs pins the replay contract at the
+// workload level: a spec without timeout/abandon/pair features must
+// produce the identical schedule whether those fields exist or not —
+// i.e. the zero-valued features draw nothing and record nothing.
+func TestFeatureFreeSpecIgnoresTokenKnobs(t *testing.T) {
+	res := runLoop(t, Spec{LocalityPct: 80}, 200_000)
+	if res.Timeouts != 0 || res.Abandons != 0 || res.FencedReleases != 0 || res.PairOps != 0 {
+		t.Fatalf("feature-free spec recorded token outcomes: %+v", res)
+	}
+	again := runLoop(t, Spec{LocalityPct: 80}, 200_000)
+	if res.TotalOps != again.TotalOps || res.Ops != again.Ops {
+		t.Fatalf("feature-free runs nondeterministic: %d/%d vs %d/%d",
+			res.TotalOps, res.Ops, again.TotalOps, again.Ops)
+	}
+}
+
 func TestMaxOpsBounds(t *testing.T) {
 	res := runLoop(t, Spec{LocalityPct: 100, MaxOps: 7}, 1<<40)
 	if res.Ops != 7 {
@@ -243,11 +373,12 @@ func TestSharedCounterStopsRun(t *testing.T) {
 	table := locktable.New(e.Space(), 10)
 	prov := locks.NewALockProvider()
 	var opsDone int64
+	ft := locks.NewFenceTable()
 	results := make([]ThreadResult, 4)
 	for i := 0; i < 4; i++ {
 		slot := i
 		e.Spawn(i%2, func(ctx api.Ctx) {
-			h := locks.RWHandleFor(prov, ctx)
+			h := locks.TokenHandleFor(prov, ctx, ft)
 			results[slot] = Run(ctx, h, table, Spec{LocalityPct: 50}, &opsDone, 100, e)
 		})
 	}
@@ -271,7 +402,8 @@ func TestBadSpecPanics(t *testing.T) {
 				t.Error("invalid spec did not panic")
 			}
 		}()
-		Run(ctx, locks.RWHandleFor(prov, ctx), table, Spec{LocalityPct: -5}, nil, 0, nil)
+		Run(ctx, locks.TokenHandleFor(prov, ctx, locks.NewFenceTable()), table,
+			Spec{LocalityPct: -5}, nil, 0, nil)
 	})
 	e.Run(1 << 40)
 }
