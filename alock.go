@@ -98,13 +98,15 @@ const (
 	Shared    = api.Shared
 )
 
-// Outcome is an acquisition attempt's result (Acquired or TimedOut).
+// Outcome is an acquisition attempt's result (Acquired, TimedOut, or
+// AcquiredLate — granted, but past the requested deadline).
 type Outcome = api.Outcome
 
 // Acquisition outcomes.
 const (
-	Acquired = api.Acquired
-	TimedOut = api.TimedOut
+	Acquired     = api.Acquired
+	TimedOut     = api.TimedOut
+	AcquiredLate = api.AcquiredLate
 )
 
 // ReleaseOutcome is a release's result (Released or Fenced).

@@ -14,15 +14,20 @@
 //	alockbench -algo alock -acquire-timeout 30us
 //	alockbench -algo rw-queue -acquire-timeout 30us -abandon-prob 0.01 -abandon-hold 200us
 //	alockbench -algo mcs -pair-prob 0.1
+//	alockbench -algo mcs -txn-locks 2 -txn-policy wait-die -txn-ring -acquire-timeout 20us
+//	alockbench -algo rw-queue -txn-locks 3 -txn-policy timeout-backoff -acquire-timeout 20us -txn-backoff 10us
 //	alockbench -list-scenarios
-//	alockbench -scenario fail/abandoned-holder -quick -parallel 8
+//	alockbench -scenario deadlock/dining -quick -parallel 8
 //	alockbench -figure-rw -quick -csv-out figrw.csv
 //
 // Algorithms: alock, alock-nobudget, alock-symmetric, spinlock, mcs,
 // filter, bakery, rw-budget, rw-wpref, rw-queue. Algorithms without native
 // shared mode run -read-pct workloads with reads degraded to exclusive;
 // algorithms without a native timed path (filter, bakery) overshoot
-// -acquire-timeout deadlines and report the acquisition as completed.
+// -acquire-timeout deadlines — the acquisition completes but is counted as
+// a late acquire (the grant landed past the deadline), and the unordered
+// transaction policies reject them outright since their recovery depends
+// on real timeouts.
 package main
 
 import (
@@ -68,6 +73,11 @@ func main() {
 		abandonP = flag.Float64("abandon-prob", 0, "per-op probability the holder crashes and is reclaimed by recovery (0 = off; requires -acquire-timeout)")
 		abandonH = flag.Duration("abandon-hold", 0, "dead time an abandoned hold wedges its lock")
 		pairP    = flag.Float64("pair-prob", 0, "per-op probability of an ordered two-lock transaction (0 = off)")
+		txnLocks = flag.Int("txn-locks", 0, "locks per transaction: every op becomes a k-lock transaction (0 = off, k >= 2)")
+		txnOrder = flag.String("txn-order", "", "transaction acquisition order: ordered|unordered (default: the policy's natural order)")
+		txnPol   = flag.String("txn-policy", "", "deadlock policy: ordered|timeout-backoff|wait-die (default ordered)")
+		txnBack  = flag.Duration("txn-backoff", 0, "base randomized backoff between transaction retries (timeout-backoff default: -acquire-timeout)")
+		txnRing  = flag.Bool("txn-ring", false, "dining-philosophers lock selection: thread t takes locks (t+j) mod -locks")
 
 		scenName  = flag.String("scenario", "", "run a named scenario instead of a single config")
 		listScens = flag.Bool("list-scenarios", false, "list registered scenarios and exit")
@@ -122,6 +132,11 @@ func main() {
 		AbandonProb:    *abandonP,
 		AbandonHold:    *abandonH,
 		PairProb:       *pairP,
+		TxnLocks:       *txnLocks,
+		TxnOrder:       *txnOrder,
+		TxnPolicy:      *txnPol,
+		TxnBackoff:     *txnBack,
+		TxnRing:        *txnRing,
 		Seed:           *seed,
 	}
 	res, err := harness.Run(cfg)

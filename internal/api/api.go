@@ -188,7 +188,21 @@ const (
 	// TimedOut: the deadline passed before the grant; nothing is held and
 	// the returned Guard is dead (its release is rejected as Fenced).
 	TimedOut
+	// AcquiredLate: the lock was granted — the Guard is live, exactly as
+	// for Acquired — but only after the requested deadline had already
+	// passed. This is the best-effort-deadline detail: algorithms without
+	// a native timed path (filter, bakery) block straight through any
+	// deadline, and committed queued waiters (ALock cohort leaders,
+	// registered drain-wake writers) overshoot by design because grants
+	// always win timeout races. Callers that ignore the distinction may
+	// treat it as Acquired; callers that promised the deadline to someone
+	// else must not pretend it was honored.
+	AcquiredLate
 )
+
+// Granted reports whether the outcome carries a live Guard (Acquired or
+// AcquiredLate).
+func (o Outcome) Granted() bool { return o == Acquired || o == AcquiredLate }
 
 // ReleaseOutcome is the result of releasing a Guard.
 type ReleaseOutcome uint8

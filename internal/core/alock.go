@@ -188,23 +188,33 @@ func (h *Handle) Stats() Stats { return h.stats }
 // Descriptor exposes the cohort's seed descriptor pointer (for tests).
 func (h *Handle) Descriptor(co api.Cohort) ptr.Ptr { return h.seed[co] }
 
+// sweepZombies recycles the cohort's zombies whose granter has marked them
+// skipped. It runs on both acquire and release: sweeping only on acquire
+// would let a thread that stops acquiring keep its skipped descriptors
+// parked forever.
+func (h *Handle) sweepZombies(co api.Cohort) {
+	zs := h.zombies[co]
+	if len(zs) == 0 {
+		return
+	}
+	kept := zs[:0]
+	for _, z := range zs {
+		// Our own descriptor on our own node: a shared-memory read is
+		// atomic with the granter's skip mark in either class.
+		if h.ctx.Read(z.Add(descBudget)) == skipped {
+			h.free[co] = append(h.free[co], z)
+		} else {
+			kept = append(kept, z)
+		}
+	}
+	h.zombies[co] = kept
+}
+
 // getDesc pops a free descriptor for the cohort, first recycling any
 // zombies whose granter has marked them skipped, allocating fresh memory
 // only when every descriptor is in use or still awaiting its skip mark.
 func (h *Handle) getDesc(co api.Cohort) ptr.Ptr {
-	if zs := h.zombies[co]; len(zs) > 0 {
-		kept := zs[:0]
-		for _, z := range zs {
-			// Our own descriptor on our own node: a shared-memory read is
-			// atomic with the granter's skip mark in either class.
-			if h.ctx.Read(z.Add(descBudget)) == skipped {
-				h.free[co] = append(h.free[co], z)
-			} else {
-				kept = append(kept, z)
-			}
-		}
-		h.zombies[co] = kept
-	}
+	h.sweepZombies(co)
 	if n := len(h.free[co]); n > 0 {
 		d := h.free[co][n-1]
 		h.free[co] = h.free[co][:n-1]
@@ -213,9 +223,20 @@ func (h *Handle) getDesc(co api.Cohort) ptr.Ptr {
 	return h.ctx.Alloc(DescWords, DescWords)
 }
 
+// putDesc returns a released descriptor and sweeps BOTH cohorts' zombies:
+// a release is the last pool interaction a winding-down thread performs,
+// and its final releases may all be on the other cohort than the zombie
+// (a remote-lock timeout followed by local-only work), so sweeping only
+// the released cohort would still leak the abandoned descriptor.
 func (h *Handle) putDesc(co api.Cohort, d ptr.Ptr) {
 	h.free[co] = append(h.free[co], d)
+	h.sweepZombies(api.CohortLocal)
+	h.sweepZombies(api.CohortRemote)
 }
+
+// Zombies reports how many abandoned descriptors are still parked awaiting
+// their skip mark (drain-recycle assertions in locktest).
+func (h *Handle) Zombies() int { return len(h.zombies[0]) + len(h.zombies[1]) }
 
 // TailPtr returns the pointer to the given cohort's MCS tail word within
 // the lock line at l.

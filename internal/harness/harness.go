@@ -91,6 +91,29 @@ type Config struct {
 	// transactions: both locks acquired in ascending table order, one
 	// critical section, released in reverse order.
 	PairProb float64
+	// TxnLocks, when >= 2, turns every operation into a k-lock exclusive
+	// transaction driven by the TxnPolicy deadlock policy (generalizing
+	// PairProb). TxnLocks == 0 configs draw nothing new and replay
+	// existing schedules bit-identically.
+	TxnLocks int
+	// TxnOrder is the per-transaction acquisition order: "ordered"
+	// (ascending) or "unordered" (selection order; deadlock-prone, which
+	// the policies resolve). Empty defaults to the policy's natural order.
+	TxnOrder string
+	// TxnPolicy is the deadlock policy: "ordered" (avoidance by lock
+	// ordering), "timeout-backoff" (per-lock deadlines from
+	// AcquireTimeout, LIFO rollback, randomized capped exponential
+	// backoff), or "wait-die" (age = first fencing token; younger waiters
+	// self-abort against older holders). The unordered policies need an
+	// algorithm with a native timed path — filter and bakery block through
+	// deadlines and would genuinely deadlock, so Run rejects them.
+	TxnPolicy string
+	// TxnBackoff is the base backoff window for transaction retries
+	// (required by timeout-backoff; optional die padding for wait-die).
+	TxnBackoff time.Duration
+	// TxnRing pins transactions to the dining-philosophers layout: thread
+	// t takes locks (t+j) mod Locks instead of random selection.
+	TxnRing bool
 	// Seed makes the run reproducible.
 	Seed int64
 	// WordsPerNode sizes each node's memory region (0 = 1Mi words = 8 MiB).
@@ -115,6 +138,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.TxnLocks >= 2 && c.TxnPolicy == workload.TxnPolicyBackoff && c.TxnBackoff == 0 {
+		// A usable default: one deadline's worth of base backoff (doubling
+		// up to 64x), so colliding transactions actually separate.
+		c.TxnBackoff = c.AcquireTimeout
 	}
 	return c
 }
@@ -167,6 +195,13 @@ func (c Config) Validate() error {
 	if c.PairProb < 0 || c.PairProb > 1 {
 		return fmt.Errorf("harness: pair probability %v out of range", c.PairProb)
 	}
+	if c.TxnLocks > c.Locks {
+		return fmt.Errorf("harness: TxnLocks %d exceeds the lock table (%d)", c.TxnLocks, c.Locks)
+	}
+	// The transaction knobs themselves (k >= 2, policy/order names, the
+	// policies' deadline and backoff requirements) are validated by
+	// workload.Spec.Validate through the spec Run builds; checking there
+	// keeps one source of truth.
 	return c.Model.Validate()
 }
 
@@ -216,6 +251,23 @@ type Result struct {
 	Abandons       int64
 	FencedReleases int64
 	PairOps        int64
+	// LateAcquires counts grants that landed past their requested deadline
+	// (best-effort timed paths: the filter/bakery blocking fallback, and
+	// committed queued waiters whose grant won the timeout race late). The
+	// operations completed and are in Ops; this is how often the deadline
+	// was overshot rather than honored.
+	LateAcquires int64
+	// Transaction-layer outcomes (TxnLocks >= 2). TxnCommits counts
+	// committed transactions; TxnAborts counts attempts the deadlock
+	// policy abandoned (timeout-backoff give-ups, wait-die self-aborts);
+	// TxnRetries counts re-attempts started after aborts. TxnRetryHist is
+	// the retry-count distribution over commits and CommitLatency the
+	// per-commit start-to-release latency distribution.
+	TxnCommits    int64
+	TxnAborts     int64
+	TxnRetries    int64
+	TxnRetryHist  stats.Summary
+	CommitLatency stats.Summary
 	// CDF is the empirical latency distribution (Figure 6).
 	CDF []stats.Point
 	// NIC aggregates fabric counters (whole run, including warmup).
@@ -276,7 +328,36 @@ func Run(cfg Config) (Result, error) {
 		AbandonProb:      cfg.AbandonProb,
 		AbandonHoldNS:    cfg.AbandonHold.Nanoseconds(),
 		PairProb:         cfg.PairProb,
+		TxnLocks:         cfg.TxnLocks,
+		TxnOrder:         cfg.TxnOrder,
+		TxnPolicy:        cfg.TxnPolicy,
+		TxnBackoffNS:     cfg.TxnBackoff.Nanoseconds(),
+		TxnRing:          cfg.TxnRing,
 	}
+	if err := spec.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	// Transaction state shared across the run. The unordered deadlock
+	// policies recover through real timeouts, so every participant of a
+	// conflict cycle must be able to abandon its acquire: algorithms whose
+	// deadlines are best-effort (filter, bakery block straight through
+	// them) or whose waiters can commit while the grant still depends on
+	// another holder (alock's cohort leaders) would deadlock — reject them
+	// up front instead of wedging the simulation.
+	txn := workload.TxnConfigOf(spec)
+	if txn.NeedsTimedPath {
+		if _, ok := prov.(locks.AbortableTimedProvider); !ok {
+			return Result{}, fmt.Errorf(
+				"harness: txn policy %q needs a fully abortable timed path, which algorithm %q lacks",
+				cfg.TxnPolicy, cfg.Algorithm)
+		}
+	}
+	var ages *workload.AgeTable
+	if txn.NeedsAges {
+		ages = workload.NewAgeTable()
+	}
+	prng := sim.NewPartitionedRNG(cfg.Seed)
 
 	// One fencing authority per run: grant order (hence every token) is
 	// part of the deterministic schedule. It lives outside simulated
@@ -292,7 +373,12 @@ func Run(cfg Config) (Result, error) {
 			idx++
 			e.Spawn(node, func(ctx api.Ctx) {
 				h := locks.TokenHandleFor(prov, ctx, ft)
-				results[slot] = workload.Run(ctx, h, table, spec, &opsDone, cfg.TargetOps, e)
+				env := workload.Env{Ages: ages}
+				if txn.NeedsBackoff {
+					env.Backoff = prng.Stream(sim.SubsystemBackoff, slot)
+				}
+				results[slot] = workload.RunEnv(ctx, h, table, spec, env,
+					&opsDone, cfg.TargetOps, e)
 			})
 		}
 	}
@@ -300,6 +386,7 @@ func Run(cfg Config) (Result, error) {
 
 	res := Result{Config: cfg, Events: e.Events()}
 	var hist, readHist, writeHist, timeoutHist stats.Hist
+	var retryHist, commitHist stats.Hist
 	var firstRec, lastRec int64
 	for i := range results {
 		r := &results[i]
@@ -309,11 +396,17 @@ func Run(cfg Config) (Result, error) {
 		res.Timeouts += r.Timeouts
 		res.Abandons += r.Abandons
 		res.FencedReleases += r.FencedReleases
+		res.LateAcquires += r.LateAcquires
 		res.PairOps += r.PairOps
+		res.TxnCommits += r.TxnCommits
+		res.TxnAborts += r.TxnAborts
+		res.TxnRetries += r.TxnRetries
 		hist.Merge(&r.Latency)
 		readHist.Merge(&r.ReadLatency)
 		writeHist.Merge(&r.WriteLatency)
 		timeoutHist.Merge(&r.TimeoutLatency)
+		retryHist.Merge(&r.TxnRetryHist)
+		commitHist.Merge(&r.CommitLatency)
 		if r.Ops > 0 {
 			if firstRec == 0 || r.FirstRecNS < firstRec {
 				firstRec = r.FirstRecNS
@@ -332,6 +425,8 @@ func Run(cfg Config) (Result, error) {
 	res.ReadLatency = readHist.Summarize()
 	res.WriteLatency = writeHist.Summarize()
 	res.TimeoutLatency = timeoutHist.Summarize()
+	res.TxnRetryHist = retryHist.Summarize()
+	res.CommitLatency = commitHist.Summarize()
 	res.CDF = hist.CDF()
 
 	for n := 0; n < cfg.Nodes; n++ {

@@ -21,23 +21,31 @@ type descPool struct {
 	zombs []ptr.Ptr
 }
 
+// sweep recycles zombies whose granter has marked them skipped. It runs on
+// both acquire and release: sweeping only on acquire would let a thread
+// that stops acquiring keep its skipped descriptors parked forever.
+func (p *descPool) sweep() {
+	if len(p.zombs) == 0 {
+		return
+	}
+	kept := p.zombs[:0]
+	for _, z := range p.zombs {
+		// Our own descriptor on our own node: a shared-memory read is
+		// atomic with the granter's skip mark in either class.
+		if p.ctx.Read(z.Add(p.spin)) == p.skip {
+			p.free = append(p.free, z)
+		} else {
+			kept = append(kept, z)
+		}
+	}
+	p.zombs = kept
+}
+
 // get pops a free descriptor, first recycling zombies whose granter has
 // marked them skipped, allocating fresh memory only when every descriptor
 // is in use or still awaiting its skip mark.
 func (p *descPool) get() ptr.Ptr {
-	if len(p.zombs) > 0 {
-		kept := p.zombs[:0]
-		for _, z := range p.zombs {
-			// Our own descriptor on our own node: a shared-memory read is
-			// atomic with the granter's skip mark in either class.
-			if p.ctx.Read(z.Add(p.spin)) == p.skip {
-				p.free = append(p.free, z)
-			} else {
-				kept = append(kept, z)
-			}
-		}
-		p.zombs = kept
-	}
+	p.sweep()
 	if n := len(p.free); n > 0 {
 		d := p.free[n-1]
 		p.free = p.free[:n-1]
@@ -47,12 +55,21 @@ func (p *descPool) get() ptr.Ptr {
 }
 
 // put returns a released descriptor to the free list (Null is a no-op, for
-// fast-path acquisitions that never took a descriptor).
+// fast-path acquisitions that never took a descriptor) and sweeps the
+// zombie list: a release is the last pool interaction a winding-down
+// thread performs, so any descriptor whose skip mark has landed by then is
+// recycled even if the thread never acquires again.
 func (p *descPool) put(d ptr.Ptr) {
 	if d != ptr.Null {
 		p.free = append(p.free, d)
 	}
+	p.sweep()
 }
+
+// zombies reports how many descriptors are still parked awaiting their
+// skip mark (the drain-recycle assertions in locktest read it through the
+// handles' Zombies methods).
+func (p *descPool) zombies() int { return len(p.zombs) }
 
 // zombie parks an abandoned descriptor until its skip mark lands.
 func (p *descPool) zombie(d ptr.Ptr) {

@@ -392,3 +392,65 @@ func TestAllCorrectAlgorithmsUnderOneConfig(t *testing.T) {
 		})
 	}
 }
+
+// TestZombieDrainRecycles pins the zombie-descriptor leak fix: a thread
+// that stops acquiring must still recycle its abandoned descriptors on its
+// next release, once the granter's skip marks have landed.
+func TestZombieDrainRecycles(t *testing.T) {
+	for _, name := range []string{"alock", "mcs", "rw-queue"} {
+		t.Run(name, func(t *testing.T) {
+			prov, err := locks.ByName(name, locks.Options{Threads: 3, Timed: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			locktest.CheckZombieDrain(t, prov)
+		})
+	}
+}
+
+// TestBestEffortDeadlineReportsLateAcquire pins the overshoot-honesty fix:
+// an algorithm without a native timed path (filter) blocks straight
+// through a deadline — the grant must be reported as AcquiredLate, not
+// Acquired, while an in-deadline grant stays Acquired and the guard is
+// live either way.
+func TestBestEffortDeadlineReportsLateAcquire(t *testing.T) {
+	prov, err := locks.ByName("filter", locks.Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sim.New(1, 1<<18, model.Uniform(10), 1)
+	l := e.Space().AllocLine(0)
+	prov.Prepare(e.Space(), []ptr.Ptr{l})
+	ft := locks.NewFenceTable()
+
+	var inTime, late api.Outcome
+	var lateRelease api.ReleaseOutcome
+	e.Spawn(0, func(ctx api.Ctx) { // holder: wedges the lock well past the waiter's deadline
+		h := locks.TokenHandleFor(prov, ctx, ft)
+		var g api.Guard
+		g, inTime = h.Acquire(l, api.Exclusive, api.AcquireOpts{DeadlineNS: ctx.Now() + 50_000})
+		ctx.Work(40 * time.Microsecond)
+		h.Release(g)
+	})
+	e.Spawn(0, func(ctx api.Ctx) { // waiter: 10us deadline against a 40us hold
+		h := locks.TokenHandleFor(prov, ctx, ft)
+		ctx.Work(2 * time.Microsecond)
+		var g api.Guard
+		g, late = h.Acquire(l, api.Exclusive, api.AcquireOpts{DeadlineNS: ctx.Now() + 10_000})
+		lateRelease = h.Release(g)
+	})
+	e.Run(1 << 40)
+
+	if inTime != api.Acquired {
+		t.Errorf("uncontended in-deadline acquire = %v, want Acquired", inTime)
+	}
+	if late != api.AcquiredLate {
+		t.Errorf("blocked-through-deadline acquire = %v, want AcquiredLate", late)
+	}
+	if !late.Granted() || !inTime.Granted() {
+		t.Error("granted outcomes must report Granted()")
+	}
+	if lateRelease != api.Released {
+		t.Errorf("late-acquired guard release = %v, want Released (the guard is live)", lateRelease)
+	}
+}

@@ -77,6 +77,9 @@ func NewTimedMCSHandle(ctx api.Ctx) *MCSHandle {
 	return h
 }
 
+// Zombies reports abandoned descriptors still awaiting their skip mark.
+func (h *MCSHandle) Zombies() int { return h.pool.zombies() }
+
 // Lock enqueues onto the lock's tail word and waits to reach the head.
 func (h *MCSHandle) Lock(l ptr.Ptr) {
 	d, _ := h.AcquireTimedDesc(l, 0)

@@ -73,6 +73,10 @@ func (SpinProvider) NewTimedHandle(ctx api.Ctx) TimedHandle {
 	return spinTimed{h: NewSpinHandle(ctx)}
 }
 
+// AbortableTimed implements AbortableTimedProvider: the spinlock's timed
+// acquire is a bounded poll that holds no waiter state at all.
+func (SpinProvider) AbortableTimed() {}
+
 // MCSProvider supplies the RDMA MCS queue lock competitor. Timed selects
 // the abandonment-tolerant handoff protocol (run-wide mode).
 type MCSProvider struct{ Timed bool }
@@ -90,6 +94,11 @@ func (p MCSProvider) NewHandle(ctx api.Ctx) api.Locker { return p.newHandle(ctx)
 func (p MCSProvider) NewTimedHandle(ctx api.Ctx) TimedHandle {
 	return mcsTimed{h: p.newHandle(ctx)}
 }
+
+// AbortableTimed implements AbortableTimedProvider: an MCS waiter's
+// abandon CAS loses only to a grant already in flight from a releasing
+// holder, never to one gated on a third party.
+func (MCSProvider) AbortableTimed() {}
 
 func (p MCSProvider) newHandle(ctx api.Ctx) *MCSHandle {
 	if p.Timed {

@@ -384,6 +384,10 @@ func (p *RWBudgetProvider) NewTimedHandle(ctx api.Ctx) TimedHandle {
 	return rwTimed{h: NewRWBudgetHandle(ctx, p.Cfg)}
 }
 
+// AbortableTimed implements AbortableTimedProvider: single-word waiters
+// retract their wait registration with one CAS on timeout.
+func (*RWBudgetProvider) AbortableTimed() {}
+
 // RWPrefProvider supplies the writer-preference baseline.
 type RWPrefProvider struct{}
 
@@ -403,3 +407,7 @@ func (RWPrefProvider) NewRWHandle(ctx api.Ctx) api.RWLocker { return NewRWPrefHa
 func (RWPrefProvider) NewTimedHandle(ctx api.Ctx) TimedHandle {
 	return rwTimed{h: NewRWPrefHandle(ctx)}
 }
+
+// AbortableTimed implements AbortableTimedProvider: single-word waiters
+// retract their wait registration with one CAS on timeout.
+func (RWPrefProvider) AbortableTimed() {}

@@ -180,6 +180,9 @@ func NewTimedRWQueueHandle(ctx api.Ctx, cfg RWConfig) *RWQueueHandle {
 	return h
 }
 
+// Zombies reports abandoned descriptors still awaiting their skip mark.
+func (h *RWQueueHandle) Zombies() int { return h.pool.zombies() }
+
 // poll reads a lock-line word with the cheapest atomic class available:
 // shared-memory on the lock's home node, a verb elsewhere.
 func (h *RWQueueHandle) poll(p ptr.Ptr) uint64 {
@@ -759,8 +762,11 @@ func (h *RWQueueHandle) releaseExcl(l ptr.Ptr, a *rwqAcq) {
 
 	if a.desc == ptr.Null {
 		// Optimistic claim: not in the queue, so release is just the idle
-		// transition.
+		// transition (plus the release-side zombie sweep every release
+		// performs — a thread that stops acquiring must still recycle its
+		// abandoned descriptors once their skip marks land).
 		h.releaseIdle(group, a.seen)
+		h.pool.sweep()
 		return
 	}
 
@@ -792,7 +798,21 @@ func (h *RWQueueHandle) releaseExcl(l ptr.Ptr, a *rwqAcq) {
 	succ := ptr.FromWord(next &^ rwqWriterTag)
 	if next&rwqWriterTag != 0 {
 		// Writer-to-writer handoff: wrActive simply stays set for the
-		// successor — the entire handoff is one descriptor write.
+		// successor — the entire handoff is one descriptor write. The
+		// handoff is a queue-mediated grant, so it must reset the
+		// optimistic-claim window: a claim count left in the group word
+		// would ride the whole writer chain untouched (the successor's
+		// release retry preserves bits it finds) and land in the idle
+		// word, mis-counting the next episode's fast-claim budget. Grant
+		// paths that already installed a bare writer bit leave the count
+		// zero, so the common chain link still costs one descriptor write.
+		for s := a.seen; rwqWClaims(s) != 0; {
+			prev := h.ctx.RCAS(group, s, s&^(uint64(rwqGrantsMask)<<rwqWClaimShift))
+			if prev == s {
+				break
+			}
+			s = prev
+		}
 		h.write(succ.Add(rwqSpin), rwqSpinGranted)
 		h.pool.put(d)
 		return
@@ -847,6 +867,13 @@ func (p *RWQueueProvider) NewRWHandle(ctx api.Ctx) api.RWLocker {
 func (p *RWQueueProvider) NewTimedHandle(ctx api.Ctx) TimedHandle {
 	return rwqTimed{h: p.newHandle(ctx)}
 }
+
+// AbortableTimed implements AbortableTimedProvider for exclusive-mode
+// workloads: queued writers abandon by CAS and queue-head writers pass
+// headship on timeout; the committed drain-wake registration only arises
+// against an active reader group, which exclusive-only transaction runs
+// never form.
+func (*RWQueueProvider) AbortableTimed() {}
 
 func (p *RWQueueProvider) newHandle(ctx api.Ctx) *RWQueueHandle {
 	if p.Timed {

@@ -1,6 +1,14 @@
 package locks
 
-import "testing"
+import (
+	"testing"
+	"time"
+
+	"alock/internal/api"
+	"alock/internal/model"
+	"alock/internal/ptr"
+	"alock/internal/sim"
+)
 
 // mkGroup assembles an rw-queue group word from fields.
 func mkGroup(rdActive, grants uint64, wrActive, wrWaiting bool) uint64 {
@@ -132,5 +140,80 @@ func TestGroupJoinSaturatesGrants(t *testing.T) {
 	}
 	if rwqWrActive(ns) || rwqWrWaiting(ns) {
 		t.Fatal("grants overflow corrupted the writer bits")
+	}
+}
+
+// TestWriterChainResetsClaimCount pins the WriteBudget exactness fix: a
+// writer→writer handoff is a queue-mediated grant, so it must reset the
+// optimistic-claim count (group-word bits 26..33). Before the fix the
+// handoff never touched the group word and releaseIdle's retry loop
+// preserves any bits it finds, so a claim count present when a writer
+// chain formed rode every handoff untouched and landed in the idle word —
+// the fast-claim window of the next episode started mis-counted and the
+// WriteBudget bound held only per-episode, not exactly. The test plants a
+// claim count at the head of a two-writer chain (modeling a grant path
+// that leaves the count behind) and asserts the chain cannot carry it out.
+func TestWriterChainResetsClaimCount(t *testing.T) {
+	e := sim.New(1, 1<<18, model.Uniform(5), 1)
+	l := e.Space().AllocLine(0)
+	group := l.Add(rwqGroup)
+	cfg := RWConfig{ReadBudget: 16, WriteBudget: 2}
+	planted := uint64(1)<<rwqWrActiveBit | uint64(cfg.WriteBudget)<<rwqWClaimShift
+
+	var afterChain uint64
+	var fastDesc ptr.Ptr = ptr.FromWord(^uint64(0))
+
+	// W0 fast-claims and holds long enough for a two-writer queue to form.
+	e.Spawn(0, func(ctx api.Ctx) {
+		h := NewRWQueueHandle(ctx, cfg)
+		a, _ := h.acquireExcl(l, 0)
+		ctx.Work(30 * time.Microsecond)
+		h.releaseExcl(l, a)
+	})
+	// W1 queues (head). Once granted, the test plants a claim count at the
+	// chain head — word and seen both, as a grant path that failed to reset
+	// the count would leave them — then hands off to W2 (w→w).
+	e.Spawn(0, func(ctx api.Ctx) {
+		ctx.Work(5 * time.Microsecond)
+		h := NewRWQueueHandle(ctx, cfg)
+		a, _ := h.acquireExcl(l, 0)
+		if a.desc == ptr.Null {
+			t.Error("W1 took the fast path; the schedule needs it queued")
+		}
+		ctx.Write(group, planted)
+		a.seen = planted
+		ctx.Work(5 * time.Microsecond)
+		h.releaseExcl(l, a)
+	})
+	// W2 queues behind W1 and is granted by the w→w handoff; its release
+	// drains the queue to idle.
+	e.Spawn(0, func(ctx api.Ctx) {
+		ctx.Work(10 * time.Microsecond)
+		h := NewRWQueueHandle(ctx, cfg)
+		a, _ := h.acquireExcl(l, 0)
+		if a.desc == ptr.Null {
+			t.Error("W2 took the fast path; the schedule needs it queued")
+		}
+		ctx.Work(2 * time.Microsecond)
+		h.releaseExcl(l, a)
+	})
+	// After the chain drains, the planted count must be gone: the idle word
+	// is claim-free and a fresh writer claims through the fast path.
+	e.Spawn(0, func(ctx api.Ctx) {
+		ctx.Work(100 * time.Microsecond)
+		afterChain = ctx.Read(group)
+		h := NewRWQueueHandle(ctx, cfg)
+		a, _ := h.acquireExcl(l, 0)
+		fastDesc = a.desc
+		h.releaseExcl(l, a)
+	})
+	e.Run(1 << 40)
+
+	if got := rwqWClaims(afterChain); got != 0 {
+		t.Errorf("claim count %d survived the writer chain into the idle word (group=%#x)",
+			got, afterChain)
+	}
+	if fastDesc != ptr.Null {
+		t.Error("fresh writer was denied the fast-claim window after the chain")
 	}
 }

@@ -87,10 +87,38 @@ type TimedProvider interface {
 	NewTimedHandle(ctx api.Ctx) TimedHandle
 }
 
+// AbortableTimedProvider marks TimedProviders whose exclusive-mode timed
+// acquires can ALWAYS abandon before grant: no waiter state is committed
+// while the grant still depends on another holder's release. This is the
+// capability the unordered transaction policies (timeout-backoff,
+// wait-die) require — inside a deadlock cycle every participant must be
+// able to time out, or the cycle never breaks. The spinlock and the
+// single-word RW locks qualify (bounded poll + CAS retraction of the wait
+// registration), as do mcs and rw-queue (the abandon CAS loses only to a
+// grant already in flight from a releasing holder). ALock does NOT: a
+// cohort leader is committed while the lock's current holder still holds,
+// so two leaders in an AB-BA cycle overshoot their deadlines forever.
+type AbortableTimedProvider interface {
+	TimedProvider
+	// AbortableTimed is a marker method; implementations are empty.
+	AbortableTimed()
+}
+
+// ZombieCounter is implemented by handles (and their TimedHandle adapters)
+// whose algorithm parks abandoned descriptors on a zombie list until the
+// granter's skip mark lands. Zombies reports how many are still parked —
+// after a drain (every skip mark landed, then one release-side sweep) it
+// must be zero, or the pool leaks descriptors from threads that stop
+// acquiring.
+type ZombieCounter interface {
+	Zombies() int
+}
+
 // tokenHandle implements api.TokenLocker over a TimedHandle and the run's
 // fencing authority.
 type tokenHandle struct {
 	ft  *FenceTable
+	ctx api.Ctx
 	alg TimedHandle
 }
 
@@ -101,7 +129,15 @@ func (h *tokenHandle) Acquire(l ptr.Ptr, mode api.Mode, opt api.AcquireOpts) (ap
 	if !ok {
 		return api.Guard{}, api.TimedOut
 	}
-	return api.Guard{Lock: l, Mode: mode, Token: h.ft.Grant(l), State: st}, api.Acquired
+	out := api.Acquired
+	if opt.DeadlineNS > 0 && h.ctx.Now() > opt.DeadlineNS {
+		// The grant landed past the deadline: the blocking fallback
+		// (filter, bakery) blocked straight through it, or a committed
+		// waiter's grant won the timeout race late. Report the overshoot
+		// instead of pretending the deadline was honored.
+		out = api.AcquiredLate
+	}
+	return api.Guard{Lock: l, Mode: mode, Token: h.ft.Grant(l), State: st}, out
 }
 
 func (h *tokenHandle) Release(g api.Guard) api.ReleaseOutcome {
@@ -122,13 +158,13 @@ func (h *tokenHandle) Abandon(g api.Guard) {
 
 // TokenHandleFor returns a token-API handle for any provider: the native
 // timed handle when the algorithm has one, otherwise the blocking fallback
-// (deadlines overshoot — the acquire blocks and reports Acquired — but
-// fencing-token semantics hold in full).
+// (deadlines overshoot — the acquire blocks until granted and reports
+// AcquiredLate — but fencing-token semantics hold in full).
 func TokenHandleFor(p Provider, ctx api.Ctx, ft *FenceTable) api.TokenLocker {
 	if tp, ok := p.(TimedProvider); ok {
-		return &tokenHandle{ft: ft, alg: tp.NewTimedHandle(ctx)}
+		return &tokenHandle{ft: ft, ctx: ctx, alg: tp.NewTimedHandle(ctx)}
 	}
-	return &tokenHandle{ft: ft, alg: blockingTimed{rw: RWHandleFor(p, ctx)}}
+	return &tokenHandle{ft: ft, ctx: ctx, alg: blockingTimed{rw: RWHandleFor(p, ctx)}}
 }
 
 // --- TimedHandle adapters, one per algorithm family ---
@@ -157,6 +193,9 @@ func (a mcsTimed) ReleaseAcq(l ptr.Ptr, _ api.Mode, st any) {
 	a.h.ReleaseDesc(l, st.(ptr.Ptr))
 }
 
+// Zombies implements ZombieCounter.
+func (a mcsTimed) Zombies() int { return a.h.Zombies() }
+
 // alockTimed: the paper's ALock — per-acquisition cohort descriptor.
 type alockTimed struct{ h *core.Handle }
 
@@ -171,6 +210,9 @@ func (a alockTimed) AcquireTimed(l ptr.Ptr, _ api.Mode, deadlineNS int64) (any, 
 func (a alockTimed) ReleaseAcq(l ptr.Ptr, _ api.Mode, st any) {
 	a.h.ReleaseDesc(l, st.(ptr.Ptr))
 }
+
+// Zombies implements ZombieCounter.
+func (a alockTimed) Zombies() int { return a.h.Zombies() }
 
 // rwTimed: the single-word reader/writer locks — the exclusive side's
 // installed state word as state, nothing for the shared side.
@@ -219,6 +261,9 @@ func (a rwqTimed) ReleaseAcq(l ptr.Ptr, mode api.Mode, st any) {
 	}
 	a.h.releaseExcl(l, st.(*rwqAcq))
 }
+
+// Zombies implements ZombieCounter.
+func (a rwqTimed) Zombies() int { return a.h.Zombies() }
 
 // blockingTimed is the fallback for algorithms without a native timed path
 // (filter, bakery): acquires block past any deadline and always succeed.

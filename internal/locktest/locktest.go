@@ -14,6 +14,7 @@ package locktest
 
 import (
 	"testing"
+	"time"
 
 	"alock/internal/api"
 	"alock/internal/locks"
@@ -287,6 +288,109 @@ func CheckOverlappingHolds(t *testing.T, prov locks.Provider, cfg OverlapConfig)
 	}
 	if fenced != 0 {
 		t.Errorf("%s: %d valid releases rejected by fencing tokens", prov.Name(), fenced)
+	}
+}
+
+// CheckZombieDrain proves the descriptor pools recycle abandoned
+// descriptors without relying on the owner acquiring again. The schedule:
+// a holder wedges lock B; a patient waiter queues behind it; a third
+// thread, already holding lock A, attempts B with a short deadline, times
+// out and parks its abandoned descriptor as a zombie — then never acquires
+// anything again. Once the holder releases and the patient waiter's grant
+// patches the queue (landing the skip mark), the third thread's only
+// remaining action is releasing A. The release-side sweep must recycle the
+// zombie; before the fix, only the next acquire swept, so a thread that
+// stopped acquiring leaked every skipped descriptor until the run ended.
+func CheckZombieDrain(t *testing.T, prov locks.Provider) {
+	t.Helper()
+	tp, ok := prov.(locks.TimedProvider)
+	if !ok {
+		t.Fatalf("%s: CheckZombieDrain needs a native timed path", prov.Name())
+	}
+	e := sim.New(2, 1<<20, model.Uniform(7), 1)
+	space := e.Space()
+	// A is local to the threads, B is remote: for cohort-partitioned pools
+	// (alock) the zombie parks in the REMOTE cohort while the final
+	// release is on the LOCAL one — the drain must sweep across cohorts.
+	lockA := space.AllocLine(0)
+	lockB := space.AllocLine(1)
+	prov.Prepare(space, []ptr.Ptr{lockA, lockB})
+
+	const (
+		us            = 1_000
+		holdNS        = 60 * us  // how long the holder wedges B
+		shortDeadline = 20 * us  // the zombie-producing attempt's budget
+		settleNS      = 200 * us // past the waiter's grant + patch
+	)
+	zombiesParked, zombiesAfterRelease := -1, -1
+	timedOutAttempts := 0
+
+	// The holder: wedges B long enough for the short-deadline attempt to
+	// abandon, then releases (which lets the patient waiter in).
+	e.Spawn(0, func(ctx api.Ctx) {
+		h := tp.NewTimedHandle(ctx)
+		st, ok := h.AcquireTimed(lockB, api.Exclusive, 0)
+		if !ok {
+			t.Errorf("%s: holder failed a blocking acquire", prov.Name())
+			return
+		}
+		ctx.Work(time.Duration(holdNS))
+		h.ReleaseAcq(lockB, api.Exclusive, st)
+	})
+	// The patient waiter: queues behind the holder with a generous
+	// deadline; its grant (and release) patches the queue around the
+	// abandoned descriptor, landing the skip mark.
+	e.Spawn(0, func(ctx api.Ctx) {
+		ctx.Work(2 * time.Microsecond)
+		h := tp.NewTimedHandle(ctx)
+		st, ok := h.AcquireTimed(lockB, api.Exclusive, ctx.Now()+4*holdNS)
+		if !ok {
+			t.Errorf("%s: patient waiter timed out", prov.Name())
+			return
+		}
+		h.ReleaseAcq(lockB, api.Exclusive, st)
+	})
+	// The zombie producer: holds A, burns a short-deadline attempt on B,
+	// then stops acquiring. Its release of A is the only remaining chance
+	// to recycle the abandoned descriptor.
+	e.Spawn(0, func(ctx api.Ctx) {
+		ctx.Work(5 * time.Microsecond)
+		h := tp.NewTimedHandle(ctx)
+		zc, ok := h.(locks.ZombieCounter)
+		if !ok {
+			// Errorf, not Fatalf: Fatalf's Goexit on a sim-thread goroutine
+			// would strand the scheduler's yield handshake and hang the
+			// run. The missing-attempt check after e.Run fails the test.
+			t.Errorf("%s: timed handle does not count zombies", prov.Name())
+			return
+		}
+		stA, okA := h.AcquireTimed(lockA, api.Exclusive, 0)
+		if !okA {
+			t.Errorf("%s: uncontended acquire of A failed", prov.Name())
+			return
+		}
+		if _, ok := h.AcquireTimed(lockB, api.Exclusive, ctx.Now()+shortDeadline); ok {
+			t.Errorf("%s: short-deadline acquire of wedged lock succeeded", prov.Name())
+		} else {
+			timedOutAttempts++
+		}
+		zombiesParked = zc.Zombies()
+		ctx.Work(time.Duration(settleNS))
+		h.ReleaseAcq(lockA, api.Exclusive, stA)
+		zombiesAfterRelease = zc.Zombies()
+	})
+	e.Run(1 << 62)
+
+	if timedOutAttempts == 0 {
+		t.Fatalf("%s: schedule produced no timed-out attempt", prov.Name())
+	}
+	if zombiesParked < 1 {
+		t.Fatalf("%s: abandoned descriptor was not parked as a zombie (got %d)",
+			prov.Name(), zombiesParked)
+	}
+	if zombiesAfterRelease != 0 {
+		t.Errorf("%s: %d zombie descriptors survived the drain — the release-side sweep leaked them",
+			prov.Name(), zombiesAfterRelease)
 	}
 }
 

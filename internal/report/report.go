@@ -293,8 +293,21 @@ func Summary(w io.Writer, r harness.Result) {
 		fmt.Fprintf(w, "outcomes       : %d timeouts (p50 give-up %s), %d abandons, %d fenced releases\n",
 			r.Timeouts, ns(r.TimeoutLatency.P50NS), r.Abandons, r.FencedReleases)
 	}
+	if r.LateAcquires > 0 {
+		fmt.Fprintf(w, "late acquires  : %d grants landed past their deadline (best-effort timed path)\n",
+			r.LateAcquires)
+	}
 	if r.PairOps > 0 {
 		fmt.Fprintf(w, "two-lock ops   : %d of %d recorded ops\n", r.PairOps, r.Ops)
+	}
+	if c := r.Config; c.TxnLocks >= 2 {
+		fmt.Fprintf(w, "transactions   : %d commits, %d aborts, %d retries (%s, %d locks)\n",
+			r.TxnCommits, r.TxnAborts, r.TxnRetries, txnPolicyName(c), c.TxnLocks)
+		if r.TxnCommits > 0 {
+			fmt.Fprintf(w, "commit latency : p50=%s p99=%s; retries p99=%d max=%d\n",
+				ns(r.CommitLatency.P50NS), ns(r.CommitLatency.P99NS),
+				r.TxnRetryHist.P99NS, r.TxnRetryHist.MaxNS)
+		}
 	}
 	fmt.Fprintf(w, "latency        : mean=%s p50=%s p99=%s p99.9=%s max=%s\n",
 		ns(int64(r.Latency.MeanNS)), ns(r.Latency.P50NS), ns(r.Latency.P99NS),
@@ -349,14 +362,18 @@ func CDFSparkline(pts []stats.Point, width int) string {
 // out alongside throughput and tail latency.
 func Sweep(w io.Writer, title string, results []harness.Result) {
 	// Per-class latency columns appear only when some run recorded reads;
-	// outcome columns only when some run recorded non-happy-path outcomes.
-	hasReads, hasOutcomes := false, false
+	// outcome columns only when some run recorded non-happy-path outcomes;
+	// transaction columns only when some run ran the transaction layer.
+	hasReads, hasOutcomes, hasTxn := false, false, false
 	for _, r := range results {
 		if r.ReadOps > 0 {
 			hasReads = true
 		}
-		if r.Timeouts > 0 || r.Abandons > 0 || r.FencedReleases > 0 {
+		if r.Timeouts > 0 || r.Abandons > 0 || r.FencedReleases > 0 || r.LateAcquires > 0 {
 			hasOutcomes = true
+		}
+		if r.Config.TxnLocks >= 2 {
+			hasTxn = true
 		}
 	}
 	var rows [][]string
@@ -386,7 +403,11 @@ func Sweep(w io.Writer, title string, results []harness.Result) {
 			row = append(row,
 				fmt.Sprintf("%d", r.Timeouts),
 				fmt.Sprintf("%d", r.Abandons),
-				fmt.Sprintf("%d", r.FencedReleases))
+				fmt.Sprintf("%d", r.FencedReleases),
+				fmt.Sprintf("%d", r.LateAcquires))
+		}
+		if hasTxn {
+			row = append(row, txnCells(r)...)
 		}
 		rows = append(rows, row)
 	}
@@ -395,9 +416,29 @@ func Sweep(w io.Writer, title string, results []harness.Result) {
 		header = append(header, "read p99", "write p99")
 	}
 	if hasOutcomes {
-		header = append(header, "timeouts", "abandons", "fenced")
+		header = append(header, "timeouts", "abandons", "fenced", "late")
+	}
+	if hasTxn {
+		header = append(header, txnHeader...)
 	}
 	writeTable(w, title, header, rows)
+}
+
+// txnHeader / txnCells are the transaction-layer columns shared by the
+// sweep and Figure RW tables.
+var txnHeader = []string{"commits", "txn aborts", "retries", "retry p99", "commit p99"}
+
+func txnCells(r harness.Result) []string {
+	if r.Config.TxnLocks < 2 {
+		return []string{"-", "-", "-", "-", "-"}
+	}
+	return []string{
+		fmt.Sprintf("%d", r.TxnCommits),
+		fmt.Sprintf("%d", r.TxnAborts),
+		fmt.Sprintf("%d", r.TxnRetries),
+		fmt.Sprintf("%d", r.TxnRetryHist.P99NS),
+		ns(r.CommitLatency.P99NS),
+	}
 }
 
 // workloadExtras summarizes the config knobs beyond the base grid — read
@@ -431,10 +472,24 @@ func workloadExtras(c harness.Config) string {
 	if c.PairProb > 0 {
 		extras += fmt.Sprintf(" pair=%.0f%%", c.PairProb*100)
 	}
+	if c.TxnLocks >= 2 {
+		extras += fmt.Sprintf(" txn=%dx/%s", c.TxnLocks, txnPolicyName(c))
+		if c.TxnRing {
+			extras += "/ring"
+		}
+	}
 	if c.CSWork > 0 || c.Think > 0 {
 		extras += fmt.Sprintf(" cs=%v think=%v", c.CSWork, c.Think)
 	}
 	return strings.TrimSpace(extras)
+}
+
+// txnPolicyName spells the effective transaction policy (empty = ordered).
+func txnPolicyName(c harness.Config) string {
+	if c.TxnPolicy == "" {
+		return "ordered"
+	}
+	return c.TxnPolicy
 }
 
 // FigureRW renders the reader/writer and failure figure: one table per
@@ -445,11 +500,13 @@ func workloadExtras(c harness.Config) string {
 // fenced releases) grow the outcome columns.
 func FigureRW(w io.Writer, groups []harness.FigRWGroup) {
 	for _, g := range groups {
-		hasOutcomes := false
+		hasOutcomes, hasTxn := false, false
 		for _, r := range g.Results {
-			if r.Timeouts > 0 || r.Abandons > 0 || r.FencedReleases > 0 {
+			if r.Timeouts > 0 || r.Abandons > 0 || r.FencedReleases > 0 || r.LateAcquires > 0 {
 				hasOutcomes = true
-				break
+			}
+			if r.Config.TxnLocks >= 2 {
+				hasTxn = true
 			}
 		}
 		var rows [][]string
@@ -479,14 +536,21 @@ func FigureRW(w io.Writer, groups []harness.FigRWGroup) {
 				row = append(row,
 					fmt.Sprintf("%d", r.Timeouts), giveUp,
 					fmt.Sprintf("%d", r.Abandons),
-					fmt.Sprintf("%d", r.FencedReleases))
+					fmt.Sprintf("%d", r.FencedReleases),
+					fmt.Sprintf("%d", r.LateAcquires))
+			}
+			if hasTxn {
+				row = append(row, txnCells(r)...)
 			}
 			rows = append(rows, row)
 		}
 		header := []string{"algorithm", "cluster", "locks", "workload",
 			"throughput(ops/s)", "read p50", "read p99", "write p50", "write p99"}
 		if hasOutcomes {
-			header = append(header, "timeouts", "give-up p99", "abandons", "fenced")
+			header = append(header, "timeouts", "give-up p99", "abandons", "fenced", "late")
+		}
+		if hasTxn {
+			header = append(header, txnHeader...)
 		}
 		writeTable(w, "Figure RW: "+g.Name, header, rows)
 	}
@@ -495,40 +559,46 @@ func FigureRW(w io.Writer, groups []harness.FigRWGroup) {
 // FigureRWCSV emits one CSV row per run of the reader/writer figure, with
 // per-algorithm read and write percentile columns for replotting.
 func FigureRWCSV(w io.Writer, groups []harness.FigRWGroup) {
-	fmt.Fprintln(w, "figure,scenario,algorithm,nodes,threads_per_node,locks,locality_pct,read_pct,lease_prob,lease_hold_ns,jitter_prob,jitter_ns,acquire_timeout_ns,abandon_prob,pair_prob,throughput_ops,read_p50_ns,read_p99_ns,write_p50_ns,write_p99_ns,ops,read_ops,write_ops,timeouts,giveup_p50_ns,giveup_p99_ns,abandons,fenced_releases,pair_ops")
+	fmt.Fprintln(w, "figure,scenario,algorithm,nodes,threads_per_node,locks,locality_pct,read_pct,lease_prob,lease_hold_ns,jitter_prob,jitter_ns,acquire_timeout_ns,abandon_prob,pair_prob,txn_locks,txn_order,txn_policy,txn_backoff_ns,throughput_ops,read_p50_ns,read_p99_ns,write_p50_ns,write_p99_ns,ops,read_ops,write_ops,timeouts,giveup_p50_ns,giveup_p99_ns,abandons,fenced_releases,late_acquires,pair_ops,txn_commits,txn_aborts,txn_retries,retry_p99,commit_p50_ns,commit_p99_ns")
 	for _, g := range groups {
 		for _, r := range g.Results {
 			c := r.Config
-			fmt.Fprintf(w, "figrw,%s,%s,%d,%d,%d,%d,%d,%.4f,%d,%.4f,%d,%d,%.4f,%.4f,%.1f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			fmt.Fprintf(w, "figrw,%s,%s,%d,%d,%d,%d,%d,%.4f,%d,%.4f,%d,%d,%.4f,%.4f,%d,%s,%s,%d,%.1f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 				g.Name, c.Algorithm, c.Nodes, c.ThreadsPerNode, c.Locks, c.LocalityPct,
 				c.ReadPct, c.LeaseProb, c.LeaseHold.Nanoseconds(),
 				c.Model.JitterProb, c.Model.JitterNS,
 				c.AcquireTimeout.Nanoseconds(), c.AbandonProb, c.PairProb,
+				c.TxnLocks, c.TxnOrder, c.TxnPolicy, c.TxnBackoff.Nanoseconds(),
 				r.Throughput,
 				r.ReadLatency.P50NS, r.ReadLatency.P99NS,
 				r.WriteLatency.P50NS, r.WriteLatency.P99NS,
 				r.Ops, r.ReadOps, r.WriteOps,
 				r.Timeouts, r.TimeoutLatency.P50NS, r.TimeoutLatency.P99NS,
-				r.Abandons, r.FencedReleases, r.PairOps)
+				r.Abandons, r.FencedReleases, r.LateAcquires, r.PairOps,
+				r.TxnCommits, r.TxnAborts, r.TxnRetries,
+				r.TxnRetryHist.P99NS, r.CommitLatency.P50NS, r.CommitLatency.P99NS)
 		}
 	}
 }
 
 // SweepCSV emits one CSV row per run of a scenario sweep.
 func SweepCSV(w io.Writer, name string, results []harness.Result) {
-	fmt.Fprintln(w, "scenario,algorithm,nodes,threads_per_node,locks,locality_pct,zipf_s,burst_on_ns,burst_off_ns,home_skew_pct,read_pct,lease_prob,lease_hold_ns,jitter_prob,jitter_ns,acquire_timeout_ns,abandon_prob,pair_prob,throughput_ops,p50_ns,p99_ns,read_p99_ns,write_p99_ns,ops,read_ops,write_ops,timeouts,abandons,fenced_releases,pair_ops")
+	fmt.Fprintln(w, "scenario,algorithm,nodes,threads_per_node,locks,locality_pct,zipf_s,burst_on_ns,burst_off_ns,home_skew_pct,read_pct,lease_prob,lease_hold_ns,jitter_prob,jitter_ns,acquire_timeout_ns,abandon_prob,pair_prob,txn_locks,txn_order,txn_policy,txn_backoff_ns,throughput_ops,p50_ns,p99_ns,read_p99_ns,write_p99_ns,ops,read_ops,write_ops,timeouts,abandons,fenced_releases,late_acquires,pair_ops,txn_commits,txn_aborts,txn_retries,retry_p99,commit_p50_ns,commit_p99_ns")
 	for _, r := range results {
 		c := r.Config
-		fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d,%.2f,%d,%d,%d,%d,%.4f,%d,%.4f,%d,%d,%.4f,%.4f,%.1f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d,%.2f,%d,%d,%d,%d,%.4f,%d,%.4f,%d,%d,%.4f,%.4f,%d,%s,%s,%d,%.1f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 			name, c.Algorithm, c.Nodes, c.ThreadsPerNode, c.Locks, c.LocalityPct,
 			c.ZipfS, c.BurstOn.Nanoseconds(), c.BurstOff.Nanoseconds(), c.HomeSkewPct,
 			c.ReadPct, c.LeaseProb, c.LeaseHold.Nanoseconds(),
 			c.Model.JitterProb, c.Model.JitterNS,
 			c.AcquireTimeout.Nanoseconds(), c.AbandonProb, c.PairProb,
+			c.TxnLocks, c.TxnOrder, c.TxnPolicy, c.TxnBackoff.Nanoseconds(),
 			r.Throughput, r.Latency.P50NS, r.Latency.P99NS,
 			r.ReadLatency.P99NS, r.WriteLatency.P99NS,
 			r.Ops, r.ReadOps, r.WriteOps,
-			r.Timeouts, r.Abandons, r.FencedReleases, r.PairOps)
+			r.Timeouts, r.Abandons, r.FencedReleases, r.LateAcquires, r.PairOps,
+			r.TxnCommits, r.TxnAborts, r.TxnRetries,
+			r.TxnRetryHist.P99NS, r.CommitLatency.P50NS, r.CommitLatency.P99NS)
 	}
 }
 

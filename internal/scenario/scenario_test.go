@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"reflect"
 	"sort"
 	"strings"
 	"testing"
@@ -132,13 +133,14 @@ func TestRWAndFailureScenariosRegistered(t *testing.T) {
 }
 
 func TestByPrefixAndRWFigureGroups(t *testing.T) {
-	fams := ByPrefix("rw/", "lease/", "fail/", "multi/")
-	if len(fams) < 11 {
+	fams := ByPrefix("rw/", "lease/", "fail/", "multi/", "deadlock/")
+	if len(fams) < 15 {
 		t.Fatalf("only %d scenarios in the RW figure families", len(fams))
 	}
 	for _, sc := range fams {
 		if !strings.HasPrefix(sc.Name, "rw/") && !strings.HasPrefix(sc.Name, "lease/") &&
-			!strings.HasPrefix(sc.Name, "fail/") && !strings.HasPrefix(sc.Name, "multi/") {
+			!strings.HasPrefix(sc.Name, "fail/") && !strings.HasPrefix(sc.Name, "multi/") &&
+			!strings.HasPrefix(sc.Name, "deadlock/") {
 			t.Errorf("ByPrefix leaked %q", sc.Name)
 		}
 	}
@@ -256,5 +258,38 @@ func TestScenariosRunEndToEnd(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestDeadlockDiningParallelDeterminism: the transaction layer's RNG
+// discipline (workload draws vs the backoff subsystem, the Go-side age
+// registry) keeps runs independent seeded simulations — deadlock/dining
+// results are bit-identical at -parallel 1 and -parallel 8.
+func TestDeadlockDiningParallelDeterminism(t *testing.T) {
+	sc, ok := Get("deadlock/dining")
+	if !ok {
+		t.Fatal("deadlock/dining not registered")
+	}
+	cfgs := sc.Configs(harness.Scale{TestTiny: true})
+	serial, err := sweep.Runner{Parallel: 1}.Run(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := sweep.Runner{Parallel: 8}.Run(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfgs {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Errorf("config %d (%s %s): parallel diverged from serial",
+				i, cfgs[i].Algorithm, cfgs[i].TxnPolicy)
+		}
+	}
+	var commits int64
+	for _, r := range serial {
+		commits += r.TxnCommits
+	}
+	if commits == 0 {
+		t.Error("dining sweep recorded no commits — determinism check is vacuous")
 	}
 }

@@ -352,6 +352,104 @@ func init() {
 		},
 	})
 
+	// --- Deadlock policies over k-lock transactions ---
+	//
+	// The transaction scenarios sweep the algorithms with a fully
+	// abortable timed path: the unordered policies recover through real
+	// timeouts, so every participant of a conflict cycle must be able to
+	// abandon its acquire. filter/bakery (blocking fallback) and the
+	// alock variants (committed cohort leaders) are rejected by the
+	// harness for these policies; they still run the ordered policy.
+
+	txnAlgorithms := []string{"mcs", "rw-budget", "rw-queue", "rw-wpref", "spinlock"}
+	txnBase := func(c *harness.Config) {
+		c.TxnLocks = 2
+		c.AcquireTimeout = 20 * time.Microsecond
+	}
+	Register(Scenario{
+		Name:        "deadlock/two-cycle",
+		Description: "2 threads-per-lock AB-BA cycle on a 2-lock table: timeout-backoff breaks the classic deadlock",
+		Scale: func(s harness.Scale) harness.Scale {
+			s.ThreadsOverride = []int{1, 2}
+			s.NodesOverride = []int{2}
+			return s
+		},
+		Expand: func(s harness.Scale) []harness.Config {
+			return sweepGrid(s, txnAlgorithms, func(c *harness.Config) {
+				txnBase(c)
+				c.Locks = 2
+				c.TxnRing = true
+				c.TxnPolicy = "timeout-backoff"
+				// The 2-lock cycle is maximally hostile: tight deadlines and
+				// a small backoff base keep commits flowing even in short
+				// windows (the capped exponent still separates colliders).
+				c.AcquireTimeout = 10 * time.Microsecond
+				c.TxnBackoff = 4 * time.Microsecond
+			})
+		},
+	})
+	Register(Scenario{
+		Name:        "deadlock/dining",
+		Description: "dining philosophers: each thread's 2-lock txn takes neighboring forks on a 20-fork ring, wait-die resolves the cycle",
+		Scale: func(s harness.Scale) harness.Scale {
+			// Dining is per-ring-slot contention: philosophers should match
+			// forks (20), not the big-cluster presets — oversubscribing the
+			// ring 6x starves every policy into zero commits.
+			s.NodesOverride = []int{4}
+			s.ThreadsOverride = []int{2, 5} // 8 philosophers, then a full ring of 20
+			return s
+		},
+		Expand: func(s harness.Scale) []harness.Config {
+			return sweepGrid(s, txnAlgorithms, func(c *harness.Config) {
+				txnBase(c)
+				c.Locks = locktable.HighContentionLocks
+				c.TxnRing = true
+				c.TxnPolicy = "wait-die"
+			})
+		},
+	})
+	Register(Scenario{
+		Name:        "deadlock/hotset-unordered",
+		Description: "3-lock transactions over zipf-hot lock sets, acquired unordered: timeout-backoff under hot-set collisions",
+		Scale: func(s harness.Scale) harness.Scale {
+			s.ThreadsOverride = []int{4, 8}
+			return s
+		},
+		Expand: func(s harness.Scale) []harness.Config {
+			return sweepGrid(s, txnAlgorithms, func(c *harness.Config) {
+				txnBase(c)
+				c.TxnLocks = 3
+				c.ZipfS = 1.5
+				c.TxnPolicy = "timeout-backoff"
+				c.TxnBackoff = 10 * time.Microsecond
+			})
+		},
+	})
+	Register(Scenario{
+		Name:        "deadlock/policy-compare",
+		Description: "one dining-ring config swept across all three policies: ordered avoidance vs timeout-backoff vs wait-die",
+		Scale: func(s harness.Scale) harness.Scale {
+			s.NodesOverride = []int{4}
+			s.ThreadsOverride = []int{5} // a full 20-philosopher ring
+			return s
+		},
+		Expand: func(s harness.Scale) []harness.Config {
+			var cfgs []harness.Config
+			for _, policy := range []string{"ordered", "timeout-backoff", "wait-die"} {
+				cfgs = append(cfgs, sweepGrid(s, txnAlgorithms, func(c *harness.Config) {
+					txnBase(c)
+					c.Locks = locktable.HighContentionLocks
+					c.TxnRing = true
+					c.TxnPolicy = policy
+					if policy == "timeout-backoff" {
+						c.TxnBackoff = 10 * time.Microsecond
+					}
+				})...)
+			}
+			return cfgs
+		},
+	})
+
 	Register(Scenario{
 		Name:        "think-heavy",
 		Description: "application profile with 2us critical sections and 5us think time between ops",

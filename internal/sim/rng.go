@@ -16,6 +16,12 @@ const (
 	SubsystemThread Subsystem = 1
 	// SubsystemFabric feeds the fabric failure injection (wire jitter).
 	SubsystemFabric Subsystem = 2
+	// SubsystemBackoff feeds the transaction layer's randomized retry
+	// backoff (per-thread streams, indexed by thread ID). Keeping backoff
+	// draws off the workload stream means a transaction spec's retries
+	// never shift the operation schedule of the draws that picked the
+	// locks — and specs without transactions consume nothing from either.
+	SubsystemBackoff Subsystem = 3
 )
 
 // PartitionedRNG derives decorrelated deterministic *rand.Rand streams from

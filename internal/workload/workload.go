@@ -81,6 +81,78 @@ type Spec struct {
 	// acquire exclusive mode and need descriptor-per-acquisition locks
 	// (every registered algorithm qualifies). RNG-gated.
 	PairProb float64
+	// TxnLocks, when >= 2, turns every operation into a k-lock exclusive
+	// transaction (generalizing PairProb's two-lock special case): the
+	// thread acquires TxnLocks distinct locks, runs one critical section
+	// under all of them, and releases in LIFO order. How conflicts between
+	// transactions resolve is TxnPolicy's business. All transaction draws
+	// are RNG-gated: TxnLocks == 0 specs replay existing schedules
+	// bit-identically.
+	TxnLocks int
+	// TxnOrder selects the acquisition sequence within a transaction:
+	// TxnOrdered sorts the lock set ascending (the classic deadlock-free
+	// discipline), TxnUnordered acquires in selection order — deadlock-
+	// prone by construction, which is the point of the deadlock policies.
+	// Empty defaults to the policy's natural order (ordered for the
+	// ordered policy, unordered for the others).
+	TxnOrder string
+	// TxnPolicy selects the deadlock policy:
+	//
+	//   - TxnPolicyOrdered: acquisitions block (or time out, recording the
+	//     operation as a timeout like PairProb does); deadlock is avoided
+	//     by the ascending order, so it requires TxnOrdered.
+	//   - TxnPolicyBackoff ("timeout-backoff"): unordered acquires, each
+	//     bounded by AcquireTimeoutNS; on TimedOut every held guard is
+	//     released in LIFO order and the transaction retries after a
+	//     randomized, capped exponential backoff drawn from the run's
+	//     backoff stream (Env.Backoff — sim.SubsystemBackoff, never the
+	//     workload stream). Requires AcquireTimeoutNS and TxnBackoffNS.
+	//   - TxnPolicyWaitDie ("wait-die"): a transaction's age is the first
+	//     fencing token it is ever granted; on a lock timeout the waiter
+	//     consults the age registry (Env.Ages) and either keeps waiting
+	//     (it is older than the holder) or self-aborts, releases all held
+	//     guards and retries with its original age (it is younger). Waits
+	//     only ever point old→young, so no cycle forms, and the oldest
+	//     live transaction never aborts. Requires AcquireTimeoutNS as the
+	//     wait quantum; TxnBackoffNS optionally pads each retry.
+	TxnPolicy string
+	// TxnBackoffNS is the base backoff: retry r of a transaction sleeps
+	// uniform(1, TxnBackoffNS << min(r, 6)) ns before re-acquiring.
+	TxnBackoffNS int64
+	// TxnRing pins each transaction's lock set to the dining-philosophers
+	// layout instead of random selection: thread t takes locks (t+j) mod
+	// table-size for j in 0..TxnLocks-1, so under TxnUnordered the last
+	// thread's wrap-around closes the classic cycle.
+	TxnRing bool
+}
+
+// TxnOrder values.
+const (
+	TxnOrdered   = "ordered"
+	TxnUnordered = "unordered"
+)
+
+// TxnPolicy values.
+const (
+	TxnPolicyOrdered = "ordered"
+	TxnPolicyBackoff = "timeout-backoff"
+	TxnPolicyWaitDie = "wait-die"
+)
+
+// txnPolicy returns the effective policy (empty means ordered).
+func (s Spec) txnPolicy() string {
+	if s.TxnPolicy == "" {
+		return TxnPolicyOrdered
+	}
+	return s.TxnPolicy
+}
+
+// txnOrdered reports whether the lock set is acquired in ascending order.
+func (s Spec) txnOrdered() bool {
+	if s.TxnOrder == "" {
+		return s.txnPolicy() == TxnPolicyOrdered
+	}
+	return s.TxnOrder == TxnOrdered
 }
 
 // Validate rejects nonsensical specs.
@@ -124,6 +196,50 @@ func (s Spec) Validate() error {
 	if s.PairProb < 0 || s.PairProb > 1 {
 		return fmt.Errorf("workload: pair probability %v out of range", s.PairProb)
 	}
+	if s.TxnLocks < 0 || s.TxnLocks == 1 {
+		return fmt.Errorf("workload: TxnLocks %d (transactions need k >= 2)", s.TxnLocks)
+	}
+	if s.TxnBackoffNS < 0 {
+		return fmt.Errorf("workload: negative txn backoff %d", s.TxnBackoffNS)
+	}
+	if s.TxnLocks == 0 {
+		if s.TxnOrder != "" || s.TxnPolicy != "" || s.TxnBackoffNS != 0 || s.TxnRing {
+			return fmt.Errorf("workload: txn knobs set without TxnLocks")
+		}
+		return nil
+	}
+	switch s.TxnOrder {
+	case "", TxnOrdered, TxnUnordered:
+	default:
+		return fmt.Errorf("workload: unknown TxnOrder %q", s.TxnOrder)
+	}
+	switch s.txnPolicy() {
+	case TxnPolicyOrdered:
+		if !s.txnOrdered() {
+			// Blocking unordered acquisition has no conflict-resolution
+			// story: two transactions genuinely deadlock.
+			return fmt.Errorf("workload: the ordered policy requires ordered acquisition")
+		}
+	case TxnPolicyBackoff:
+		if s.AcquireTimeoutNS <= 0 {
+			return fmt.Errorf("workload: %s needs AcquireTimeoutNS as the per-lock deadline", TxnPolicyBackoff)
+		}
+		if s.TxnBackoffNS <= 0 {
+			return fmt.Errorf("workload: %s needs TxnBackoffNS", TxnPolicyBackoff)
+		}
+	case TxnPolicyWaitDie:
+		if s.AcquireTimeoutNS <= 0 {
+			return fmt.Errorf("workload: %s needs AcquireTimeoutNS as the wait quantum", TxnPolicyWaitDie)
+		}
+	default:
+		return fmt.Errorf("workload: unknown TxnPolicy %q", s.TxnPolicy)
+	}
+	if s.ReadPct != 0 || s.LeaseProb != 0 || s.AbandonProb != 0 || s.PairProb != 0 {
+		// Transactions own the whole operation mix: they are exclusive by
+		// nature and subsume PairProb; the crash/lease axes would need
+		// their own transactional semantics to be meaningful.
+		return fmt.Errorf("workload: TxnLocks excludes ReadPct/LeaseProb/AbandonProb/PairProb")
+	}
 	return nil
 }
 
@@ -153,8 +269,28 @@ type ThreadResult struct {
 	TimeoutLatency stats.Hist
 	Abandons       int64
 	FencedReleases int64
+	// LateAcquires counts grants that landed after their requested
+	// deadline (api.AcquiredLate): the blocking fallback of algorithms
+	// without a native timed path, or a committed waiter's grant winning
+	// the timeout race late. The operation still completes and is counted
+	// in Ops; this counter is the honesty line — how often the deadline
+	// was overshot rather than honored.
+	LateAcquires int64
 	// PairOps counts completed two-lock transactions (a subset of Ops).
 	PairOps int64
+	// Transaction-layer outcomes (TxnLocks >= 2; post-warmup, like Ops).
+	// TxnCommits counts committed transactions (a subset of Ops, which
+	// counts each committed transaction as one operation); TxnAborts
+	// counts attempts abandoned by the deadlock policy (timeout-backoff
+	// give-ups, wait-die self-aborts); TxnRetries counts re-attempts
+	// actually started after an abort. TxnRetryHist is the per-commit
+	// retry-count distribution and CommitLatency the per-commit
+	// start-to-release latency distribution.
+	TxnCommits    int64
+	TxnAborts     int64
+	TxnRetries    int64
+	TxnRetryHist  stats.Hist
+	CommitLatency stats.Hist
 }
 
 // StopRequester is the subset of the engine the loop needs to end a run
@@ -176,9 +312,22 @@ type StopRequester interface{ RequestStop() }
 // is computed from recorded spans, not from the nominal horizon.
 func Run(ctx api.Ctx, h api.TokenLocker, table *locktable.Table, spec Spec,
 	opsDone *int64, targetOps int64, stopper StopRequester) ThreadResult {
+	return RunEnv(ctx, h, table, spec, Env{}, opsDone, targetOps, stopper)
+}
+
+// RunEnv is Run with the run-wide shared transaction state (backoff
+// stream, wait-die age registry). Specs with TxnLocks >= 2 run the
+// transaction loop; everything else runs the single-lock loop and ignores
+// env.
+func RunEnv(ctx api.Ctx, h api.TokenLocker, table *locktable.Table, spec Spec,
+	env Env, opsDone *int64, targetOps int64, stopper StopRequester) ThreadResult {
 
 	if err := spec.Validate(); err != nil {
 		panic(err)
+	}
+	env.validateFor(spec)
+	if spec.TxnLocks >= 2 {
+		return runTxnLoop(ctx, h, table, spec, env, opsDone, targetOps, stopper)
 	}
 	var res ThreadResult
 	rng := ctx.Rand()
@@ -247,6 +396,9 @@ func Run(ctx api.Ctx, h api.TokenLocker, table *locktable.Table, spec Spec,
 			}
 			continue
 		}
+		if out == api.AcquiredLate && start >= spec.WarmupNS {
+			res.LateAcquires++
+		}
 		var g2 api.Guard
 		if pairIdx >= 0 {
 			g2, out = h.Acquire(table.Ptr(pairIdx), api.Exclusive, opt)
@@ -260,6 +412,9 @@ func Run(ctx api.Ctx, h api.TokenLocker, table *locktable.Table, spec Spec,
 					ctx.Work(spec.Think)
 				}
 				continue
+			}
+			if out == api.AcquiredLate && start >= spec.WarmupNS {
+				res.LateAcquires++
 			}
 		}
 
