@@ -7,6 +7,7 @@
 package alock_test
 
 import (
+	"runtime"
 	"testing"
 
 	"alock"
@@ -14,10 +15,39 @@ import (
 	"alock/internal/harness"
 )
 
-// benchRun executes one simulated experiment per iteration and returns the
-// last result for metric reporting.
+// engineMeter accumulates simulator events and heap allocations across a
+// benchmark's timed region and reports them in the same units cmd/bench
+// writes to BENCH_*.json — events/sec of wall clock and allocs/event — so
+// `go test -bench` output and the checked-in trajectory files are directly
+// comparable.
+type engineMeter struct {
+	events uint64
+	m0     runtime.MemStats
+}
+
+func startMeter() *engineMeter {
+	m := &engineMeter{}
+	runtime.ReadMemStats(&m.m0)
+	return m
+}
+
+func (m *engineMeter) add(r harness.Result) { m.events += r.Events }
+
+func (m *engineMeter) report(b *testing.B) {
+	if m.events == 0 {
+		return
+	}
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	b.ReportMetric(float64(m.events)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(m1.Mallocs-m.m0.Mallocs)/float64(m.events), "allocs/event")
+}
+
+// benchRun executes one simulated experiment per iteration, reports the
+// engine metrics, and returns the last result for metric reporting.
 func benchRun(b *testing.B, cfg harness.Config) harness.Result {
 	b.Helper()
+	meter := startMeter()
 	var res harness.Result
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -26,7 +56,9 @@ func benchRun(b *testing.B, cfg harness.Config) harness.Result {
 		if err != nil {
 			b.Fatal(err)
 		}
+		meter.add(res)
 	}
+	meter.report(b)
 	return res
 }
 
@@ -95,6 +127,7 @@ func BenchmarkFigure4Budget(b *testing.B) {
 // ALock/MCS and ALock/spinlock ratios (paper: up to 29x and 24x).
 func BenchmarkFigure5HighContention(b *testing.B) {
 	var ratios [2]float64
+	meter := startMeter()
 	for i := 0; i < b.N; i++ {
 		base := harness.Config{
 			Nodes:          harness.MaxClusterNodes,
@@ -115,10 +148,12 @@ func BenchmarkFigure5HighContention(b *testing.B) {
 				b.Fatal(err)
 			}
 			tput[algo] = r.Throughput
+			meter.add(r)
 		}
 		ratios[0] = tput["alock"] / tput["mcs"]
 		ratios[1] = tput["alock"] / tput["spinlock"]
 	}
+	meter.report(b)
 	b.ReportMetric(ratios[0], "alock/mcs")
 	b.ReportMetric(ratios[1], "alock/spin")
 }
@@ -127,6 +162,7 @@ func BenchmarkFigure5HighContention(b *testing.B) {
 // panels (paper: ALock up to 24x/22x over MCS/spinlock).
 func BenchmarkFigure5FullLocality(b *testing.B) {
 	var ratios [2]float64
+	meter := startMeter()
 	for i := 0; i < b.N; i++ {
 		base := harness.Config{
 			Nodes:          5,
@@ -147,10 +183,12 @@ func BenchmarkFigure5FullLocality(b *testing.B) {
 				b.Fatal(err)
 			}
 			tput[algo] = r.Throughput
+			meter.add(r)
 		}
 		ratios[0] = tput["alock"] / tput["mcs"]
 		ratios[1] = tput["alock"] / tput["spinlock"]
 	}
+	meter.report(b)
 	b.ReportMetric(ratios[0], "alock/mcs")
 	b.ReportMetric(ratios[1], "alock/spin")
 }
@@ -159,6 +197,7 @@ func BenchmarkFigure5FullLocality(b *testing.B) {
 // (1000 locks; paper: ALock up to 3.8x/3.3x).
 func BenchmarkFigure5LowContention(b *testing.B) {
 	var ratios [2]float64
+	meter := startMeter()
 	for i := 0; i < b.N; i++ {
 		base := harness.Config{
 			Nodes:          5,
@@ -179,10 +218,12 @@ func BenchmarkFigure5LowContention(b *testing.B) {
 				b.Fatal(err)
 			}
 			tput[algo] = r.Throughput
+			meter.add(r)
 		}
 		ratios[0] = tput["alock"] / tput["mcs"]
 		ratios[1] = tput["alock"] / tput["spinlock"]
 	}
+	meter.report(b)
 	b.ReportMetric(ratios[0], "alock/mcs")
 	b.ReportMetric(ratios[1], "alock/spin")
 }
@@ -207,6 +248,7 @@ func BenchmarkFigure5LocalitySweep(b *testing.B) {
 // ratio at high contention (paper: MCS latency up to 17x ALock's).
 func BenchmarkFigure6Latency(b *testing.B) {
 	var p50 map[string]int64
+	meter := startMeter()
 	for i := 0; i < b.N; i++ {
 		p50 = map[string]int64{}
 		for _, algo := range harness.EvalAlgorithms {
@@ -225,8 +267,10 @@ func BenchmarkFigure6Latency(b *testing.B) {
 				b.Fatal(err)
 			}
 			p50[algo] = r.Latency.P50NS
+			meter.add(r)
 		}
 	}
+	meter.report(b)
 	if p50["alock"] > 0 {
 		b.ReportMetric(float64(p50["mcs"])/float64(p50["alock"]), "mcs/alock_p50")
 		b.ReportMetric(float64(p50["spinlock"])/float64(p50["alock"]), "spin/alock_p50")
@@ -332,6 +376,7 @@ func BenchmarkSimulatorEventRate(b *testing.B) {
 	cfg.TargetOps = 5_000
 	var events uint64
 	var ops int64
+	meter := startMeter()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
 		r, err := harness.Run(cfg)
@@ -340,7 +385,9 @@ func BenchmarkSimulatorEventRate(b *testing.B) {
 		}
 		events += r.Events
 		ops += r.Ops
+		meter.add(r)
 	}
+	meter.report(b)
 	b.ReportMetric(float64(events)/float64(b.N), "events/run")
 	b.ReportMetric(float64(events)/float64(ops), "events/op")
 }

@@ -19,6 +19,7 @@
 //	alockbench -list-scenarios
 //	alockbench -scenario deadlock/dining -quick -parallel 8
 //	alockbench -figure-rw -quick -csv-out figrw.csv
+//	alockbench -scenario paper/fig5-high-contention -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Algorithms: alock, alock-nobudget, alock-symmetric, spinlock, mcs,
 // filter, bakery, rw-budget, rw-wpref, rw-queue. Algorithms without native
@@ -37,6 +38,7 @@ import (
 	"os"
 	"time"
 
+	"alock/internal/bench"
 	"alock/internal/harness"
 	"alock/internal/report"
 	"alock/internal/scenario"
@@ -85,8 +87,23 @@ func main() {
 		quick     = flag.Bool("quick", false, "reduced scenario scale (fewer points)")
 		figRW     = flag.Bool("figure-rw", false, "run the reader/writer + failure figure (rw/*, lease/*, fail/* scenario families)")
 		csvPath   = flag.String("csv-out", "", "with -figure-rw: also write the figure's CSV series to this file")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run")
+		memprofile = flag.String("memprofile", "", "write a post-run heap profile")
 	)
 	flag.Parse()
+
+	stopProfiles, err := bench.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "alockbench: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintf(os.Stderr, "alockbench: %v\n", err)
+			os.Exit(1)
+		}
+	}()
 
 	if *listScens {
 		fmt.Println("registered scenarios:")

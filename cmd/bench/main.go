@@ -1,0 +1,96 @@
+// Command bench runs the repo's standing performance suite and writes a
+// BENCH_*.json trajectory file: every case measured on both the production
+// engine (typed event heap, direct handoff) and the container/heap oracle,
+// with events/sec, ns/event and allocs/event per case and a typed-vs-oracle
+// speedup per pair. Perf PRs check the next trajectory file in (see the
+// README's Benchmarking section), so the sequence BENCH_0001.json,
+// BENCH_0002.json, ... records the engine's performance history alongside
+// the code that produced it.
+//
+// Usage:
+//
+//	go run ./cmd/bench -suite tiny -reps 3 -out BENCH_0007.json
+//	go run ./cmd/bench -suite all -cpuprofile cpu.pprof
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"alock/internal/bench"
+)
+
+func main() {
+	suite := flag.String("suite", "tiny", "case suite: tiny, paper or all")
+	reps := flag.Int("reps", 3, "repetitions per case (best rep is reported)")
+	out := flag.String("out", "", "output JSON path (empty: print to stdout)")
+	list := flag.Bool("list", false, "list the suite's case names and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run")
+	memprofile := flag.String("memprofile", "", "write a post-run heap profile")
+	flag.Parse()
+
+	if *list {
+		cases, err := bench.Suite(*suite)
+		if err != nil {
+			fatal(err)
+		}
+		for _, c := range cases {
+			fmt.Println(c.Name)
+		}
+		return
+	}
+
+	stopProfiles, err := bench.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+
+	id := "bench"
+	if *out != "" {
+		id = strings.TrimSuffix(filepath.Base(*out), ".json")
+	}
+	rep, err := bench.Run(*suite, id, *reps, func(m bench.Measurement) {
+		fmt.Fprintf(os.Stderr, "%-32s %-7s %9.0f ev/s  %7.1f ns/ev  %.4f allocs/ev\n",
+			m.Name, m.Engine, m.EventsPerSec, m.NSPerEvent, m.AllocsPerEvent)
+	})
+	if err != nil {
+		fatal(err)
+	}
+	rep.Created = time.Now().UTC().Format(time.RFC3339)
+
+	if err := stopProfiles(); err != nil {
+		fatal(err)
+	}
+
+	fmt.Fprintln(os.Stderr)
+	fmt.Fprintf(os.Stderr, "%-32s %12s %12s %8s\n", "case", "typed ev/s", "oracle ev/s", "speedup")
+	for _, c := range rep.Comparisons {
+		fmt.Fprintf(os.Stderr, "%-32s %12.0f %12.0f %7.2fx\n",
+			c.Name, c.TypedEventsPerSec, c.OracleEventsPerSec, c.Speedup)
+	}
+
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	b = append(b, '\n')
+	if *out == "" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "\nwrote %s (%d cases, %d comparisons)\n",
+		*out, len(rep.Cases), len(rep.Comparisons))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

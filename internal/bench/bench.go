@@ -1,0 +1,305 @@
+// Package bench is the repo's standing performance-measurement layer. It
+// defines a fixed suite of benchmark cases — raw-engine microbenchmarks
+// that isolate the event loop, plus one representative configuration per
+// scenario family — runs each case N times on both the production engine
+// (typed 4-ary event heap, direct-handoff run loop) and the container/heap
+// oracle, and reports events/sec, ns/event and allocs/event in a stable
+// JSON schema (BENCH_*.json). cmd/bench is the CLI; perf PRs check the
+// next trajectory file in so regressions are diffable in review.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"alock/internal/api"
+	"alock/internal/harness"
+	"alock/internal/model"
+	"alock/internal/scenario"
+	"alock/internal/sim"
+)
+
+// Schema identifies the report layout; bump on incompatible change.
+const Schema = "alock-bench/v1"
+
+// Case is one benchmark workload. Exactly one of engine/config drives it:
+// an engine case builds a raw simulator and runs it to Horizon; a scenario
+// case goes through harness.Run.
+type Case struct {
+	// Name is stable across trajectory files ("engine/..." for raw-engine
+	// microbenchmarks, the scenario name for harness cases).
+	Name string
+	// Suite tags the case "tiny" or "paper"; -suite all runs both.
+	Suite string
+
+	build   func(oracle bool) *sim.Engine // engine cases
+	horizon int64
+	cfg     harness.Config // scenario cases (zero build)
+}
+
+// Measurement is one case × engine variant, aggregated over reps: rates
+// from the fastest rep (least scheduler noise), allocations from the
+// smallest rep (steady state).
+type Measurement struct {
+	Name           string  `json:"name"`
+	Engine         string  `json:"engine"` // "typed" | "oracle"
+	Reps           int     `json:"reps"`
+	Events         uint64  `json:"events"`
+	Ops            int64   `json:"ops,omitempty"`
+	WallNS         int64   `json:"wall_ns"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	NSPerEvent     float64 `json:"ns_per_event"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+}
+
+// Comparison pairs the two engine variants of one case.
+type Comparison struct {
+	Name               string  `json:"name"`
+	TypedEventsPerSec  float64 `json:"typed_events_per_sec"`
+	OracleEventsPerSec float64 `json:"oracle_events_per_sec"`
+	// Speedup is typed/oracle wall-clock rate: >1 means the typed engine
+	// is faster.
+	Speedup float64 `json:"speedup"`
+}
+
+// Host records where a trajectory file was produced.
+type Host struct {
+	Go         string `json:"go"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	CPUs       int    `json:"cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// Report is the checked-in trajectory file (BENCH_NNNN.json).
+type Report struct {
+	Schema      string        `json:"schema"`
+	ID          string        `json:"id"`
+	Created     string        `json:"created"`
+	Suite       string        `json:"suite"`
+	Reps        int           `json:"reps"`
+	Host        Host          `json:"host"`
+	Cases       []Measurement `json:"cases"`
+	Comparisons []Comparison  `json:"comparisons"`
+}
+
+// hostInfo captures the current process's runtime identity.
+func hostInfo() Host {
+	return Host{
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// contendedEngine builds the event-dense microbenchmark workload: threads
+// on two nodes hammer one word with remote CAS retry loops, so the run is
+// almost pure event-queue and handoff traffic.
+func contendedEngine(threads int, oracle bool) *sim.Engine {
+	var opts []sim.Option
+	if oracle {
+		opts = append(opts, sim.WithOracle())
+	}
+	e := sim.New(2, 1024, model.CX3(), 99, opts...)
+	w := e.Space().AllocLine(0)
+	for i := 0; i < threads; i++ {
+		node := i % 2
+		e.Spawn(node, func(ctx api.Ctx) {
+			for !ctx.Stopped() {
+				for {
+					old := ctx.RRead(w)
+					if ctx.RCAS(w, old, old+1) == old {
+						break
+					}
+				}
+				ctx.Work(50 * time.Nanosecond)
+			}
+		})
+	}
+	return e
+}
+
+// workLoopEngine is the pure scheduler-churn workload: compute-only
+// threads whose every step is one schedule/pop/handoff cycle — the
+// cleanest measurement of the event queue itself.
+func workLoopEngine(threads int, oracle bool) *sim.Engine {
+	var opts []sim.Option
+	if oracle {
+		opts = append(opts, sim.WithOracle())
+	}
+	e := sim.New(1, 1024, model.Uniform(10), 7, opts...)
+	for i := 0; i < threads; i++ {
+		e.Spawn(0, func(ctx api.Ctx) {
+			for !ctx.Stopped() {
+				ctx.Work(10 * time.Nanosecond)
+			}
+		})
+	}
+	return e
+}
+
+// familyReps maps each scenario family to its representative member; the
+// suite runs the first config of each expansion.
+var familyReps = []string{
+	"paper/fig5-high-contention", // paper/: the event-densest figure sweep
+	"hotkey-zipf",                // bare extensions
+	"rw/mixed",                   // reader/writer family
+	"lease/holders",              // lease extension
+	"fail/timeout-recovery",      // failure/recovery extension
+	"multi/two-lock",             // two-lock transactions
+	"deadlock/dining",            // k-lock transaction policies
+}
+
+// Suite expands the standing case list for the given suite name ("tiny",
+// "paper" or "all").
+func Suite(name string) ([]Case, error) {
+	var cases []Case
+	tiny := name == "tiny" || name == "all"
+	paper := name == "paper" || name == "all"
+	if !tiny && !paper {
+		return nil, fmt.Errorf("bench: unknown suite %q (want tiny, paper or all)", name)
+	}
+	if tiny {
+		cases = append(cases,
+			Case{Name: "engine/work-loop", Suite: "tiny", horizon: 2_000_000,
+				build: func(o bool) *sim.Engine { return workLoopEngine(4, o) }},
+			Case{Name: "engine/contended-rmw", Suite: "tiny", horizon: 4_000_000,
+				build: func(o bool) *sim.Engine { return contendedEngine(4, o) }},
+		)
+		for _, name := range familyReps {
+			sc, ok := scenario.Get(name)
+			if !ok {
+				return nil, fmt.Errorf("bench: scenario %q not registered", name)
+			}
+			cfgs := sc.Configs(harness.Scale{TestTiny: true})
+			cases = append(cases, Case{Name: sc.Name + "@tiny", Suite: "tiny", cfg: cfgs[0]})
+		}
+	}
+	if paper {
+		cases = append(cases,
+			Case{Name: "engine/work-loop@paper", Suite: "paper", horizon: 20_000_000,
+				build: func(o bool) *sim.Engine { return workLoopEngine(8, o) }},
+			Case{Name: "engine/contended-rmw@paper", Suite: "paper", horizon: 40_000_000,
+				build: func(o bool) *sim.Engine { return contendedEngine(8, o) }},
+		)
+		for _, name := range familyReps {
+			sc, ok := scenario.Get(name)
+			if !ok {
+				return nil, fmt.Errorf("bench: scenario %q not registered", name)
+			}
+			cfgs := sc.Configs(harness.Scale{})
+			cases = append(cases, Case{Name: sc.Name + "@paper", Suite: "paper", cfg: cfgs[0]})
+		}
+	}
+	return cases, nil
+}
+
+// runOnce executes one rep and returns (events, ops, wall, mallocs).
+func (c Case) runOnce(oracle bool) (uint64, int64, time.Duration, uint64, error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	if c.build != nil {
+		e := c.build(oracle)
+		runtime.ReadMemStats(&before)
+		t0 := time.Now()
+		e.Run(c.horizon)
+		wall := time.Since(t0)
+		runtime.ReadMemStats(&after)
+		return e.Events(), 0, wall, after.Mallocs - before.Mallocs, nil
+	}
+	cfg := c.cfg
+	cfg.Oracle = oracle
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	res, err := harness.Run(cfg)
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return 0, 0, 0, 0, fmt.Errorf("bench: %s: %w", c.Name, err)
+	}
+	return res.Events, res.Ops, wall, after.Mallocs - before.Mallocs, nil
+}
+
+// Measure runs the case `reps` times on one engine variant. Rates come
+// from the fastest rep; the allocation figure from the rep with the
+// fewest mallocs (later reps run with warmed allocator state, so the
+// minimum is the steady-state answer).
+func (c Case) Measure(oracle bool, reps int) (Measurement, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	engine := "typed"
+	if oracle {
+		engine = "oracle"
+	}
+	m := Measurement{Name: c.Name, Engine: engine, Reps: reps}
+	var bestWall time.Duration
+	var minAllocs uint64
+	for r := 0; r < reps; r++ {
+		events, ops, wall, allocs, err := c.runOnce(oracle)
+		if err != nil {
+			return Measurement{}, err
+		}
+		if r == 0 || wall < bestWall {
+			bestWall = wall
+			m.Events, m.Ops, m.WallNS = events, ops, wall.Nanoseconds()
+		}
+		if r == 0 || allocs < minAllocs {
+			minAllocs = allocs
+		}
+	}
+	if m.WallNS > 0 && m.Events > 0 {
+		m.EventsPerSec = float64(m.Events) / (float64(m.WallNS) / 1e9)
+		m.NSPerEvent = float64(m.WallNS) / float64(m.Events)
+	}
+	if m.Events > 0 {
+		m.AllocsPerEvent = float64(minAllocs) / float64(m.Events)
+	}
+	return m, nil
+}
+
+// Progress receives one line per finished measurement; nil is silent.
+type Progress func(m Measurement)
+
+// Run executes the whole suite: every case on both engines, paired into
+// comparisons. The report's Created field is left for the caller to stamp
+// (hermetic callers, like tests, can leave it empty).
+func Run(suiteName, id string, reps int, progress Progress) (*Report, error) {
+	cases, err := Suite(suiteName)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Schema: Schema, ID: id, Suite: suiteName, Reps: reps, Host: hostInfo(),
+	}
+	for _, c := range cases {
+		typed, err := c.Measure(false, reps)
+		if err != nil {
+			return nil, err
+		}
+		if progress != nil {
+			progress(typed)
+		}
+		oracle, err := c.Measure(true, reps)
+		if err != nil {
+			return nil, err
+		}
+		if progress != nil {
+			progress(oracle)
+		}
+		rep.Cases = append(rep.Cases, typed, oracle)
+		cmp := Comparison{
+			Name:               c.Name,
+			TypedEventsPerSec:  typed.EventsPerSec,
+			OracleEventsPerSec: oracle.EventsPerSec,
+		}
+		if oracle.EventsPerSec > 0 {
+			cmp.Speedup = typed.EventsPerSec / oracle.EventsPerSec
+		}
+		rep.Comparisons = append(rep.Comparisons, cmp)
+	}
+	return rep, nil
+}

@@ -118,6 +118,11 @@ type Config struct {
 	Seed int64
 	// WordsPerNode sizes each node's memory region (0 = 1Mi words = 8 MiB).
 	WordsPerNode int
+	// Oracle runs the simulation on the reference engine (container/heap
+	// event queue, scheduler-mediated run loop) instead of the flattened
+	// hot path. Schedules are bit-identical either way — the flag exists so
+	// tests can prove it and internal/bench can measure the difference.
+	Oracle bool `json:",omitempty"`
 }
 
 func (c Config) withDefaults() Config {
@@ -305,7 +310,11 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 
-	e := sim.New(cfg.Nodes, cfg.WordsPerNode, cfg.Model, cfg.Seed)
+	var simOpts []sim.Option
+	if cfg.Oracle {
+		simOpts = append(simOpts, sim.WithOracle())
+	}
+	e := sim.New(cfg.Nodes, cfg.WordsPerNode, cfg.Model, cfg.Seed, simOpts...)
 	layout := locktable.RoundRobinHome
 	if cfg.HomeSkewPct > 0 {
 		layout = locktable.SkewedHome(0, cfg.HomeSkewPct)

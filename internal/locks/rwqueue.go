@@ -16,8 +16,10 @@
 //     overlap inside the critical section.
 //   - The ALock budget idea bounds same-class admission runs in both
 //     directions. Arriving readers may barge into the open group through a
-//     one-rCAS fast path, but only until the group has admitted ReadBudget
-//     readers; after that they enqueue behind any waiting writer. Writers
+//     one-rCAS fast path, but only ReadBudget consecutive times: the
+//     admission count rides the group word across drains (an alternating
+//     stream of lone readers spends the same budget as one sustained
+//     group) and resets only when a grant goes through the queue. Writers
 //     symmetrically may claim an idle lock through a one-rCAS fast path —
 //     the window that opens right after a group drains — but only
 //     WriteBudget consecutive times: the state word counts optimistic
@@ -315,33 +317,39 @@ func (h *RWQueueHandle) abandonHead(l ptr.Ptr, a *rwqAcq) {
 
 // readerFastEligible reports whether an arriving reader may barge into the
 // group through the fast path under state s: never past a writer (active or
-// registered for the wake), and never past the group's ReadBudget — the
+// registered for the wake), and never past ReadBudget admissions — the
 // bounded same-class admission run that keeps a queued writer's wait
-// finite, ALock's budget idea applied to the reader cohort.
+// finite, ALock's budget idea applied to the reader cohort. The admission
+// count rides the group word across a drain (drainExit only decrements the
+// active count), so an alternating stream of lone readers — each forming a
+// "fresh" group of one — consumes the same budget as one sustained group;
+// only a queue-mediated grant reopens the window, exactly like the writer
+// claim count riding the idle word.
 func (h *RWQueueHandle) readerFastEligible(s uint64) bool {
-	if rwqWrActive(s) || rwqWrWaiting(s) {
-		return false
-	}
-	if rwqRdActive(s) == 0 {
-		// Fresh group: stale grants from the previous episode are reset by
-		// readerFastEnter, so they must not close the fast path.
-		return true
-	}
-	return rwqGrants(s) < uint64(h.cfg.ReadBudget)
+	return !rwqWrActive(s) && !rwqWrWaiting(s) &&
+		rwqGrants(s) < uint64(h.cfg.ReadBudget)
 }
 
 // readerFastEnter computes the successor state of a fast-path admission.
 func (h *RWQueueHandle) readerFastEnter(s uint64) uint64 {
 	if rwqRdActive(s) == 0 {
-		// A fresh group: reset the admission count so a stale count from
-		// the previous episode cannot close the fast path early, and the
-		// writer-claim count — the lock is entering a reader episode, so
-		// the post-drain claim window starts over.
-		ns := s &^ (uint64(rwqGrantsMask) << rwqGrantsShift)
-		ns &^= uint64(rwqGrantsMask) << rwqWClaimShift
-		return ns + 1<<rwqRdActiveShift + 1<<rwqGrantsShift
+		// Entering a reader episode restarts the writer's post-drain claim
+		// window. The reader admission count deliberately carries over: a
+		// fast-path "fresh" group continues the previous episode's budget
+		// rather than opening a new one.
+		s &^= uint64(rwqGrantsMask) << rwqWClaimShift
 	}
 	return rwqGroupJoin(s)
+}
+
+// rwqGroupOpen computes the state of a brand-new reader group opened by a
+// queue-mediated grant: both budget counts reset — the queue-head reader
+// waited its turn, so the fast-path window reopens behind it — and the
+// head itself is the group's first admission.
+func rwqGroupOpen(s uint64) uint64 {
+	ns := s &^ (uint64(rwqGrantsMask) << rwqGrantsShift)
+	ns &^= uint64(rwqGrantsMask) << rwqWClaimShift
+	return ns + 1<<rwqRdActiveShift + 1<<rwqGrantsShift
 }
 
 // rwqGroupJoin admits one more reader into the open group, saturating the
@@ -468,7 +476,7 @@ func (h *RWQueueHandle) readerHeadLoop(l ptr.Ptr, a *rwqAcq, deadlineNS int64) b
 		if !rwqWrActive(s) && !rwqWrWaiting(s) {
 			var ns uint64
 			if rwqRdActive(s) == 0 {
-				ns = h.readerFastEnter(s) // fresh group, counts reset
+				ns = rwqGroupOpen(s) // queue-mediated fresh group: counts reset
 			} else {
 				ns = rwqGroupJoin(s) // FIFO-entitled: budget does not gate
 			}

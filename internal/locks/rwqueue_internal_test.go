@@ -41,27 +41,57 @@ func TestReaderFastPathBudgetGate(t *testing.T) {
 	if h.readerFastEligible(mkGroup(2, 1, false, true)) {
 		t.Error("fast path open past a registered writer")
 	}
-}
-
-// Regression (mirrors rw-budget's stale-grants episode bug): a fresh group
-// must not inherit the previous episode's admission count, or the fast
-// path closes after far fewer admissions than budgeted.
-func TestReaderFastEnterResetsStaleGrants(t *testing.T) {
-	h := &RWQueueHandle{cfg: RWConfig{ReadBudget: 4, WriteBudget: 2}}
-
-	s := mkGroup(0, 4, false, false) // idle, stale count from the last group
-	if !h.readerFastEligible(s) {
-		t.Fatal("stale grants closed the fast path on an idle lock")
-	}
-	ns := h.readerFastEnter(s)
-	if rwqRdActive(ns) != 1 || rwqGrants(ns) != 1 {
-		t.Fatalf("fresh group malformed: rd=%d grants=%d", rwqRdActive(ns), rwqGrants(ns))
+	// The admission count gates the fast path even on an idle word: a
+	// drained group's budget carries to the next fast-path episode.
+	if h.readerFastEligible(mkGroup(0, 4, false, false)) {
+		t.Error("fast path open on an idle word with the budget spent")
 	}
 
 	// Joining an open group counts the admission.
-	ns = h.readerFastEnter(mkGroup(2, 2, false, false))
+	ns := h.readerFastEnter(mkGroup(2, 2, false, false))
 	if rwqRdActive(ns) != 3 || rwqGrants(ns) != 3 {
 		t.Fatalf("group join malformed: rd=%d grants=%d", rwqRdActive(ns), rwqGrants(ns))
+	}
+}
+
+// TestReaderBudgetRidesAcrossDrain pins the ReadBudget asymmetry fix with
+// the pattern that exposed it: an alternating stream of lone readers, each
+// entering an idle lock, draining, and re-entering. Before the fix a fresh
+// group reset the admission count, so the stream barged through the fast
+// path forever and a queued writer's ReadBudget bound held only within one
+// sustained group. Now the count rides the drained word — the writer claim
+// count's symmetric twin — so the stream spends exactly ReadBudget fast
+// admissions before it must queue, and only a queue-mediated group open
+// restarts the window.
+func TestReaderBudgetRidesAcrossDrain(t *testing.T) {
+	h := &RWQueueHandle{cfg: RWConfig{ReadBudget: 4, WriteBudget: 2}}
+
+	s := uint64(0)
+	entries := 0
+	for h.readerFastEligible(s) {
+		s = h.readerFastEnter(s)
+		if rwqRdActive(s) != 1 {
+			t.Fatalf("entry %d malformed: rd=%d (s=%#x)", entries+1, rwqRdActive(s), s)
+		}
+		entries++
+		if entries > 4 {
+			t.Fatal("alternating reader stream barged past ReadBudget")
+		}
+		s -= 1 << rwqRdActiveShift // drainExit, no writer waiting: count rides
+	}
+	if entries != 4 {
+		t.Fatalf("fast path closed after %d admissions, want ReadBudget=4", entries)
+	}
+
+	// A queue-mediated group open resets both budget counts: the head is
+	// the first admission and the fast-path window reopens behind it.
+	ns := rwqGroupOpen(s | 2<<rwqWClaimShift)
+	if rwqRdActive(ns) != 1 || rwqGrants(ns) != 1 || rwqWClaims(ns) != 0 {
+		t.Fatalf("queue-mediated open malformed: rd=%d grants=%d claims=%d",
+			rwqRdActive(ns), rwqGrants(ns), rwqWClaims(ns))
+	}
+	if !h.readerFastEligible(ns) {
+		t.Error("fast path still closed after a queue-mediated group open")
 	}
 }
 

@@ -1,0 +1,56 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"alock/internal/harness"
+	"alock/internal/sweep"
+)
+
+// TestTypedEngineMatchesOracleEveryScenario is the engine-swap acceptance
+// gate: every registered scenario, expanded at smoke scale, must produce
+// bit-identical results on the production engine (typed 4-ary event heap,
+// direct-handoff run loop) and on the reference engine (container/heap,
+// scheduler-mediated loop). The typed runs go through the parallel sweep
+// runner and the oracle runs serially, so the comparison also re-proves
+// sweep determinism at any -parallel setting against an independent
+// engine implementation.
+func TestTypedEngineMatchesOracleEveryScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := harness.Scale{TestTiny: true}
+	for _, sc := range All() {
+		sc := sc
+		name := strings.ReplaceAll(sc.Name, "/", "_")
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfgs := sc.Configs(s)
+			typed, err := sweep.Runner{Parallel: 4}.Run(cfgs)
+			if err != nil {
+				t.Fatalf("%s: %v", sc.Name, err)
+			}
+			oracleCfgs := make([]harness.Config, len(cfgs))
+			for i, c := range cfgs {
+				c.Oracle = true
+				oracleCfgs[i] = c
+			}
+			oracle, err := sweep.Runner{Parallel: 1}.Run(oracleCfgs)
+			if err != nil {
+				t.Fatalf("%s (oracle): %v", sc.Name, err)
+			}
+			for i := range typed {
+				// The engine-selection flag is the one legitimate
+				// difference; everything else must match bit for bit.
+				o := oracle[i]
+				o.Config.Oracle = false
+				if !reflect.DeepEqual(typed[i], o) {
+					t.Errorf("%s: config %d (%s) diverged between typed and oracle engines",
+						sc.Name, i, cfgs[i].Algorithm)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"alock/internal/api"
+	"alock/internal/model"
+)
+
+// TestScheduleStepZeroAllocs is the allocation guard on the engine's
+// schedule/pop hot path: once the event slice has grown to its working
+// size, processing an event — heap pop, accounting, the goroutine handoff
+// and the re-schedule on the next block — must not allocate. The old
+// container/heap queue boxed every event into an interface{} on push and
+// pop, one heap allocation per scheduled event; this test keeps it gone.
+func TestScheduleStepZeroAllocs(t *testing.T) {
+	e := New(1, 1024, model.Uniform(10), 1)
+	for i := 0; i < 4; i++ {
+		e.Spawn(0, func(ctx api.Ctx) {
+			for !ctx.Stopped() {
+				ctx.Work(10 * time.Nanosecond)
+			}
+		})
+	}
+	e.SetHorizon(1 << 40)
+	// Warm up: launch goroutines, grow the event slice to steady state.
+	for i := 0; i < 256; i++ {
+		e.Step()
+	}
+	avg := testing.AllocsPerRun(2000, func() {
+		if !e.ProcessNextEvent() {
+			t.Fatal("engine drained mid-measurement")
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("schedule/pop path allocates %.3f allocs/event, want 0", avg)
+	}
+	e.RequestStop()
+	for e.Step() {
+	}
+}
+
+// TestDirectRunNearZeroAllocs bounds the direct-handoff Run loop: a
+// contended run processing tens of thousands of events may allocate only
+// its fixed setup (goroutine launches) — not per event.
+func TestDirectRunNearZeroAllocs(t *testing.T) {
+	e, _ := contendedEngine()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	e.Run(2_000_000)
+	runtime.ReadMemStats(&after)
+	events := e.Events()
+	if events < 10_000 {
+		t.Fatalf("run too small to measure: %d events", events)
+	}
+	allocs := after.Mallocs - before.Mallocs
+	// Launching 4 goroutines and the harness of ReadMemStats itself cost a
+	// fixed few dozen allocations; per-event allocation would show up as
+	// tens of thousands.
+	if allocs > 500 {
+		t.Fatalf("direct Run allocated %d times over %d events (%.4f allocs/event), want O(setup)",
+			allocs, events, float64(allocs)/float64(events))
+	}
+}

@@ -15,6 +15,17 @@
 // clock are broken by event sequence number; per-thread RNGs are derived
 // from the engine seed; no host-machine timing leaks in.
 //
+// Hot path: events live in a typed 4-ary min-heap (eventq.go) — no
+// interface boxing, zero allocations per event in steady state — and Run
+// transfers control directly from the blocking thread to the next event's
+// thread (one channel handoff per event; a thread whose own wake-up is next
+// keeps running with no handoff at all). The step primitives
+// (ProcessNextEvent/Step) keep the scheduler-mediated two-handoff protocol
+// so callers can interleave logic between events. WithOracle selects the
+// original container/heap queue plus the mediated Run loop as a bit-exact
+// reference: event order is a total order on (at, seq), so both engines
+// replay identical schedules, and CI diffs them on every scenario family.
+//
 // Costs come from internal/model, and every remote operation is routed
 // through the requester's and responder's internal/nic instances, which is
 // where loopback congestion and QP thrashing arise.
@@ -48,14 +59,15 @@ type event struct {
 	th  *Thread
 }
 
+// eventHeap is the original container/heap event queue, kept verbatim as
+// the bit-exact oracle behind WithOracle. The production queue is the typed
+// 4-ary heap in eventq.go; both implement the same total order, so pop
+// sequences are identical and the oracle exists purely to prove it.
 type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+	return eventLess(h[i], h[j])
 }
 func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
@@ -75,7 +87,10 @@ type Engine struct {
 	seed  int64
 	rngs  PartitionedRNG
 
-	heap   eventHeap
+	// q is the production event queue; oracle, when non-nil (WithOracle),
+	// replaces it with the container/heap reference implementation.
+	q      eventQueue
+	oracle *eventHeap
 	now    int64
 	seq    uint64
 	stopAt int64
@@ -87,7 +102,16 @@ type Engine struct {
 
 	threads  []*Thread
 	launched int           // threads[:launched] have running goroutines
-	yield    chan struct{} // running thread -> scheduler handoff
+	yield    chan struct{} // running thread -> scheduler handoff (step mode)
+	// direct marks a Run in progress: blocking threads dispatch the next
+	// event themselves and hand control straight to its thread, returning
+	// to the Run caller (via wake) only when the queue drains or the engine
+	// traps. trap carries a dispatch failure (time regression, event-budget
+	// livelock) from a thread goroutine to Run, which re-panics it on the
+	// caller's goroutine — the same contract the mediated loop has.
+	direct bool
+	wake   chan struct{}
+	trap   error
 
 	// tornHeld marks words whose remote-RMW read half has executed but
 	// whose write half has not; other *remote* operations on such a word
@@ -114,6 +138,15 @@ func WithMaxEvents(n uint64) Option {
 	return func(e *Engine) { e.maxEvents = n }
 }
 
+// WithOracle switches the engine to the reference implementation: the
+// container/heap event queue and the scheduler-mediated Run loop. Event
+// order is a total order on (at, seq), so the oracle replays bit-identical
+// schedules — it exists to verify the typed-heap/direct-handoff engine
+// (and to measure what the flattened hot path buys; see internal/bench).
+func WithOracle() Option {
+	return func(e *Engine) { e.oracle = &eventHeap{} }
+}
+
 // New creates an engine for a cluster of `nodes` nodes, each with
 // wordsPerNode words of RDMA-accessible memory, under cost model p.
 func New(nodes, wordsPerNode int, p model.Params, seed int64, opts ...Option) *Engine {
@@ -127,6 +160,7 @@ func New(nodes, wordsPerNode int, p model.Params, seed int64, opts ...Option) *E
 		seed:           seed,
 		rngs:           NewPartitionedRNG(seed),
 		yield:          make(chan struct{}),
+		wake:           make(chan struct{}),
 		tornHeld:       make(map[ptr.Ptr]bool),
 		loopInFlight:   make([]int, nodes),
 		remoteInFlight: make([]int, nodes),
@@ -199,7 +233,62 @@ func (e *Engine) Spawn(node int, fn func(api.Ctx)) *Thread {
 // schedule enqueues a wake-up for t at virtual time `at`.
 func (e *Engine) schedule(at int64, t *Thread) {
 	e.seq++
-	heap.Push(&e.heap, event{at: at, seq: e.seq, th: t})
+	ev := event{at: at, seq: e.seq, th: t}
+	if e.oracle != nil {
+		heap.Push(e.oracle, ev)
+		return
+	}
+	e.q.push(ev)
+}
+
+// pending reports the number of scheduled events.
+func (e *Engine) pending() int {
+	if e.oracle != nil {
+		return e.oracle.Len()
+	}
+	return e.q.len()
+}
+
+// pop removes and returns the earliest event; the queue must be non-empty.
+func (e *Engine) pop() event {
+	if e.oracle != nil {
+		return heap.Pop(e.oracle).(event)
+	}
+	return e.q.pop()
+}
+
+// minAt returns the earliest scheduled time; ok is false on an empty queue.
+func (e *Engine) minAt() (at int64, ok bool) {
+	if e.oracle != nil {
+		if e.oracle.Len() == 0 {
+			return 0, false
+		}
+		return (*e.oracle)[0].at, true
+	}
+	if e.q.len() == 0 {
+		return 0, false
+	}
+	return e.q.min().at, true
+}
+
+// account applies one event dispatch's bookkeeping: clock advance, horizon
+// check, event counting and the runaway guard. It returns an error rather
+// than panicking so direct-handoff dispatch on a thread goroutine can trap
+// the failure back to the Run caller; mediated callers panic on it
+// directly.
+func (e *Engine) account(at int64) error {
+	if at < e.now {
+		return fmt.Errorf("sim: time went backwards (%dns after %dns)", at, e.now)
+	}
+	e.now = at
+	if e.now >= e.stopAt {
+		e.stopped = true
+	}
+	e.events++
+	if e.events > e.maxEvents {
+		return fmt.Errorf("sim: exceeded %d events at t=%dns — livelock?", e.maxEvents, e.now)
+	}
+	return nil
 }
 
 // SetHorizon (re)arms the measurement horizon: Stopped() returns true from
@@ -213,15 +302,12 @@ func (e *Engine) SetHorizon(stopAt int64) {
 }
 
 // HasPendingEvents reports whether any thread wake-up remains scheduled.
-func (e *Engine) HasPendingEvents() bool { return e.heap.Len() > 0 }
+func (e *Engine) HasPendingEvents() bool { return e.pending() > 0 }
 
 // PeekNextEventTime returns the virtual time of the earliest pending event
 // without processing it; ok is false when no event is pending.
 func (e *Engine) PeekNextEventTime() (at int64, ok bool) {
-	if e.heap.Len() == 0 {
-		return 0, false
-	}
-	return e.heap[0].at, true
+	return e.minAt()
 }
 
 // launchPending starts the goroutine of every spawned-but-not-yet-started
@@ -241,21 +327,13 @@ func (e *Engine) launchPending() {
 // Panics on time regression or when the event budget is exceeded, which
 // indicates a livelock in the simulated system.
 func (e *Engine) ProcessNextEvent() bool {
-	if e.heap.Len() == 0 {
+	if e.pending() == 0 {
 		return false
 	}
 	e.launchPending()
-	ev := heap.Pop(&e.heap).(event)
-	if ev.at < e.now {
-		panic("sim: time went backwards")
-	}
-	e.now = ev.at
-	if e.now >= e.stopAt {
-		e.stopped = true
-	}
-	e.events++
-	if e.events > e.maxEvents {
-		panic(fmt.Sprintf("sim: exceeded %d events at t=%dns — livelock?", e.maxEvents, e.now))
+	ev := e.pop()
+	if err := e.account(ev.at); err != nil {
+		panic(err)
 	}
 	ev.th.resume <- struct{}{}
 	<-e.yield // wait until the thread blocks again or exits
@@ -273,12 +351,34 @@ func (e *Engine) Step() bool {
 // Run drives the simulation until every thread has exited. Threads observe
 // Stopped() == true once the virtual clock reaches stopAt and are expected
 // to wind down (finishing in-flight critical sections so queues drain).
-// It is the step primitives composed: SetHorizon, then ProcessNextEvent
-// until the event heap drains, then a deadlock check.
+//
+// Run uses direct handoff: the blocking thread pops the next event and
+// resumes its thread itself, so each event costs one channel transfer
+// instead of the step primitives' two (thread -> scheduler -> thread). The
+// oracle engine keeps the mediated loop — it IS the reference behavior.
+// Semantics are identical either way: event order, the events counter and
+// all memory effects come from the same queue and accounting. A dispatch
+// failure (time regression, event-budget livelock) panics on the caller's
+// goroutine in both modes; the engine is unusable afterwards.
 func (e *Engine) Run(stopAt int64) {
 	e.SetHorizon(stopAt)
 	e.launchPending()
-	for e.ProcessNextEvent() {
+	if e.oracle != nil {
+		for e.ProcessNextEvent() {
+		}
+	} else if e.pending() > 0 {
+		e.direct = true
+		ev := e.pop()
+		if err := e.account(ev.at); err != nil {
+			e.direct = false
+			panic(err)
+		}
+		ev.th.resume <- struct{}{}
+		<-e.wake // the queue drained (or a thread trapped)
+		e.direct = false
+		if err := e.trap; err != nil {
+			panic(err)
+		}
 	}
 	// All events drained: every thread must have exited.
 	for _, t := range e.threads {
@@ -286,6 +386,32 @@ func (e *Engine) Run(stopAt int64) {
 			panic(fmt.Sprintf("sim: thread %d blocked forever (deadlock)", t.id))
 		}
 	}
+}
+
+// dispatchNext (direct mode, called on a thread goroutine that is
+// suspending or exiting) pops the earliest event and transfers control to
+// its thread. It returns true when the popped event belongs to the calling
+// thread itself — the caller just keeps running, no handoff at all (the
+// same-timestamp self-reschedule fast path near the event budget; in the
+// common case block()'s clock-advance fast path already avoided the queue
+// entirely). On a dispatch failure the engine traps: the error is handed to
+// the Run caller and this goroutine parks forever, exactly as threads do
+// when a mediated Run panics mid-schedule.
+func (e *Engine) dispatchNext(self *Thread) (keepRunning bool) {
+	if e.launched < len(e.threads) {
+		e.launchPending()
+	}
+	ev := e.pop()
+	if err := e.account(ev.at); err != nil {
+		e.trap = err
+		e.wake <- struct{}{}
+		select {} // poisoned: Run re-panics on the caller's goroutine
+	}
+	if ev.th == self {
+		return true
+	}
+	ev.th.resume <- struct{}{}
+	return false
 }
 
 // Thread is one simulated thread; it implements api.Ctx.
@@ -309,7 +435,19 @@ func (t *Thread) main() {
 	<-t.resume // initial event at t=0
 	t.fn(t)
 	t.exited = true
-	t.e.yield <- struct{}{}
+	e := t.e
+	if !e.direct {
+		e.yield <- struct{}{}
+		return
+	}
+	// Direct mode: pass control onward — to the next event's thread, or
+	// back to Run when this exit drained the simulation. An exited thread
+	// has no pending wake-up, so dispatchNext can never pick t itself.
+	if e.pending() == 0 {
+		e.wake <- struct{}{}
+		return
+	}
+	e.dispatchNext(nil)
 }
 
 // block suspends the thread until virtual time `at`.
@@ -325,7 +463,7 @@ func (t *Thread) block(at int64) {
 	if at < e.now {
 		at = e.now
 	}
-	if (len(e.heap) == 0 || e.heap[0].at > at) && e.events <= e.maxEvents {
+	if min, ok := e.minAt(); (!ok || min > at) && e.events <= e.maxEvents {
 		e.now = at
 		if e.now >= e.stopAt {
 			e.stopped = true
@@ -334,6 +472,15 @@ func (t *Thread) block(at int64) {
 		return
 	}
 	e.schedule(at, t)
+	if e.direct {
+		// Hand control straight to the next event's thread (or keep it, if
+		// that event is our own wake-up) and wait for our turn.
+		if e.dispatchNext(t) {
+			return
+		}
+		<-t.resume
+		return
+	}
 	e.yield <- struct{}{}
 	<-t.resume
 }
@@ -419,10 +566,12 @@ func (t *Thread) Work(d time.Duration) {
 // verbTimes routes one verb through the fabric: TX on the requester NIC,
 // wire to the responder, RX/execute on the responder NIC, wire back.
 // It returns the virtual time the verb executes at the responder and the
-// time the completion reaches the requester, plus a release function the
-// caller must invoke when the operation finishes (it retires the op from
-// the in-flight congestion accounting).
-func (t *Thread) verbTimes(p ptr.Ptr) (execAt, doneAt int64, release func()) {
+// time the completion reaches the requester. The caller must call
+// retire(p) when the operation finishes to take it back out of the
+// in-flight congestion accounting. (retire used to be a closure returned
+// from here — one heap allocation per verb on the hot path; everything it
+// captured is recomputable from p.)
+func (t *Thread) verbTimes(p ptr.Ptr) (execAt, doneAt int64) {
 	e := t.e
 	src, dst := t.node, p.NodeID()
 	qp := nic.QP{SrcNode: src, SrcThread: t.id, DstNode: dst}
@@ -432,49 +581,56 @@ func (t *Thread) verbTimes(p ptr.Ptr) (execAt, doneAt int64, release func()) {
 	if e.p.JitterProb > 0 && t.fabric.Float64() < e.p.JitterProb {
 		wire += e.p.JitterNS
 	}
-	loopback := src == dst
-	if loopback {
+	if src == dst {
 		// Loopback (§1): the thread reaches its own node's memory through
 		// its own RNIC; both verb halves occupy the same NIC, the only
 		// wire is PCIe, and both halves count as PCIe-hungry loopback
 		// traffic for the congestion model.
 		wire = e.p.LoopbackWireNS
 		e.loopInFlight[src]++
-		release = func() { e.loopInFlight[src]-- }
 		txDone := e.nics[src].Submit(e.now, qp, true, e.loopInFlight[src])
 		arrive := txDone + wire
 		rxDone := e.nics[src].Submit(arrive, qp, true, e.loopInFlight[src])
-		return rxDone, rxDone + wire, release
+		return rxDone, rxDone + wire
 	}
 	e.remoteInFlight[src]++
 	e.remoteInFlight[dst]++
-	release = func() {
-		e.remoteInFlight[src]--
-		e.remoteInFlight[dst]--
-	}
 	txDone := e.nics[src].Submit(e.now, qp, false, e.remoteInFlight[src])
 	arrive := txDone + wire
 	rxDone := e.nics[dst].Submit(arrive, qp, false, e.remoteInFlight[dst])
-	return rxDone, rxDone + wire, release
+	return rxDone, rxDone + wire
+}
+
+// retire takes a completed verb on p back out of the in-flight congestion
+// accounting; it must be called exactly once per verbTimes call.
+func (t *Thread) retire(p ptr.Ptr) {
+	e := t.e
+	src, dst := t.node, p.NodeID()
+	if src == dst {
+		e.loopInFlight[src]--
+		return
+	}
+	e.remoteInFlight[src]--
+	e.remoteInFlight[dst]--
 }
 
 // RRead implements api.Ctx.
 func (t *Thread) RRead(p ptr.Ptr) uint64 {
-	execAt, doneAt, release := t.verbTimes(p)
+	execAt, doneAt := t.verbTimes(p)
 	t.block(execAt)
 	v := *t.e.space.WordAddr(p)
 	t.block(doneAt)
-	release()
+	t.retire(p)
 	return v
 }
 
 // RWrite implements api.Ctx.
 func (t *Thread) RWrite(p ptr.Ptr, v uint64) {
-	execAt, doneAt, release := t.verbTimes(p)
+	execAt, doneAt := t.verbTimes(p)
 	t.block(execAt)
 	*t.e.space.WordAddr(p) = v
 	t.block(doneAt)
-	release()
+	t.retire(p)
 }
 
 // RCAS implements api.Ctx.
@@ -486,7 +642,7 @@ func (t *Thread) RWrite(p ptr.Ptr, v uint64) {
 // local operations slide right into the window — reproducing Table 1's
 // "remote CAS is not atomic with local Write/RMW".
 func (t *Thread) RCAS(p ptr.Ptr, old, new uint64) uint64 {
-	execAt, doneAt, release := t.verbTimes(p)
+	execAt, doneAt := t.verbTimes(p)
 	t.block(execAt)
 	if !t.e.p.TornRCAS {
 		addr := t.e.space.WordAddr(p)
@@ -495,7 +651,7 @@ func (t *Thread) RCAS(p ptr.Ptr, old, new uint64) uint64 {
 			*addr = new
 		}
 		t.block(doneAt)
-		release()
+		t.retire(p)
 		return prev
 	}
 	// Torn path: wait until no other remote RMW holds the word.
@@ -514,6 +670,6 @@ func (t *Thread) RCAS(p ptr.Ptr, old, new uint64) uint64 {
 		doneAt = t.e.now
 	}
 	t.block(doneAt)
-	release()
+	t.retire(p)
 	return prev
 }
