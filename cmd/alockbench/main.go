@@ -81,6 +81,8 @@ func main() {
 		txnBack  = flag.Duration("txn-backoff", 0, "base randomized backoff between transaction retries (timeout-backoff default: -acquire-timeout)")
 		txnRing  = flag.Bool("txn-ring", false, "dining-philosophers lock selection: thread t takes locks (t+j) mod -locks")
 
+		engShards = flag.Int("engine-shards", 0, "per-run engine shard workers (0 = serial engine, 1 = sharded-serial, >1 = windowed parallel)")
+
 		scenName  = flag.String("scenario", "", "run a named scenario instead of a single config")
 		listScens = flag.Bool("list-scenarios", false, "list registered scenarios and exit")
 		parallel  = flag.Int("parallel", 0, "concurrent simulations for -scenario (0 = all cores)")
@@ -114,12 +116,12 @@ func main() {
 	}
 
 	if *figRW {
-		runFigureRW(*quick, *seed, *parallel, *csvPath)
+		runFigureRW(*quick, *seed, *parallel, *engShards, *csvPath)
 		return
 	}
 
 	if *scenName != "" {
-		runScenario(*scenName, *quick, *seed, *parallel, *asJSON)
+		runScenario(*scenName, *quick, *seed, *parallel, *engShards, *asJSON)
 		return
 	}
 
@@ -154,6 +156,7 @@ func main() {
 		TxnPolicy:      *txnPol,
 		TxnBackoff:     *txnBack,
 		TxnRing:        *txnRing,
+		EngineShards:   *engShards,
 		Seed:           *seed,
 	}
 	res, err := harness.Run(cfg)
@@ -179,10 +182,24 @@ func main() {
 	}
 }
 
-func runFigureRW(quick bool, seed int64, parallel int, csvPath string) {
+// withShards stamps the engine-shard setting onto every expanded config so a
+// whole scenario or figure runs on the selected engine.
+func withShards(cfgs []harness.Config, shards int) []harness.Config {
+	if shards > 0 {
+		for i := range cfgs {
+			cfgs[i].EngineShards = shards
+		}
+	}
+	return cfgs
+}
+
+func runFigureRW(quick bool, seed int64, parallel, shards int, csvPath string) {
+	run := sweep.Runner{Parallel: parallel}.RunMany()
 	groups := harness.FigureRW(
 		scenario.RWFigureGroups(harness.Scale{Quick: quick, Seed: seed}),
-		sweep.Runner{Parallel: parallel}.RunMany())
+		func(cfgs []harness.Config) []harness.Result {
+			return run(withShards(cfgs, shards))
+		})
 	report.FigureRW(os.Stdout, groups)
 	if csvPath != "" {
 		f, err := os.Create(csvPath)
@@ -195,13 +212,13 @@ func runFigureRW(quick bool, seed int64, parallel int, csvPath string) {
 	}
 }
 
-func runScenario(name string, quick bool, seed int64, parallel int, asJSON bool) {
+func runScenario(name string, quick bool, seed int64, parallel, shards int, asJSON bool) {
 	sc, ok := scenario.Get(name)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "alockbench: unknown scenario %q (try -list-scenarios)\n", name)
 		os.Exit(1)
 	}
-	cfgs := sc.Configs(harness.Scale{Quick: quick, Seed: seed})
+	cfgs := withShards(sc.Configs(harness.Scale{Quick: quick, Seed: seed}), shards)
 	results, err := sweep.Runner{Parallel: parallel}.Run(cfgs)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "alockbench: %v\n", err)

@@ -1,8 +1,9 @@
 // Command bench runs the repo's standing performance suite and writes a
-// BENCH_*.json trajectory file: every case measured on both the production
-// engine (typed event heap, direct handoff) and the container/heap oracle,
-// with events/sec, ns/event and allocs/event per case and a typed-vs-oracle
-// speedup per pair. Perf PRs check the next trajectory file in (see the
+// BENCH_*.json trajectory file: every case measured on three engines — the
+// production engine (typed event heap, direct handoff), the container/heap
+// oracle, and the sharded windowed-parallel executor — with events/sec,
+// ns/event and allocs/event per case plus typed-vs-oracle and
+// sharded-vs-typed speedups. Perf PRs check the next trajectory file in (see the
 // README's Benchmarking section), so the sequence BENCH_0001.json,
 // BENCH_0002.json, ... records the engine's performance history alongside
 // the code that produced it.
@@ -32,7 +33,10 @@ func main() {
 	list := flag.Bool("list", false, "list the suite's case names and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run")
 	memprofile := flag.String("memprofile", "", "write a post-run heap profile")
+	engShards := flag.Int("engine-shards", 0, "worker count for the sharded variant (0 = default 4)")
 	flag.Parse()
+
+	bench.SetShardedWorkers(*engShards)
 
 	if *list {
 		cases, err := bench.Suite(*suite)
@@ -68,10 +72,12 @@ func main() {
 	}
 
 	fmt.Fprintln(os.Stderr)
-	fmt.Fprintf(os.Stderr, "%-32s %12s %12s %8s\n", "case", "typed ev/s", "oracle ev/s", "speedup")
+	fmt.Fprintf(os.Stderr, "%-32s %12s %12s %12s %8s %8s\n",
+		"case", "typed ev/s", "oracle ev/s", "shard ev/s", "vs orcl", "vs shard")
 	for _, c := range rep.Comparisons {
-		fmt.Fprintf(os.Stderr, "%-32s %12.0f %12.0f %7.2fx\n",
-			c.Name, c.TypedEventsPerSec, c.OracleEventsPerSec, c.Speedup)
+		fmt.Fprintf(os.Stderr, "%-32s %12.0f %12.0f %12.0f %7.2fx %7.2fx\n",
+			c.Name, c.TypedEventsPerSec, c.OracleEventsPerSec, c.ShardedEventsPerSec,
+			c.Speedup, c.ShardedSpeedup)
 	}
 
 	b, err := json.MarshalIndent(rep, "", "  ")

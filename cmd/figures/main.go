@@ -51,6 +51,7 @@ func main() {
 		scenName  = flag.String("scenario", "", "run a named scenario from the registry instead of the figures")
 		listScens = flag.Bool("list-scenarios", false, "list registered scenarios and exit")
 		progress  = flag.Bool("progress", false, "print per-run completion progress to stderr")
+		engShards = flag.Int("engine-shards", 0, "per-run engine shard workers (0 = serial engine, 1 = sharded-serial, >1 = windowed parallel)")
 	)
 	flag.Parse()
 
@@ -60,7 +61,21 @@ func main() {
 			fmt.Fprintf(os.Stderr, "  [%d/%d] config %d done\n", p.Done, p.Total, p.Index)
 		}
 	}
-	run := runner.RunMany()
+	// withShards stamps the engine selection onto every config a driver
+	// enumerates; results are bit-identical at any setting, only the
+	// engine's internal concurrency changes.
+	withShards := func(cfgs []harness.Config) []harness.Config {
+		if *engShards > 0 {
+			for i := range cfgs {
+				cfgs[i].EngineShards = *engShards
+			}
+		}
+		return cfgs
+	}
+	runMany := runner.RunMany()
+	run := func(cfgs []harness.Config) []harness.Result {
+		return runMany(withShards(cfgs))
+	}
 	out := os.Stdout
 
 	if *listScens {
@@ -87,7 +102,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "figures: unknown scenario %q (try -list-scenarios)\n", *scenName)
 			os.Exit(1)
 		}
-		cfgs := sc.Configs(scale)
+		cfgs := withShards(sc.Configs(scale))
 		fmt.Fprintf(out, "running scenario %s (%d configs)...\n", sc.Name, len(cfgs))
 		results, err := runner.Run(cfgs)
 		if err != nil {

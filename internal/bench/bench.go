@@ -1,11 +1,13 @@
 // Package bench is the repo's standing performance-measurement layer. It
 // defines a fixed suite of benchmark cases — raw-engine microbenchmarks
 // that isolate the event loop, plus one representative configuration per
-// scenario family — runs each case N times on both the production engine
-// (typed 4-ary event heap, direct-handoff run loop) and the container/heap
-// oracle, and reports events/sec, ns/event and allocs/event in a stable
-// JSON schema (BENCH_*.json). cmd/bench is the CLI; perf PRs check the
-// next trajectory file in so regressions are diffable in review.
+// scenario family — runs each case N times on three engine variants: the
+// production engine (typed 4-ary event heap, direct-handoff run loop), the
+// container/heap oracle, and the node-sharded engine under the conservative
+// windowed parallel executor. It reports events/sec, ns/event and
+// allocs/event in a stable JSON schema (BENCH_*.json). cmd/bench is the
+// CLI; perf PRs check the next trajectory file in so regressions are
+// diffable in review.
 package bench
 
 import (
@@ -21,7 +23,40 @@ import (
 )
 
 // Schema identifies the report layout; bump on incompatible change.
-const Schema = "alock-bench/v1"
+// v2 added the "sharded" engine variant and its comparison columns.
+const Schema = "alock-bench/v2"
+
+// Engine variant names.
+const (
+	EngineTyped   = "typed"   // typed 4-ary heap, direct handoff
+	EngineOracle  = "oracle"  // container/heap reference, mediated loop
+	EngineSharded = "sharded" // per-node queues, windowed parallel executor
+)
+
+// shardedWorkers is the worker count benchmarked for the sharded variant;
+// the slot budget caps actual concurrency at GOMAXPROCS.
+var shardedWorkers = 4
+
+// SetShardedWorkers overrides the sharded variant's worker count (the
+// cmd/bench -engine-shards flag). Results are bit-identical at any count;
+// only throughput changes.
+func SetShardedWorkers(n int) {
+	if n > 0 {
+		shardedWorkers = n
+	}
+}
+
+// variantOpts translates an engine variant into simulator options.
+func variantOpts(variant string) []sim.Option {
+	switch variant {
+	case EngineOracle:
+		return []sim.Option{sim.WithOracle()}
+	case EngineSharded:
+		return []sim.Option{sim.WithShards(shardedWorkers)}
+	default:
+		return nil
+	}
+}
 
 // Case is one benchmark workload. Exactly one of engine/config drives it:
 // an engine case builds a raw simulator and runs it to Horizon; a scenario
@@ -33,7 +68,7 @@ type Case struct {
 	// Suite tags the case "tiny" or "paper"; -suite all runs both.
 	Suite string
 
-	build   func(oracle bool) *sim.Engine // engine cases
+	build   func(opts ...sim.Option) *sim.Engine // engine cases
 	horizon int64
 	cfg     harness.Config // scenario cases (zero build)
 }
@@ -43,7 +78,7 @@ type Case struct {
 // smallest rep (steady state).
 type Measurement struct {
 	Name           string  `json:"name"`
-	Engine         string  `json:"engine"` // "typed" | "oracle"
+	Engine         string  `json:"engine"` // "typed" | "oracle" | "sharded"
 	Reps           int     `json:"reps"`
 	Events         uint64  `json:"events"`
 	Ops            int64   `json:"ops,omitempty"`
@@ -53,14 +88,18 @@ type Measurement struct {
 	AllocsPerEvent float64 `json:"allocs_per_event"`
 }
 
-// Comparison pairs the two engine variants of one case.
+// Comparison pairs the engine variants of one case.
 type Comparison struct {
-	Name               string  `json:"name"`
-	TypedEventsPerSec  float64 `json:"typed_events_per_sec"`
-	OracleEventsPerSec float64 `json:"oracle_events_per_sec"`
+	Name                string  `json:"name"`
+	TypedEventsPerSec   float64 `json:"typed_events_per_sec"`
+	OracleEventsPerSec  float64 `json:"oracle_events_per_sec"`
+	ShardedEventsPerSec float64 `json:"sharded_events_per_sec"`
 	// Speedup is typed/oracle wall-clock rate: >1 means the typed engine
 	// is faster.
 	Speedup float64 `json:"speedup"`
+	// ShardedSpeedup is sharded/typed: >1 means the windowed parallel
+	// executor beats the serial hot path (expect ~parity on one core).
+	ShardedSpeedup float64 `json:"sharded_speedup"`
 }
 
 // Host records where a trajectory file was produced.
@@ -98,11 +137,7 @@ func hostInfo() Host {
 // contendedEngine builds the event-dense microbenchmark workload: threads
 // on two nodes hammer one word with remote CAS retry loops, so the run is
 // almost pure event-queue and handoff traffic.
-func contendedEngine(threads int, oracle bool) *sim.Engine {
-	var opts []sim.Option
-	if oracle {
-		opts = append(opts, sim.WithOracle())
-	}
+func contendedEngine(threads int, opts ...sim.Option) *sim.Engine {
 	e := sim.New(2, 1024, model.CX3(), 99, opts...)
 	w := e.Space().AllocLine(0)
 	for i := 0; i < threads; i++ {
@@ -125,11 +160,7 @@ func contendedEngine(threads int, oracle bool) *sim.Engine {
 // workLoopEngine is the pure scheduler-churn workload: compute-only
 // threads whose every step is one schedule/pop/handoff cycle — the
 // cleanest measurement of the event queue itself.
-func workLoopEngine(threads int, oracle bool) *sim.Engine {
-	var opts []sim.Option
-	if oracle {
-		opts = append(opts, sim.WithOracle())
-	}
+func workLoopEngine(threads int, opts ...sim.Option) *sim.Engine {
 	e := sim.New(1, 1024, model.Uniform(10), 7, opts...)
 	for i := 0; i < threads; i++ {
 		e.Spawn(0, func(ctx api.Ctx) {
@@ -165,9 +196,9 @@ func Suite(name string) ([]Case, error) {
 	if tiny {
 		cases = append(cases,
 			Case{Name: "engine/work-loop", Suite: "tiny", horizon: 2_000_000,
-				build: func(o bool) *sim.Engine { return workLoopEngine(4, o) }},
+				build: func(o ...sim.Option) *sim.Engine { return workLoopEngine(4, o...) }},
 			Case{Name: "engine/contended-rmw", Suite: "tiny", horizon: 4_000_000,
-				build: func(o bool) *sim.Engine { return contendedEngine(4, o) }},
+				build: func(o ...sim.Option) *sim.Engine { return contendedEngine(4, o...) }},
 		)
 		for _, name := range familyReps {
 			sc, ok := scenario.Get(name)
@@ -181,9 +212,9 @@ func Suite(name string) ([]Case, error) {
 	if paper {
 		cases = append(cases,
 			Case{Name: "engine/work-loop@paper", Suite: "paper", horizon: 20_000_000,
-				build: func(o bool) *sim.Engine { return workLoopEngine(8, o) }},
+				build: func(o ...sim.Option) *sim.Engine { return workLoopEngine(8, o...) }},
 			Case{Name: "engine/contended-rmw@paper", Suite: "paper", horizon: 40_000_000,
-				build: func(o bool) *sim.Engine { return contendedEngine(8, o) }},
+				build: func(o ...sim.Option) *sim.Engine { return contendedEngine(8, o...) }},
 		)
 		for _, name := range familyReps {
 			sc, ok := scenario.Get(name)
@@ -198,11 +229,11 @@ func Suite(name string) ([]Case, error) {
 }
 
 // runOnce executes one rep and returns (events, ops, wall, mallocs).
-func (c Case) runOnce(oracle bool) (uint64, int64, time.Duration, uint64, error) {
+func (c Case) runOnce(variant string) (uint64, int64, time.Duration, uint64, error) {
 	runtime.GC()
 	var before, after runtime.MemStats
 	if c.build != nil {
-		e := c.build(oracle)
+		e := c.build(variantOpts(variant)...)
 		runtime.ReadMemStats(&before)
 		t0 := time.Now()
 		e.Run(c.horizon)
@@ -211,7 +242,14 @@ func (c Case) runOnce(oracle bool) (uint64, int64, time.Duration, uint64, error)
 		return e.Events(), 0, wall, after.Mallocs - before.Mallocs, nil
 	}
 	cfg := c.cfg
-	cfg.Oracle = oracle
+	switch variant {
+	case EngineOracle:
+		cfg.Oracle = true
+	case EngineSharded:
+		// Scenario configs with TargetOps degrade to sharded-serial inside
+		// the harness; the measurement is still the sharded code path.
+		cfg.EngineShards = shardedWorkers
+	}
 	runtime.ReadMemStats(&before)
 	t0 := time.Now()
 	res, err := harness.Run(cfg)
@@ -227,19 +265,15 @@ func (c Case) runOnce(oracle bool) (uint64, int64, time.Duration, uint64, error)
 // from the fastest rep; the allocation figure from the rep with the
 // fewest mallocs (later reps run with warmed allocator state, so the
 // minimum is the steady-state answer).
-func (c Case) Measure(oracle bool, reps int) (Measurement, error) {
+func (c Case) Measure(variant string, reps int) (Measurement, error) {
 	if reps < 1 {
 		reps = 1
 	}
-	engine := "typed"
-	if oracle {
-		engine = "oracle"
-	}
-	m := Measurement{Name: c.Name, Engine: engine, Reps: reps}
+	m := Measurement{Name: c.Name, Engine: variant, Reps: reps}
 	var bestWall time.Duration
 	var minAllocs uint64
 	for r := 0; r < reps; r++ {
-		events, ops, wall, allocs, err := c.runOnce(oracle)
+		events, ops, wall, allocs, err := c.runOnce(variant)
 		if err != nil {
 			return Measurement{}, err
 		}
@@ -264,9 +298,9 @@ func (c Case) Measure(oracle bool, reps int) (Measurement, error) {
 // Progress receives one line per finished measurement; nil is silent.
 type Progress func(m Measurement)
 
-// Run executes the whole suite: every case on both engines, paired into
-// comparisons. The report's Created field is left for the caller to stamp
-// (hermetic callers, like tests, can leave it empty).
+// Run executes the whole suite: every case on all three engine variants,
+// paired into comparisons. The report's Created field is left for the
+// caller to stamp (hermetic callers, like tests, can leave it empty).
 func Run(suiteName, id string, reps int, progress Progress) (*Report, error) {
 	cases, err := Suite(suiteName)
 	if err != nil {
@@ -276,28 +310,30 @@ func Run(suiteName, id string, reps int, progress Progress) (*Report, error) {
 		Schema: Schema, ID: id, Suite: suiteName, Reps: reps, Host: hostInfo(),
 	}
 	for _, c := range cases {
-		typed, err := c.Measure(false, reps)
-		if err != nil {
-			return nil, err
+		var ms [3]Measurement
+		for i, variant := range []string{EngineTyped, EngineOracle, EngineSharded} {
+			m, err := c.Measure(variant, reps)
+			if err != nil {
+				return nil, err
+			}
+			if progress != nil {
+				progress(m)
+			}
+			ms[i] = m
 		}
-		if progress != nil {
-			progress(typed)
-		}
-		oracle, err := c.Measure(true, reps)
-		if err != nil {
-			return nil, err
-		}
-		if progress != nil {
-			progress(oracle)
-		}
-		rep.Cases = append(rep.Cases, typed, oracle)
+		typed, oracle, sharded := ms[0], ms[1], ms[2]
+		rep.Cases = append(rep.Cases, typed, oracle, sharded)
 		cmp := Comparison{
-			Name:               c.Name,
-			TypedEventsPerSec:  typed.EventsPerSec,
-			OracleEventsPerSec: oracle.EventsPerSec,
+			Name:                c.Name,
+			TypedEventsPerSec:   typed.EventsPerSec,
+			OracleEventsPerSec:  oracle.EventsPerSec,
+			ShardedEventsPerSec: sharded.EventsPerSec,
 		}
 		if oracle.EventsPerSec > 0 {
 			cmp.Speedup = typed.EventsPerSec / oracle.EventsPerSec
+		}
+		if typed.EventsPerSec > 0 {
+			cmp.ShardedSpeedup = sharded.EventsPerSec / typed.EventsPerSec
 		}
 		rep.Comparisons = append(rep.Comparisons, cmp)
 	}

@@ -53,11 +53,15 @@ func TestMeasureEngineCase(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := cases[0] // engine/work-loop
-	typed, err := c.Measure(false, 1)
+	typed, err := c.Measure(EngineTyped, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	oracle, err := c.Measure(true, 1)
+	oracle, err := c.Measure(EngineOracle, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := c.Measure(EngineSharded, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,6 +70,9 @@ func TestMeasureEngineCase(t *testing.T) {
 	}
 	if typed.Events != oracle.Events {
 		t.Fatalf("engines diverged: typed %d events, oracle %d", typed.Events, oracle.Events)
+	}
+	if typed.Events != sharded.Events {
+		t.Fatalf("engines diverged: typed %d events, sharded %d", typed.Events, sharded.Events)
 	}
 	if typed.AllocsPerEvent > 0.01 {
 		t.Errorf("typed engine allocates %.4f/event in steady state, want ~0", typed.AllocsPerEvent)
@@ -85,7 +92,7 @@ func TestMeasureScenarioCase(t *testing.T) {
 		if c.build != nil {
 			continue
 		}
-		m, err := c.Measure(false, 1)
+		m, err := c.Measure(EngineTyped, 1)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -123,6 +123,15 @@ type Config struct {
 	// hot path. Schedules are bit-identical either way — the flag exists so
 	// tests can prove it and internal/bench can measure the difference.
 	Oracle bool `json:",omitempty"`
+	// EngineShards, if positive, runs the simulation on the node-sharded
+	// engine: per-node event queues with (at 1) a serial merge scheduler or
+	// (above 1) the conservative windowed parallel executor, capped by the
+	// process execution-slot budget. Schedules are bit-identical to the
+	// serial engine in both cases. Workload features that rely on engine-
+	// serialized cross-thread state (TargetOps early stop, wait-die age
+	// ordering) force the worker count down to 1 — sharded-serial — rather
+	// than racing; combining with Oracle is rejected.
+	EngineShards int `json:",omitempty"`
 }
 
 func (c Config) withDefaults() Config {
@@ -202,6 +211,12 @@ func (c Config) Validate() error {
 	}
 	if c.TxnLocks > c.Locks {
 		return fmt.Errorf("harness: TxnLocks %d exceeds the lock table (%d)", c.TxnLocks, c.Locks)
+	}
+	if c.EngineShards < 0 {
+		return fmt.Errorf("harness: negative engine shards %d", c.EngineShards)
+	}
+	if c.Oracle && c.EngineShards > 0 {
+		return fmt.Errorf("harness: Oracle is the single-queue serial reference and cannot run sharded (EngineShards=%d)", c.EngineShards)
 	}
 	// The transaction knobs themselves (k >= 2, policy/order names, the
 	// policies' deadline and backoff requirements) are validated by
@@ -310,18 +325,6 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 
-	var simOpts []sim.Option
-	if cfg.Oracle {
-		simOpts = append(simOpts, sim.WithOracle())
-	}
-	e := sim.New(cfg.Nodes, cfg.WordsPerNode, cfg.Model, cfg.Seed, simOpts...)
-	layout := locktable.RoundRobinHome
-	if cfg.HomeSkewPct > 0 {
-		layout = locktable.SkewedHome(0, cfg.HomeSkewPct)
-	}
-	table := locktable.NewWithLayout(e.Space(), cfg.Locks, layout)
-	prov.Prepare(e.Space(), table.All())
-
 	spec := workload.Spec{
 		LocalityPct:      cfg.LocalityPct,
 		CSWork:           cfg.CSWork,
@@ -366,6 +369,31 @@ func Run(cfg Config) (Result, error) {
 	if txn.NeedsAges {
 		ages = workload.NewAgeTable()
 	}
+
+	var simOpts []sim.Option
+	if cfg.Oracle {
+		simOpts = append(simOpts, sim.WithOracle())
+	}
+	if cfg.EngineShards > 0 {
+		workers := cfg.EngineShards
+		// These features mutate cross-thread state (the shared op counter,
+		// the wait-die age table) relying on the engine serializing threads;
+		// under parallel windows that would race. The schedule is identical
+		// at any width, so degrading to the sharded-serial merge scheduler
+		// changes nothing but concurrency.
+		if workers > 1 && (cfg.TargetOps > 0 || txn.NeedsAges) {
+			workers = 1
+		}
+		simOpts = append(simOpts, sim.WithShards(workers))
+	}
+	e := sim.New(cfg.Nodes, cfg.WordsPerNode, cfg.Model, cfg.Seed, simOpts...)
+	layout := locktable.RoundRobinHome
+	if cfg.HomeSkewPct > 0 {
+		layout = locktable.SkewedHome(0, cfg.HomeSkewPct)
+	}
+	table := locktable.NewWithLayout(e.Space(), cfg.Locks, layout)
+	prov.Prepare(e.Space(), table.All())
+
 	prng := sim.NewPartitionedRNG(cfg.Seed)
 
 	// One fencing authority per run: grant order (hence every token) is
@@ -373,7 +401,14 @@ func Run(cfg Config) (Result, error) {
 	// memory, so the token layer costs no simulated operations.
 	ft := locks.NewFenceTable()
 	results := make([]workload.ThreadResult, threads)
+	// The shared op counter exists only for TargetOps early stop; it is
+	// engine-serialized state, so don't even hand it out on runs that never
+	// read it (those are the runs allowed to execute parallel windows).
 	var opsDone int64
+	var opsPtr *int64
+	if cfg.TargetOps > 0 {
+		opsPtr = &opsDone
+	}
 	idx := 0
 	for n := 0; n < cfg.Nodes; n++ {
 		for k := 0; k < cfg.ThreadsPerNode; k++ {
@@ -387,7 +422,7 @@ func Run(cfg Config) (Result, error) {
 					env.Backoff = prng.Stream(sim.SubsystemBackoff, slot)
 				}
 				results[slot] = workload.RunEnv(ctx, h, table, spec, env,
-					&opsDone, cfg.TargetOps, e)
+					opsPtr, cfg.TargetOps, e)
 			})
 		}
 	}

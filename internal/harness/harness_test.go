@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -384,7 +385,10 @@ func TestReadWriteWorkloadConfigs(t *testing.T) {
 func TestTokenAxisConfigs(t *testing.T) {
 	cfg := quickCfg("mcs")
 	cfg.Locks = 3 // hot enough that a tight deadline fires
-	cfg.AcquireTimeout = 6 * time.Microsecond
+	// The deadline sits near the median contended acquire latency so both
+	// outcomes occur in volume: plenty of timeouts AND enough successful
+	// acquisitions for the abandon knob to fire.
+	cfg.AcquireTimeout = 30 * time.Microsecond
 	cfg.AbandonProb = 0.01
 	cfg.AbandonHold = 40 * time.Microsecond
 	r, err := Run(cfg)
@@ -733,5 +737,55 @@ func TestFigure4DriverTiny(t *testing.T) {
 		if r.AvgSpeedup <= 0 {
 			t.Fatalf("nonpositive speedup: %+v", r)
 		}
+	}
+}
+
+// TestEngineShardsBitIdentical: a harness run on the sharded engine — both
+// the serial merge scheduler and the windowed parallel executor — must be
+// bit-identical to the serial engine, modulo the engine-selection knob
+// itself. The no-TargetOps variant actually executes parallel windows; the
+// TargetOps variant proves the serializing degrade path preserves results.
+func TestEngineShardsBitIdentical(t *testing.T) {
+	for _, algo := range []string{"alock", "mcs"} {
+		base := quickCfg(algo)
+		variants := []Config{base}
+		free := base
+		free.TargetOps = 0 // eligible for parallel windows
+		variants = append(variants, free)
+		for _, cfg := range variants {
+			want, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{1, 4} {
+				scfg := cfg
+				scfg.EngineShards = shards
+				got, err := Run(scfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got.Config.EngineShards = 0
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("%s (TargetOps=%d): result diverged between serial and shards=%d engines",
+						algo, cfg.TargetOps, shards)
+				}
+			}
+		}
+	}
+}
+
+// TestOracleRejectsEngineShards: the two engine-selection knobs are
+// mutually exclusive and must fail validation, not race to pick one.
+func TestOracleRejectsEngineShards(t *testing.T) {
+	cfg := quickCfg("mcs")
+	cfg.Oracle = true
+	cfg.EngineShards = 2
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("Oracle+EngineShards accepted")
+	}
+	cfg.EngineShards = -1
+	cfg.Oracle = false
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("negative EngineShards accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package locks_test
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -452,5 +453,51 @@ func TestBestEffortDeadlineReportsLateAcquire(t *testing.T) {
 	}
 	if lateRelease != api.Released {
 		t.Errorf("late-acquired guard release = %v, want Released (the guard is live)", lateRelease)
+	}
+}
+
+// TestShardedEngineInvariants runs the full mutual-exclusion invariant
+// suite on the sharded engines — the serial merge scheduler (shards=1) and
+// the conservative windowed parallel executor (shards=4) — and pins every
+// observation (ops, counter sum, tramples, per-lock entry order) to the
+// serial engine's, bit for bit.
+func TestShardedEngineInvariants(t *testing.T) {
+	for _, name := range []string{"spinlock", "mcs", "alock", "rw-queue"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cfg := locktest.DefaultMutexConfig()
+			cfg.Iters = 40
+			threads := cfg.Nodes * cfg.ThreadsPerNode
+			prov, err := locks.ByName(name, locks.Options{Threads: threads})
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial := locktest.RunMutex(prov, cfg)
+			for _, shards := range []int{1, 4} {
+				scfg := cfg
+				scfg.EngineShards = shards
+				locktest.CheckMutualExclusion(t, prov, scfg)
+				got := locktest.RunMutex(prov, scfg)
+				if !reflect.DeepEqual(serial, got) {
+					t.Errorf("%s: observations diverged between serial and shards=%d engines:\nserial:  %+v\nsharded: %+v",
+						name, shards, serial, got)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedEngineOverlappingHolds repeats the two-locks-held token-API
+// check on both sharded engines.
+func TestShardedEngineOverlappingHolds(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		cfg := locktest.DefaultOverlapConfig()
+		cfg.Iters = 30
+		cfg.EngineShards = shards
+		prov, err := locks.ByName("mcs", locks.Options{Threads: cfg.Nodes * cfg.ThreadsPerNode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		locktest.CheckOverlappingHolds(t, prov, cfg)
 	}
 }

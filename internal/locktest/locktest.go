@@ -13,6 +13,7 @@
 package locktest
 
 import (
+	"sort"
 	"testing"
 	"time"
 
@@ -37,6 +38,11 @@ type MutexConfig struct {
 	// of the provider's plain handles, proving the same serialization
 	// under the redesigned API.
 	TokenAPI bool
+	// EngineShards, if positive, runs the workload on the node-sharded
+	// engine (1 = serial merge scheduler, >1 = conservative windowed
+	// parallel executor). The schedule — and therefore every observation —
+	// is bit-identical to the serial engine at any setting.
+	EngineShards int
 }
 
 // DefaultMutexConfig returns a small-but-contended configuration with
@@ -64,11 +70,33 @@ type Result struct {
 	Entries       [][]int // per lock: sequence of acquiring thread IDs
 }
 
+// mutexEntry is one critical-section completion, stamped with its virtual
+// time so per-thread logs can be merged back into the global serialization
+// order (critical sections on one lock never overlap, so stamps on a lock
+// are strictly increasing).
+type mutexEntry struct {
+	at  int64
+	tid int
+}
+
+// mutexTally is one thread's private observations. Threads on different
+// shards run concurrently under the windowed executor, so shared tallies
+// would race; each thread owns a slot and the merge happens after Run.
+type mutexTally struct {
+	ops      int64
+	tramples int64
+	entries  [][]mutexEntry // per lock
+}
+
 // RunMutex executes the mutual-exclusion workload and returns observations
 // without judging them (used by both the positive checks and the negative
 // Table 1 demonstrations).
 func RunMutex(prov locks.Provider, cfg MutexConfig) Result {
-	e := sim.New(cfg.Nodes, 1<<20, cfg.Model, cfg.Seed)
+	var opts []sim.Option
+	if cfg.EngineShards > 0 {
+		opts = append(opts, sim.WithShards(cfg.EngineShards))
+	}
+	e := sim.New(cfg.Nodes, 1<<20, cfg.Model, cfg.Seed, opts...)
 	space := e.Space()
 
 	lockPtrs := make([]ptr.Ptr, cfg.Locks)
@@ -82,13 +110,16 @@ func RunMutex(prov locks.Provider, cfg MutexConfig) Result {
 	}
 	prov.Prepare(space, lockPtrs)
 
-	res := Result{Entries: make([][]int, cfg.Locks)}
-
 	ft := locks.NewFenceTable()
+	tallies := make([]mutexTally, cfg.Nodes*cfg.ThreadsPerNode)
+	slot := 0
 	for n := 0; n < cfg.Nodes; n++ {
 		for k := 0; k < cfg.ThreadsPerNode; k++ {
 			node := n
+			tl := &tallies[slot]
+			slot++
 			e.Spawn(node, func(ctx api.Ctx) {
+				tl.entries = make([][]mutexEntry, cfg.Locks)
 				var h api.Locker
 				if cfg.TokenAPI {
 					h = api.NewBlocking(locks.TokenHandleFor(prov, ctx, ft))
@@ -105,28 +136,57 @@ func RunMutex(prov locks.Provider, cfg MutexConfig) Result {
 					// own access class, like real protected data would.
 					tag := uint64(ctx.ThreadID()) + 1
 					if rw.read(ctx, ownerPtrs[li]) != 0 {
-						res.OwnerTramples++
+						tl.tramples++
 					}
 					rw.write(ctx, ownerPtrs[li], tag)
 					c := rw.read(ctx, counterPtrs[li])
 					rw.write(ctx, counterPtrs[li], c+1)
 					if rw.read(ctx, ownerPtrs[li]) != tag {
-						res.OwnerTramples++
+						tl.tramples++
 					}
 					rw.write(ctx, ownerPtrs[li], 0)
-					res.Entries[li] = append(res.Entries[li], ctx.ThreadID())
+					tl.entries[li] = append(tl.entries[li],
+						mutexEntry{at: ctx.Now(), tid: ctx.ThreadID()})
 					h.Unlock(l)
-					res.TotalOps++
+					tl.ops++
 				}
 			})
 		}
 	}
 	e.Run(1 << 62)
 
-	// Sum the counters after all threads exit.
+	res := Result{Entries: make([][]int, cfg.Locks)}
+	for i := range tallies {
+		res.TotalOps += tallies[i].ops
+		res.OwnerTramples += tallies[i].tramples
+	}
+	// Merge the per-thread entry logs back into the global serialization
+	// order per lock.
+	for li := 0; li < cfg.Locks; li++ {
+		var merged []mutexEntry
+		for i := range tallies {
+			if tallies[i].entries != nil {
+				merged = append(merged, tallies[i].entries[li]...)
+			}
+		}
+		sort.Slice(merged, func(a, b int) bool {
+			if merged[a].at != merged[b].at {
+				return merged[a].at < merged[b].at
+			}
+			return merged[a].tid < merged[b].tid
+		})
+		res.Entries[li] = make([]int, len(merged))
+		for i, en := range merged {
+			res.Entries[li][i] = en.tid
+		}
+	}
+
+	// Sum the counters after all threads exit, routing each read through
+	// the verb protocol the word's placement demands.
 	e.Spawn(0, func(ctx api.Ctx) {
+		rw := rwFor(ctx)
 		for i := range counterPtrs {
-			res.CounterSum += int64(ctx.Read(counterPtrs[i]))
+			res.CounterSum += int64(rw.read(ctx, counterPtrs[i]))
 		}
 	})
 	e.Run(1 << 62)
@@ -160,6 +220,8 @@ type OverlapConfig struct {
 	Iters          int // two-lock transactions per thread
 	Seed           int64
 	Model          model.Params
+	// EngineShards selects the sharded engine, as in MutexConfig.
+	EngineShards int
 }
 
 // DefaultOverlapConfig returns a small-but-contended configuration with
@@ -192,7 +254,11 @@ func CheckOverlappingHolds(t *testing.T, prov locks.Provider, cfg OverlapConfig)
 	if cfg.Locks < 2 {
 		t.Fatalf("CheckOverlappingHolds needs >= 2 locks, got %d", cfg.Locks)
 	}
-	e := sim.New(cfg.Nodes, 1<<20, cfg.Model, cfg.Seed)
+	var opts []sim.Option
+	if cfg.EngineShards > 0 {
+		opts = append(opts, sim.WithShards(cfg.EngineShards))
+	}
+	e := sim.New(cfg.Nodes, 1<<20, cfg.Model, cfg.Seed, opts...)
 	space := e.Space()
 
 	lockPtrs := make([]ptr.Ptr, cfg.Locks)
@@ -207,10 +273,16 @@ func CheckOverlappingHolds(t *testing.T, prov locks.Provider, cfg OverlapConfig)
 	prov.Prepare(space, lockPtrs)
 
 	ft := locks.NewFenceTable()
-	var totalOps, tramples, fenced int64
+	// Per-thread tallies: threads on different shards run concurrently
+	// under the windowed executor, so shared counters would race.
+	type overlapTally struct{ ops, tramples, fenced int64 }
+	tallies := make([]overlapTally, cfg.Nodes*cfg.ThreadsPerNode)
+	slot := 0
 	for n := 0; n < cfg.Nodes; n++ {
 		for k := 0; k < cfg.ThreadsPerNode; k++ {
 			node := n
+			tl := &tallies[slot]
+			slot++
 			e.Spawn(node, func(ctx api.Ctx) {
 				h := locks.TokenHandleFor(prov, ctx, ft)
 				rw := rwFor(ctx)
@@ -225,12 +297,12 @@ func CheckOverlappingHolds(t *testing.T, prov locks.Provider, cfg OverlapConfig)
 					}
 					ga, out := h.Acquire(lockPtrs[a], api.Exclusive, api.AcquireOpts{})
 					if out != api.Acquired {
-						tramples++ // blocking acquire must not time out
+						tl.tramples++ // blocking acquire must not time out
 						continue
 					}
 					gb, out := h.Acquire(lockPtrs[b], api.Exclusive, api.AcquireOpts{})
 					if out != api.Acquired {
-						tramples++
+						tl.tramples++
 						continue
 					}
 					// Doubly-held section: the handshake on both locks'
@@ -238,7 +310,7 @@ func CheckOverlappingHolds(t *testing.T, prov locks.Provider, cfg OverlapConfig)
 					tag := uint64(ctx.ThreadID()) + 1
 					for _, li := range []int{a, b} {
 						if rw.read(ctx, ownerPtrs[li]) != 0 {
-							tramples++
+							tl.tramples++
 						}
 						rw.write(ctx, ownerPtrs[li], tag)
 					}
@@ -246,7 +318,7 @@ func CheckOverlappingHolds(t *testing.T, prov locks.Provider, cfg OverlapConfig)
 						c := rw.read(ctx, counterPtrs[li])
 						rw.write(ctx, counterPtrs[li], c+1)
 						if rw.read(ctx, ownerPtrs[li]) != tag {
-							tramples++
+							tl.tramples++
 						}
 						rw.write(ctx, ownerPtrs[li], 0)
 					}
@@ -255,22 +327,29 @@ func CheckOverlappingHolds(t *testing.T, prov locks.Provider, cfg OverlapConfig)
 						first, second = gb, ga // release in both orders
 					}
 					if h.Release(first) != api.Released {
-						fenced++
+						tl.fenced++
 					}
 					if h.Release(second) != api.Released {
-						fenced++
+						tl.fenced++
 					}
-					totalOps++
+					tl.ops++
 				}
 			})
 		}
 	}
 	e.Run(1 << 62)
 
+	var totalOps, tramples, fenced int64
+	for i := range tallies {
+		totalOps += tallies[i].ops
+		tramples += tallies[i].tramples
+		fenced += tallies[i].fenced
+	}
 	var counterSum int64
 	e.Spawn(0, func(ctx api.Ctx) {
+		rw := rwFor(ctx)
 		for i := range counterPtrs {
-			counterSum += int64(ctx.Read(counterPtrs[i]))
+			counterSum += int64(rw.read(ctx, counterPtrs[i]))
 		}
 	})
 	e.Run(1 << 62)

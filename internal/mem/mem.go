@@ -164,6 +164,12 @@ func (r *Region) zeroLocked(off uint64, size int) {
 // node, indexed by node ID.
 type Space struct {
 	regions []*Region
+	// audit, when set, observes every access through the Space before it
+	// happens, keyed by the node whose region is touched. The simulation
+	// engine's debug access-audit mode uses it to panic on out-of-protocol
+	// cross-shard touches (a word owned by node A mutated from node B's
+	// timeline without going through the verb protocol).
+	audit func(node int)
 }
 
 // NewSpace creates a Space with `nodes` regions of `wordsPerNode` words each.
@@ -178,6 +184,13 @@ func NewSpace(nodes, wordsPerNode int) *Space {
 	return s
 }
 
+// SetAudit installs fn as the access auditor: it is called with the target
+// node before every WordAddr resolution and allocator operation routed
+// through the Space. Install before any concurrent use (the field is read
+// unsynchronized on the access hot path); pass nil to disable. Direct
+// Region method calls bypass the auditor — engines resolve through Space.
+func (s *Space) SetAudit(fn func(node int)) { s.audit = fn }
+
 // Nodes returns the number of nodes in the space.
 func (s *Space) Nodes() int { return len(s.regions) }
 
@@ -191,20 +204,32 @@ func (s *Space) Region(id int) *Region {
 
 // WordAddr resolves a Ptr to the address of its backing word.
 func (s *Space) WordAddr(p ptr.Ptr) *uint64 {
+	if s.audit != nil {
+		s.audit(p.NodeID())
+	}
 	return s.Region(p.NodeID()).WordAddr(p.Offset())
 }
 
 // Alloc allocates on the given node. See Region.Alloc.
 func (s *Space) Alloc(node, words, alignWords int) ptr.Ptr {
+	if s.audit != nil {
+		s.audit(node)
+	}
 	return s.Region(node).Alloc(words, alignWords)
 }
 
 // AllocLine allocates one cache line on the given node. See Region.AllocLine.
 func (s *Space) AllocLine(node int) ptr.Ptr {
+	if s.audit != nil {
+		s.audit(node)
+	}
 	return s.Region(node).AllocLine()
 }
 
 // Free releases p back to its node's region.
 func (s *Space) Free(p ptr.Ptr) {
+	if s.audit != nil {
+		s.audit(p.NodeID())
+	}
 	s.Region(p.NodeID()).Free(p)
 }

@@ -249,3 +249,58 @@ func TestQuickReuseZeroed(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestAuditObservesSpaceAccesses: the auditor sees the target node of every
+// Space-routed access — word resolution, allocation, free — and can veto by
+// panicking. Direct Region calls bypass it (engines resolve through Space).
+func TestAuditObservesSpaceAccesses(t *testing.T) {
+	s := NewSpace(3, 64)
+	var seen []int
+	s.SetAudit(func(node int) { seen = append(seen, node) })
+
+	p := s.AllocLine(2)
+	_ = s.WordAddr(p)
+	q := s.Alloc(1, 1, 1)
+	s.Free(q)
+	s.Free(p)
+
+	want := []int{2, 2, 1, 1, 2}
+	if len(seen) != len(want) {
+		t.Fatalf("auditor saw %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("auditor saw %v, want %v", seen, want)
+		}
+	}
+
+	// Region-level access bypasses the auditor.
+	seen = seen[:0]
+	_ = s.Region(0).WordAddr(8)
+	if len(seen) != 0 {
+		t.Fatalf("Region access reached the auditor: %v", seen)
+	}
+
+	// Disabled auditor observes nothing.
+	s.SetAudit(nil)
+	_ = s.WordAddr(p)
+}
+
+// TestAuditPanicPropagates: a vetoing auditor turns an access into a panic
+// at the access site — the mechanism the engine's access-audit mode uses to
+// catch out-of-protocol cross-shard touches.
+func TestAuditPanicPropagates(t *testing.T) {
+	s := NewSpace(2, 64)
+	s.SetAudit(func(node int) {
+		if node == 1 {
+			panic("forbidden node")
+		}
+	})
+	_ = s.AllocLine(0) // allowed
+	defer func() {
+		if recover() == nil {
+			t.Fatal("audited access to node 1 did not panic")
+		}
+	}()
+	_ = s.AllocLine(1)
+}

@@ -11,17 +11,28 @@ import (
 
 // TestTypedEngineMatchesOracleEveryScenario is the engine-swap acceptance
 // gate: every registered scenario, expanded at smoke scale, must produce
-// bit-identical results on the production engine (typed 4-ary event heap,
-// direct-handoff run loop) and on the reference engine (container/heap,
-// scheduler-mediated loop). The typed runs go through the parallel sweep
-// runner and the oracle runs serially, so the comparison also re-proves
-// sweep determinism at any -parallel setting against an independent
-// engine implementation.
+// bit-identical results on all four engine configurations — the production
+// engine (typed 4-ary event heap, direct-handoff run loop), the reference
+// engine (container/heap, scheduler-mediated loop), the sharded engine with
+// the serial merge scheduler (EngineShards=1), and the conservative windowed
+// parallel executor (EngineShards=4). The typed runs go through the parallel
+// sweep runner and the oracle runs serially, so the comparison also re-proves
+// sweep determinism at any -parallel setting against independent engine
+// implementations.
 func TestTypedEngineMatchesOracleEveryScenario(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
 	s := harness.Scale{TestTiny: true}
+	variants := []struct {
+		name     string
+		parallel int
+		mutate   func(*harness.Config)
+	}{
+		{"oracle", 1, func(c *harness.Config) { c.Oracle = true }},
+		{"sharded-serial", 2, func(c *harness.Config) { c.EngineShards = 1 }},
+		{"sharded-parallel", 2, func(c *harness.Config) { c.EngineShards = 4 }},
+	}
 	for _, sc := range All() {
 		sc := sc
 		name := strings.ReplaceAll(sc.Name, "/", "_")
@@ -32,23 +43,26 @@ func TestTypedEngineMatchesOracleEveryScenario(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s: %v", sc.Name, err)
 			}
-			oracleCfgs := make([]harness.Config, len(cfgs))
-			for i, c := range cfgs {
-				c.Oracle = true
-				oracleCfgs[i] = c
-			}
-			oracle, err := sweep.Runner{Parallel: 1}.Run(oracleCfgs)
-			if err != nil {
-				t.Fatalf("%s (oracle): %v", sc.Name, err)
-			}
-			for i := range typed {
-				// The engine-selection flag is the one legitimate
-				// difference; everything else must match bit for bit.
-				o := oracle[i]
-				o.Config.Oracle = false
-				if !reflect.DeepEqual(typed[i], o) {
-					t.Errorf("%s: config %d (%s) diverged between typed and oracle engines",
-						sc.Name, i, cfgs[i].Algorithm)
+			for _, v := range variants {
+				vcfgs := make([]harness.Config, len(cfgs))
+				for i, c := range cfgs {
+					v.mutate(&c)
+					vcfgs[i] = c
+				}
+				got, err := sweep.Runner{Parallel: v.parallel}.Run(vcfgs)
+				if err != nil {
+					t.Fatalf("%s (%s): %v", sc.Name, v.name, err)
+				}
+				for i := range typed {
+					// The engine-selection knobs are the one legitimate
+					// difference; everything else must match bit for bit.
+					g := got[i]
+					g.Config.Oracle = false
+					g.Config.EngineShards = 0
+					if !reflect.DeepEqual(typed[i], g) {
+						t.Errorf("%s: config %d (%s) diverged between typed and %s engines",
+							sc.Name, i, cfgs[i].Algorithm, v.name)
+					}
 				}
 			}
 		})

@@ -1,0 +1,304 @@
+// shard.go is the engine's per-node layer and the conservative windowed
+// parallel executor.
+//
+// Every node of the simulated cluster owns a shard: its event queue (one
+// typed 4-ary heap), its sequence counter, its clock, its torn-RMW book,
+// and — through event destinations (event.dest) — its NIC and in-flight
+// congestion counters and its region of cluster memory. In every mode the
+// shards are where sequence numbers are issued and torn state lives; the
+// modes differ only in who pops events:
+//
+//   - serial / oracle: events bypass the shard queues entirely (one global
+//     queue preserves the seed behavior exactly).
+//   - sharded-serial (WithShards(1)): events land on their owning shard's
+//     queue and Run/Step pop the globally least (at, seq) head across
+//     shards — the same total order, bit-identical by construction.
+//   - sharded-parallel (WithShards(n>1)): runWindowed below.
+//
+// The windowed executor is classic conservative parallel discrete-event
+// simulation. Nodes interact only through verbs with a hard latency floor
+// — model.Params.RemoteWireNS, the engine's lookahead — so an event at the
+// global minimum head time `minHead` cannot cause any cross-shard event
+// before minHead+lookahead. Everything in [minHead, minHead+lookahead) is
+// therefore safe to execute, per shard, concurrently:
+//
+//	barrier:  drain cross-shard outboxes into owning shards' queues
+//	window:   wend = min(shard heads) + lookahead
+//	execute:  each shard pops (at, seq) order while head < wend, on up to
+//	          `workers` goroutines (slots permitting); cross-shard sends
+//	          buffer in the sender's outbox
+//	repeat    until no events remain
+//
+// Cross-shard sends are asserted (panic) to be at least one lookahead
+// ahead of the sending shard's clock, so no shard ever receives an event
+// inside a window it already executed — time never regresses, and the
+// merged schedule is the serial schedule. Worker counts only set the
+// degree of concurrency; window boundaries depend on event times alone,
+// so results are bit-identical from 1 worker to N.
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"alock/internal/ptr"
+	"alock/internal/slots"
+)
+
+// seqShardShift positions the issuing shard's node ID in the high bits of
+// every sequence number: ties on the virtual clock break first by issuing
+// node, then by that shard's local issue order. Both components are
+// mode-independent — local issue order is preserved per shard even when
+// shards run concurrently — which is what makes tie-breaking (and hence
+// the whole schedule) identical across engines.
+const seqShardShift = 56
+
+// shard is one node's slice of the engine.
+type shard struct {
+	e    *Engine
+	node int
+
+	seqCtr uint64     // local issue counter (low bits of seq)
+	q      eventQueue // this node's pending events (sharded modes)
+
+	// tornHeld tracks words on this node currently mid-tear under a remote
+	// RMW (model.TornRCAS): the responder serializes remote atomics, so
+	// other remote RMWs on the word stall until the write half lands.
+	// Owned by this shard's timeline in every mode.
+	tornHeld map[ptr.Ptr]bool
+
+	// tornWrites holds the pending write half of each in-flight torn remote
+	// CAS on this node, snapshotted at read-half time. The snapshot keeps
+	// evTornWrite self-contained: the requester thread may resume (its
+	// completion is up to one lookahead ahead of the write half, so in a
+	// parallel window the resume can run first on its own shard) and reuse
+	// its verb state before the write half executes here.
+	tornWrites map[*Thread]tornWrite
+
+	// Windowed-executor state. now is the shard clock (threads observe it
+	// via Ctx.Now while windowed); wend is the current window's exclusive
+	// end; events counts dispatches since Run began, folded into the
+	// engine counter at the final barrier. outbox buffers cross-shard
+	// sends until the next barrier. yield is the running-thread -> shard
+	// worker handoff. active marks the shard as executing the current
+	// window, for the access auditor. trap carries a dispatch failure to
+	// the barrier, which re-panics it on the Run caller.
+	now    int64
+	wend   int64
+	events uint64
+	outbox []event
+	yield  chan struct{}
+	active atomic.Bool
+	trap   error
+}
+
+// tornWrite is the write half of a torn remote CAS, captured at read-half
+// time on the responder shard (see shard.tornWrites).
+type tornWrite struct {
+	p        ptr.Ptr
+	old, val uint64
+	read     uint64 // read-half result; the write lands iff read == old
+}
+
+func newShard(e *Engine, node int) *shard {
+	return &shard{
+		e:          e,
+		node:       node,
+		tornHeld:   make(map[ptr.Ptr]bool),
+		tornWrites: make(map[*Thread]tornWrite),
+		yield:      make(chan struct{}),
+	}
+}
+
+// nextSeq issues the next sequence number on this shard's timeline.
+func (s *shard) nextSeq() uint64 {
+	seq := uint64(s.node)<<seqShardShift | s.seqCtr
+	s.seqCtr++
+	return seq
+}
+
+// blockThread suspends t (a thread homed on this shard) until virtual time
+// `at` during a parallel window. Fast path: if `at` is inside the safe
+// window and no own-shard event could run first, advance the shard clock
+// and keep the thread running — no other shard can affect this one before
+// wend, by the lookahead contract. Otherwise schedule the wake-up and hand
+// control back to the shard worker; the wake pops in this or a later
+// window. One event is counted either way, matching the serial engine.
+func (s *shard) blockThread(t *Thread, at int64) {
+	if at < s.now {
+		at = s.now
+	}
+	if at < s.wend && (s.q.len() == 0 || s.q.min().at > at) && s.events <= s.e.maxEvents {
+		s.now = at
+		s.events++
+		return
+	}
+	s.e.scheduleEv(s, at, evWake, t)
+	s.yield <- struct{}{}
+	<-t.resume
+}
+
+// runWindow executes this shard's events with at < s.wend in (at, seq)
+// order: wake-ups and completions resume their thread until it blocks
+// again or exits; protocol events execute inline. A time regression or a
+// blown event budget traps (recorded in s.trap, re-panicked at the
+// barrier) — both indicate an engine bug or a livelocked workload, and the
+// engine is unusable afterwards.
+func (s *shard) runWindow() {
+	defer s.active.Store(false)
+	for s.q.len() > 0 {
+		ev := s.q.min()
+		if ev.at >= s.wend {
+			return
+		}
+		s.q.pop()
+		if ev.at < s.now {
+			s.trap = fmt.Errorf("sim: shard %d: time went backwards (%dns after %dns)", s.node, ev.at, s.now)
+			return
+		}
+		s.now = ev.at
+		s.events++
+		if s.events > s.e.maxEvents {
+			s.trap = fmt.Errorf("sim: shard %d: exceeded %d events at t=%dns — livelock?", s.node, s.e.maxEvents, s.now)
+			return
+		}
+		if hook := s.e.onWindowEvent; hook != nil {
+			hook(s, ev)
+		}
+		if ev.kind == evWake || ev.kind == evComplete {
+			ev.th.resume <- struct{}{}
+			<-s.yield
+			if s.trap != nil {
+				return
+			}
+			continue
+		}
+		s.e.execProtocol(s, ev)
+	}
+}
+
+// runWindowed is Run's sharded-parallel driver. Concurrency is governed by
+// the process-wide execution-slot budget (internal/slots): the Run caller
+// owns one implicit slot, and each helper goroutine beyond it needs an
+// extra slot, capped by the configured worker count and the node count.
+// Zero granted extras still runs the windowed executor — the coordinator
+// just executes every active shard's window itself. The window structure
+// (and therefore every result) is identical at any width; only wall-clock
+// time changes.
+func (e *Engine) runWindowed() {
+	want := e.workers
+	if n := len(e.shards); want > n {
+		want = n
+	}
+	extra := slots.TryAcquire(want - 1)
+	defer slots.Release(extra)
+
+	e.windowed = true
+	defer func() { e.windowed = false }()
+	if e.audit {
+		e.curShard.Store(auditParallel)
+		defer e.curShard.Store(auditIdle)
+	}
+	for _, s := range e.shards {
+		s.now = e.now
+		s.events = 0
+	}
+
+	active := make([]*shard, 0, len(e.shards))
+	for {
+		// Barrier: deliver cross-shard sends to their owning shards.
+		for _, s := range e.shards {
+			for _, ev := range s.outbox {
+				e.shards[ev.dest()].q.push(ev)
+			}
+			s.outbox = s.outbox[:0]
+		}
+		// Global minimum head; done when every queue is empty.
+		minHead, any := int64(0), false
+		for _, s := range e.shards {
+			if s.q.len() == 0 {
+				continue
+			}
+			if h := s.q.min().at; !any || h < minHead {
+				minHead, any = h, true
+			}
+		}
+		if !any {
+			break
+		}
+		// Aggregate event budget (per-shard overshoot traps in runWindow).
+		total := e.events
+		for _, s := range e.shards {
+			total += s.events
+		}
+		if total > e.maxEvents {
+			e.foldShards()
+			panic(fmt.Errorf("sim: exceeded %d events at t=%dns — livelock?", e.maxEvents, e.now))
+		}
+		// The safe window: nothing can cross shards before minHead+lookahead.
+		wend := minHead + e.lookahead
+		active = active[:0]
+		for _, s := range e.shards {
+			if s.q.len() > 0 && s.q.min().at < wend {
+				s.wend = wend
+				s.active.Store(true)
+				active = append(active, s)
+			}
+		}
+		// Execute the window: helpers and the coordinator claim active
+		// shards from a shared counter until none remain.
+		helpers := extra
+		if h := len(active) - 1; helpers > h {
+			helpers = h
+		}
+		var claim atomic.Int64
+		runShards := func() {
+			for {
+				i := int(claim.Add(1)) - 1
+				if i >= len(active) {
+					return
+				}
+				active[i].runWindow()
+			}
+		}
+		if helpers > 0 {
+			var wg sync.WaitGroup
+			wg.Add(helpers)
+			for i := 0; i < helpers; i++ {
+				go func() {
+					defer wg.Done()
+					runShards()
+				}()
+			}
+			runShards()
+			wg.Wait()
+		} else {
+			runShards()
+		}
+		for _, s := range e.shards {
+			if s.trap != nil {
+				e.foldShards()
+				panic(s.trap)
+			}
+		}
+	}
+	e.foldShards()
+}
+
+// foldShards commits the windowed run's per-shard state back to the
+// engine: the clock advances to the latest shard clock, the per-shard
+// event counts fold into the engine counter, and the stop flag is
+// recomputed for the serial Stopped path.
+func (e *Engine) foldShards() {
+	for _, s := range e.shards {
+		if s.now > e.now {
+			e.now = s.now
+		}
+		e.events += s.events
+		s.events = 0
+	}
+	if e.stopRequested.Load() || e.now >= e.stopAt {
+		e.stopped = true
+	}
+}

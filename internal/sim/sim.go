@@ -2,33 +2,58 @@
 // RDMA cluster.
 //
 // Simulated threads are ordinary goroutines running ordinary blocking Go
-// code against the api.Ctx interface, but exactly one of them executes at a
-// time: every memory operation suspends the thread until its completion
-// event fires on the virtual clock, and the scheduler hands control back in
-// strict (time, sequence) order. Memory effects therefore apply in a single
-// global order — the engine is sequentially consistent at event granularity,
-// which is the memory model the paper's algorithms require once the
-// prescribed fences are in place (§5.2).
+// code against the api.Ctx interface. Under the serial engine exactly one
+// of them executes at a time: every memory operation suspends the thread
+// until its completion event fires on the virtual clock, and the scheduler
+// hands control back in strict (time, sequence) order. Memory effects
+// therefore apply in a single global order — the engine is sequentially
+// consistent at event granularity, which is the memory model the paper's
+// algorithms require once the prescribed fences are in place (§5.2).
+//
+// Layering (this file + shard.go): the engine is sharded by node. Each
+// node owns a shard — its event queue, its NIC, its threads' wakeups, its
+// region of memory, the torn-RMW book-keeping for words it homes — and all
+// cross-node interaction is routed as events on the owning shard's
+// timeline through the verb protocol (evArrive/evExec/evComplete below).
+// Three run modes share that one event protocol:
+//
+//   - serial (default): one global event queue, direct-handoff Run loop —
+//     the reference behavior.
+//   - sharded-serial (WithShards(1)): per-shard queues with a merge
+//     scheduler that always pops the globally least (at, seq) event. The
+//     total order is the same order, so this mode is bit-identical to
+//     serial by construction.
+//   - sharded-parallel (WithShards(n), n > 1): the conservative windowed
+//     executor in shard.go runs each shard's events inside the safe window
+//     [window start, min(shard heads) + lookahead) on its own goroutine,
+//     barriers, repeats. Lookahead is the minimum cross-node verb latency
+//     (model.Params.RemoteWireNS), and every cross-shard event is sent at
+//     least one lookahead ahead of the sender's clock, so no shard can
+//     receive anything that lands inside the window it is executing —
+//     results are bit-identical to serial, in parallel.
 //
 // Determinism: given the same seed, workload and model, every run produces
-// bit-identical schedules, throughputs and latencies. Ties on the virtual
-// clock are broken by event sequence number; per-thread RNGs are derived
-// from the engine seed; no host-machine timing leaks in.
+// bit-identical schedules, throughputs and latencies in every mode. Ties on
+// the virtual clock are broken by event sequence number; seq is issued
+// per-shard (issuing shard in the high bits, that shard's counter below),
+// so tie order depends only on the issuing shard and its deterministic
+// local push order — never on cross-shard execution interleaving.
 //
 // Hot path: events live in a typed 4-ary min-heap (eventq.go) — no
 // interface boxing, zero allocations per event in steady state — and Run
 // transfers control directly from the blocking thread to the next event's
-// thread (one channel handoff per event; a thread whose own wake-up is next
-// keeps running with no handoff at all). The step primitives
-// (ProcessNextEvent/Step) keep the scheduler-mediated two-handoff protocol
-// so callers can interleave logic between events. WithOracle selects the
-// original container/heap queue plus the mediated Run loop as a bit-exact
-// reference: event order is a total order on (at, seq), so both engines
-// replay identical schedules, and CI diffs them on every scenario family.
+// thread. The step primitives (ProcessNextEvent/Step) keep the
+// scheduler-mediated two-handoff protocol so callers can interleave logic
+// between events. WithOracle selects the original container/heap queue
+// plus the mediated Run loop as a bit-exact reference; it is incompatible
+// with WithShards (the oracle IS the single-queue serial path).
 //
 // Costs come from internal/model, and every remote operation is routed
 // through the requester's and responder's internal/nic instances, which is
-// where loopback congestion and QP thrashing arise.
+// where loopback congestion and QP thrashing arise. The responder NIC
+// reserves service when the request arrives on its timeline (evArrive),
+// not at issue time on the requester's — each NIC is touched only by its
+// owning shard.
 //
 // Stop/horizon contract: threads observe Stopped() == true as soon as the
 // virtual clock reaches the horizon armed by SetHorizon/Run, or immediately
@@ -36,13 +61,18 @@
 // extend the horizon — extending it un-stops a run that had merely crossed
 // the previous horizon — but an explicit RequestStop is sticky: once
 // requested, no later SetHorizon call makes Stopped() return false again.
-// Workload loops rely on this to wind down exactly once.
+// Workload loops rely on this to wind down exactly once. Under the
+// windowed executor a mid-run RequestStop is observed by other shards
+// without a deterministic cross-shard order — harnesses that stop mid-run
+// (TargetOps) therefore force the serial path.
 package sim
 
 import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"runtime/debug"
+	"sync/atomic"
 	"time"
 
 	"alock/internal/api"
@@ -52,11 +82,41 @@ import (
 	"alock/internal/ptr"
 )
 
-// event is a scheduled wake-up of one thread.
+// Event kinds. evWake resumes a blocked thread; the rest are the cross-node
+// verb protocol, each executing on the shard that owns the touched state.
+const (
+	evWake      uint8 = iota // resume th at `at` (block expiry, spawn)
+	evArrive                 // th's verb request reaches the responder NIC
+	evExec                   // th's verb occupies the responder and executes
+	evTornWrite              // write half of th's torn remote CAS
+	evComplete               // th's verb completion reaches the requester
+)
+
+// event is one scheduled occurrence on a shard's timeline.
 type event struct {
-	at  int64  // virtual time
-	seq uint64 // tie-breaker: insertion order
-	th  *Thread
+	at   int64  // virtual time
+	seq  uint64 // tie-breaker: issuing shard in the high bits, then push order
+	th   *Thread
+	kind uint8
+	dst  int16 // owning shard, frozen at schedule time (see destFor)
+}
+
+// dest returns the shard that owns the event. The value is computed once at
+// schedule time: responder-side events derive it from the thread's verb,
+// which the thread is free to re-arm the moment its completion resumes it —
+// possibly before a pending evTornWrite pops, under the windowed executor.
+func (ev event) dest() int { return int(ev.dst) }
+
+// destFor computes an event's owning shard while the scheduling state is
+// still live: thread wakeups and verb completions belong to the thread's
+// node, responder-side verb events to the node homing the target word.
+func destFor(kind uint8, t *Thread) int16 {
+	switch kind {
+	case evArrive, evExec, evTornWrite:
+		return int16(t.verb.p.NodeID())
+	default:
+		return int16(t.node)
+	}
 }
 
 // eventHeap is the original container/heap event queue, kept verbatim as
@@ -79,6 +139,12 @@ func (h *eventHeap) Pop() any {
 	return ev
 }
 
+// curShard sentinels for the access auditor.
+const (
+	auditIdle     int32 = -1 // no run in progress: setup/teardown may touch anything
+	auditParallel int32 = -2 // windowed run: per-shard active flags carry the check
+)
+
 // Engine is one simulated cluster run.
 type Engine struct {
 	space *mem.Space
@@ -87,47 +153,69 @@ type Engine struct {
 	seed  int64
 	rngs  PartitionedRNG
 
-	// q is the production event queue; oracle, when non-nil (WithOracle),
-	// replaces it with the container/heap reference implementation.
-	q      eventQueue
-	oracle *eventHeap
+	// q is the serial engine's global event queue; oracle, when non-nil
+	// (WithOracle), replaces it with the container/heap reference. shards
+	// always exist (they own seq issue and torn-RMW state in every mode)
+	// but their per-shard queues are used only when sharded is set.
+	q       eventQueue
+	oracle  *eventHeap
+	shards  []*shard
+	sharded bool
+	// workers is WithShards' executor width: 1 = merge scheduler (sharded-
+	// serial), >1 = the conservative windowed executor for Run. lookahead
+	// is the windowed executor's safety margin: the minimum cross-node verb
+	// latency, below which no shard can affect another.
+	workers   int
+	lookahead int64
+
 	now    int64
-	seq    uint64
 	stopAt int64
-	// stopped is what Thread.Stopped reports; it is raised by the clock
-	// crossing stopAt or by RequestStop. stopRequested records an explicit
-	// RequestStop so that a later SetHorizon cannot silently un-stop a run.
+	// stopped is what Thread.Stopped reports on the serial paths; it is
+	// raised by the clock crossing stopAt or by RequestStop. stopRequested
+	// records an explicit RequestStop (atomically, so threads on parallel
+	// shards observe it too) so a later SetHorizon cannot un-stop the run.
 	stopped       bool
-	stopRequested bool
+	stopRequested atomic.Bool
 
 	threads  []*Thread
 	launched int           // threads[:launched] have running goroutines
 	yield    chan struct{} // running thread -> scheduler handoff (step mode)
-	// direct marks a Run in progress: blocking threads dispatch the next
-	// event themselves and hand control straight to its thread, returning
-	// to the Run caller (via wake) only when the queue drains or the engine
-	// traps. trap carries a dispatch failure (time regression, event-budget
-	// livelock) from a thread goroutine to Run, which re-panics it on the
-	// caller's goroutine — the same contract the mediated loop has.
-	direct bool
-	wake   chan struct{}
-	trap   error
-
-	// tornHeld marks words whose remote-RMW read half has executed but
-	// whose write half has not; other *remote* operations on such a word
-	// stall (the responder NIC serializes remote atomics) while *local*
-	// operations pass straight through — the Table 1 asymmetry.
-	tornHeld map[ptr.Ptr]bool
+	// direct marks a serial Run in progress: blocking threads dispatch the
+	// next event themselves and hand control straight to its thread,
+	// returning to the Run caller (via wake) only when the queue drains or
+	// the engine traps. windowed marks a parallel Run in progress: threads
+	// hand off to their shard's worker instead (shard.go). trap carries a
+	// dispatch failure (time regression, event-budget livelock) from a
+	// thread goroutine to Run, which re-panics it on the caller's goroutine.
+	direct   bool
+	windowed bool
+	wake     chan struct{}
+	trap     error
 
 	// loopInFlight / remoteInFlight count the operations of each class
 	// currently occupying each node's NIC; the congestion model inflates
 	// verb service with these (each in-flight op is a concurrent DMA
-	// stream competing for the host's PCIe link).
+	// stream competing for the host's PCIe link). Slot n is touched only
+	// from shard n's timeline: the source's share from issue to completion,
+	// the responder's from request arrival to execution.
 	loopInFlight   []int
 	remoteInFlight []int
 
 	events    uint64
 	maxEvents uint64
+
+	// audit enables the debug access-audit mode: curShard tracks which
+	// shard's timeline is executing (serial modes) and the mem.Space hook
+	// panics on touches of another shard's region; under the windowed
+	// executor the per-shard active flags catch touches of idle shards and
+	// the race detector covers the rest.
+	audit    bool
+	curShard atomic.Int32
+
+	// onWindowEvent, when non-nil, observes every event the windowed
+	// executor dispatches, on the dispatching shard's goroutine. Test hook
+	// (the safe-window property test); nil in production.
+	onWindowEvent func(s *shard, ev event)
 }
 
 // Option configures a new Engine.
@@ -143,8 +231,42 @@ func WithMaxEvents(n uint64) Option {
 // order is a total order on (at, seq), so the oracle replays bit-identical
 // schedules — it exists to verify the typed-heap/direct-handoff engine
 // (and to measure what the flattened hot path buys; see internal/bench).
+// The oracle IS the single-queue serial path: combining it with WithShards
+// is a configuration error and New panics on it.
 func WithOracle() Option {
 	return func(e *Engine) { e.oracle = &eventHeap{} }
+}
+
+// WithShards routes events through the per-node shard queues. workers is
+// the executor width for Run: 1 selects the merge scheduler (sharded but
+// serial — bit-identical to the default engine by construction, it pops
+// the same global (at, seq) order from per-shard heaps), and workers > 1
+// selects the conservative windowed executor (shard.go), which runs up to
+// that many shards' windows concurrently — still bit-identical, because no
+// event crosses shards with less than one lookahead of slack. Worker
+// counts above the node count or the process's execution-slot budget
+// (internal/slots) are clamped at Run time; results never depend on the
+// effective width.
+func WithShards(workers int) Option {
+	if workers < 1 {
+		panic(fmt.Sprintf("sim: WithShards(%d): need at least one worker", workers))
+	}
+	return func(e *Engine) {
+		e.sharded = true
+		e.workers = workers
+	}
+}
+
+// WithAccessAudit enables the debug access-audit mode: every mem.Space
+// access is checked against the shard model, and a word touched from
+// another shard's timeline outside the verb protocol panics instead of
+// silently racing. The serial modes enforce the check exactly (and any
+// violation occurs at the same virtual point in every mode, so a serial
+// audit run certifies the schedule for the parallel one); the windowed
+// executor catches touches of idle shards and leaves concurrent-touch
+// detection to the race detector.
+func WithAccessAudit() Option {
+	return func(e *Engine) { e.audit = true }
 }
 
 // New creates an engine for a cluster of `nodes` nodes, each with
@@ -161,11 +283,15 @@ func New(nodes, wordsPerNode int, p model.Params, seed int64, opts ...Option) *E
 		rngs:           NewPartitionedRNG(seed),
 		yield:          make(chan struct{}),
 		wake:           make(chan struct{}),
-		tornHeld:       make(map[ptr.Ptr]bool),
 		loopInFlight:   make([]int, nodes),
 		remoteInFlight: make([]int, nodes),
 		stopAt:         1<<63 - 1,
 		maxEvents:      1 << 33,
+		lookahead:      p.RemoteWireNS,
+	}
+	e.shards = make([]*shard, nodes)
+	for i := range e.shards {
+		e.shards[i] = newShard(e, i)
 	}
 	for i := range e.nics {
 		e.nics[i] = nic.New(i, p)
@@ -173,7 +299,40 @@ func New(nodes, wordsPerNode int, p model.Params, seed int64, opts ...Option) *E
 	for _, o := range opts {
 		o(e)
 	}
+	if e.oracle != nil && e.sharded {
+		panic("sim: WithOracle is the single-queue serial reference and cannot be combined with WithShards")
+	}
+	e.curShard.Store(auditIdle)
+	if e.audit {
+		e.space.SetAudit(e.auditAccess)
+	}
 	return e
+}
+
+// auditAccess is the mem.Space hook installed by WithAccessAudit.
+func (e *Engine) auditAccess(node int) {
+	switch cur := e.curShard.Load(); cur {
+	case auditIdle:
+		// Setup/teardown outside a run: unrestricted.
+	case auditParallel:
+		if !e.shards[node].active.Load() {
+			panic(fmt.Sprintf(
+				"sim: access audit: node %d memory touched while its shard is idle (out-of-protocol cross-shard access)", node))
+		}
+	default:
+		if int32(node) != cur {
+			panic(fmt.Sprintf(
+				"sim: access audit: node %d memory touched from node %d's timeline (out-of-protocol cross-shard access)", node, cur))
+		}
+	}
+}
+
+// setCurShard records which shard's timeline the next dispatch executes on,
+// for the access auditor. No-op (no atomic traffic) when auditing is off.
+func (e *Engine) setCurShard(ev event) {
+	if e.audit {
+		e.curShard.Store(int32(ev.dest()))
+	}
 }
 
 // Space exposes the cluster memory for setup code (e.g. allocating a lock
@@ -193,9 +352,14 @@ func (e *Engine) Now() int64 { return e.now }
 // of the time horizon. It may be called from inside a simulated thread
 // (e.g. by a measurement harness once it has collected enough operations).
 // An explicit stop is sticky: no subsequent SetHorizon re-arms the run.
+// Under the windowed executor other shards observe the stop without a
+// deterministic cross-shard order; mid-run stoppers needing determinism
+// must run the serial path (the harness forces this for TargetOps).
 func (e *Engine) RequestStop() {
-	e.stopRequested = true
-	e.stopped = true
+	e.stopRequested.Store(true)
+	if !e.windowed {
+		e.stopped = true
+	}
 }
 
 // Stopped reports whether threads currently observe Stopped() == true —
@@ -218,6 +382,7 @@ func (e *Engine) Spawn(node int, fn func(api.Ctx)) *Thread {
 	id := len(e.threads)
 	t := &Thread{
 		e:      e,
+		shard:  e.shards[node],
 		id:     id,
 		node:   node,
 		resume: make(chan struct{}),
@@ -226,19 +391,37 @@ func (e *Engine) Spawn(node int, fn func(api.Ctx)) *Thread {
 		fn:     fn,
 	}
 	e.threads = append(e.threads, t)
-	e.schedule(e.now, t) // start at the current virtual time
+	e.scheduleEv(t.shard, e.now, evWake, t) // start at the current virtual time
 	return t
 }
 
-// schedule enqueues a wake-up for t at virtual time `at`.
-func (e *Engine) schedule(at int64, t *Thread) {
-	e.seq++
-	ev := event{at: at, seq: e.seq, th: t}
-	if e.oracle != nil {
-		heap.Push(e.oracle, ev)
+// scheduleEv creates an event on `from`'s timeline (consuming one of its
+// sequence numbers) and routes it to its destination shard's queue — or the
+// single global queue in the unsharded modes. During a parallel window a
+// cross-shard send is deferred to the sender's outbox, which the barrier
+// drains; the conservative contract that makes this safe — nothing may
+// cross shards with less than one lookahead of slack — is asserted here.
+func (e *Engine) scheduleEv(from *shard, at int64, kind uint8, t *Thread) {
+	ev := event{at: at, seq: from.nextSeq(), th: t, kind: kind, dst: destFor(kind, t)}
+	if !e.sharded {
+		if e.oracle != nil {
+			heap.Push(e.oracle, ev)
+			return
+		}
+		e.q.push(ev)
 		return
 	}
-	e.q.push(ev)
+	dst := e.shards[ev.dest()]
+	if e.windowed && dst != from {
+		if at < from.now+e.lookahead {
+			panic(fmt.Sprintf(
+				"sim: lookahead violation: shard %d sent a t=%dns event to shard %d at t=%dns (lookahead %dns)",
+				from.node, at, dst.node, from.now, e.lookahead))
+		}
+		from.outbox = append(from.outbox, ev)
+		return
+	}
+	dst.q.push(ev)
 }
 
 // pending reports the number of scheduled events.
@@ -246,15 +429,38 @@ func (e *Engine) pending() int {
 	if e.oracle != nil {
 		return e.oracle.Len()
 	}
-	return e.q.len()
+	if !e.sharded {
+		return e.q.len()
+	}
+	n := 0
+	for _, s := range e.shards {
+		n += s.q.len()
+	}
+	return n
 }
 
 // pop removes and returns the earliest event; the queue must be non-empty.
+// In the sharded modes this is the merge scheduler: the globally least
+// (at, seq) event across all shard heads — the same total order the global
+// queue pops, so sharded-serial is bit-identical to serial by construction.
 func (e *Engine) pop() event {
 	if e.oracle != nil {
 		return heap.Pop(e.oracle).(event)
 	}
-	return e.q.pop()
+	if !e.sharded {
+		return e.q.pop()
+	}
+	best := -1
+	var bestEv event
+	for i, s := range e.shards {
+		if s.q.len() == 0 {
+			continue
+		}
+		if ev := s.q.min(); best < 0 || eventLess(ev, bestEv) {
+			best, bestEv = i, ev
+		}
+	}
+	return e.shards[best].q.pop()
 }
 
 // minAt returns the earliest scheduled time; ok is false on an empty queue.
@@ -265,10 +471,21 @@ func (e *Engine) minAt() (at int64, ok bool) {
 		}
 		return (*e.oracle)[0].at, true
 	}
-	if e.q.len() == 0 {
-		return 0, false
+	if !e.sharded {
+		if e.q.len() == 0 {
+			return 0, false
+		}
+		return e.q.min().at, true
 	}
-	return e.q.min().at, true
+	for _, s := range e.shards {
+		if s.q.len() == 0 {
+			continue
+		}
+		if h := s.q.min().at; !ok || h < at {
+			at, ok = h, true
+		}
+	}
+	return at, ok
 }
 
 // account applies one event dispatch's bookkeeping: clock advance, horizon
@@ -298,10 +515,10 @@ func (e *Engine) account(at int64) error {
 // RequestStop — an explicit stop is sticky.
 func (e *Engine) SetHorizon(stopAt int64) {
 	e.stopAt = stopAt
-	e.stopped = e.stopRequested || e.now >= stopAt
+	e.stopped = e.stopRequested.Load() || e.now >= stopAt
 }
 
-// HasPendingEvents reports whether any thread wake-up remains scheduled.
+// HasPendingEvents reports whether any event remains scheduled.
 func (e *Engine) HasPendingEvents() bool { return e.pending() > 0 }
 
 // PeekNextEventTime returns the virtual time of the earliest pending event
@@ -321,11 +538,79 @@ func (e *Engine) launchPending() {
 	}
 }
 
+// execProtocol runs a verb-protocol event's handler. s is the event's
+// destination shard, whose timeline ev.at lies on; every piece of state the
+// handler touches (the responder NIC, its in-flight counters, its torn-RMW
+// book, the target word) is owned by s.
+func (e *Engine) execProtocol(s *shard, ev event) {
+	t := ev.th
+	v := &t.verb
+	switch ev.kind {
+	case evArrive:
+		// The request reaches the responder: it starts occupying the
+		// responder NIC now (not acausally at issue time), and service is
+		// scheduled under the congestion the responder actually sees.
+		e.remoteInFlight[s.node]++
+		qp := nic.QP{SrcNode: t.node, SrcThread: t.id, DstNode: s.node}
+		rxDone := e.nics[s.node].Submit(ev.at, qp, false, e.remoteInFlight[s.node])
+		e.scheduleEv(s, rxDone, evExec, t)
+	case evExec:
+		if v.op == verbCAS && e.p.TornRCAS {
+			if s.tornHeld[v.p] {
+				// The responder serializes remote atomics: another remote
+				// RMW holds the word mid-tear, so this one re-polls.
+				e.scheduleEv(s, ev.at+e.p.SpinPollMinNS, evExec, t)
+				return
+			}
+			s.tornHeld[v.p] = true
+			v.result = *e.space.WordAddr(v.p) // read half
+			// Snapshot the write half: by the time it executes, the
+			// requester may have resumed (completion below) and re-armed
+			// t.verb for its next operation.
+			s.tornWrites[t] = tornWrite{p: v.p, old: v.old, val: v.val, read: v.result}
+			e.scheduleEv(s, ev.at+e.p.TornGapNS, evTornWrite, t)
+			done := ev.at + v.wire
+			if gapDone := ev.at + e.p.TornGapNS; gapDone > done {
+				done = gapDone
+			}
+			e.scheduleEv(s, done, evComplete, t)
+			return
+		}
+		addr := e.space.WordAddr(v.p)
+		switch v.op {
+		case verbRead:
+			v.result = *addr
+		case verbWrite:
+			*addr = v.val
+		case verbCAS:
+			prev := *addr
+			if prev == v.old {
+				*addr = v.val
+			}
+			v.result = prev
+		}
+		e.remoteInFlight[s.node]--
+		e.scheduleEv(s, ev.at+v.wire, evComplete, t)
+	case evTornWrite:
+		// Write half: blind from local memory's perspective (Table 1).
+		// Uses the read-half snapshot, not t.verb — see evExec above.
+		tw := s.tornWrites[t]
+		delete(s.tornWrites, t)
+		if tw.read == tw.old {
+			*e.space.WordAddr(tw.p) = tw.val
+		}
+		delete(s.tornHeld, tw.p)
+		e.remoteInFlight[s.node]--
+	}
+}
+
 // ProcessNextEvent pops the earliest pending event, advances the virtual
-// clock to it, and runs its thread until that thread blocks again or exits.
-// It reports whether an event was processed (false means the heap is empty).
-// Panics on time regression or when the event budget is exceeded, which
-// indicates a livelock in the simulated system.
+// clock to it, and processes it: a thread wake-up or verb completion runs
+// its thread until that thread blocks again or exits; a verb-protocol event
+// executes inline on the scheduler. It reports whether an event was
+// processed (false means the heap is empty). Panics on time regression or
+// when the event budget is exceeded, which indicates a livelock in the
+// simulated system.
 func (e *Engine) ProcessNextEvent() bool {
 	if e.pending() == 0 {
 		return false
@@ -335,8 +620,16 @@ func (e *Engine) ProcessNextEvent() bool {
 	if err := e.account(ev.at); err != nil {
 		panic(err)
 	}
-	ev.th.resume <- struct{}{}
-	<-e.yield // wait until the thread blocks again or exits
+	e.setCurShard(ev)
+	if ev.kind == evWake || ev.kind == evComplete {
+		ev.th.resume <- struct{}{}
+		<-e.yield // wait until the thread blocks again or exits
+		if err := e.trap; err != nil {
+			panic(err)
+		}
+		return true
+	}
+	e.execProtocol(e.shards[ev.dest()], ev)
 	return true
 }
 
@@ -352,33 +645,34 @@ func (e *Engine) Step() bool {
 // Stopped() == true once the virtual clock reaches stopAt and are expected
 // to wind down (finishing in-flight critical sections so queues drain).
 //
-// Run uses direct handoff: the blocking thread pops the next event and
-// resumes its thread itself, so each event costs one channel transfer
-// instead of the step primitives' two (thread -> scheduler -> thread). The
-// oracle engine keeps the mediated loop — it IS the reference behavior.
-// Semantics are identical either way: event order, the events counter and
-// all memory effects come from the same queue and accounting. A dispatch
-// failure (time regression, event-budget livelock) panics on the caller's
-// goroutine in both modes; the engine is unusable afterwards.
+// Serial modes use direct handoff: the blocking thread pops the next event
+// and resumes its thread itself (protocol events it executes inline), so
+// each event costs one channel transfer instead of the step primitives'
+// two (thread -> scheduler -> thread). The oracle engine keeps the
+// mediated loop — it IS the reference behavior. WithShards(n > 1) engages
+// the conservative windowed executor in shard.go. Semantics are identical
+// in every mode: event order, the events counter and all memory effects
+// come from the same total order. A dispatch failure (time regression,
+// event-budget livelock) panics on the caller's goroutine in all modes;
+// the engine is unusable afterwards.
 func (e *Engine) Run(stopAt int64) {
 	e.SetHorizon(stopAt)
 	e.launchPending()
-	if e.oracle != nil {
+	if e.audit {
+		// Post-run inspection (fingerprints, stats readers) is setup/teardown
+		// as far as the auditor is concerned.
+		defer e.curShard.Store(auditIdle)
+	}
+	switch {
+	case e.pending() == 0:
+		// Nothing scheduled: fall through to the exit check.
+	case e.sharded && e.workers > 1:
+		e.runWindowed()
+	case e.oracle != nil:
 		for e.ProcessNextEvent() {
 		}
-	} else if e.pending() > 0 {
-		e.direct = true
-		ev := e.pop()
-		if err := e.account(ev.at); err != nil {
-			e.direct = false
-			panic(err)
-		}
-		ev.th.resume <- struct{}{}
-		<-e.wake // the queue drained (or a thread trapped)
-		e.direct = false
-		if err := e.trap; err != nil {
-			panic(err)
-		}
+	default:
+		e.runDirect()
 	}
 	// All events drained: every thread must have exited.
 	for _, t := range e.threads {
@@ -388,35 +682,105 @@ func (e *Engine) Run(stopAt int64) {
 	}
 }
 
+// runDirect is the serial direct-handoff loop: seed the chain from the
+// caller's goroutine (executing any protocol events that precede the first
+// thread wake-up inline), hand control to the first thread, and wait for
+// the queue to drain or a trap.
+func (e *Engine) runDirect() {
+	e.direct = true
+	seeded := false
+	for e.pending() > 0 {
+		ev := e.pop()
+		if err := e.account(ev.at); err != nil {
+			e.direct = false
+			panic(err)
+		}
+		e.setCurShard(ev)
+		if ev.kind == evWake || ev.kind == evComplete {
+			ev.th.resume <- struct{}{}
+			seeded = true
+			break
+		}
+		e.execProtocol(e.shards[ev.dest()], ev)
+	}
+	if !seeded {
+		e.direct = false
+		return
+	}
+	<-e.wake // the queue drained (or a thread trapped)
+	e.direct = false
+	if err := e.trap; err != nil {
+		panic(err)
+	}
+}
+
 // dispatchNext (direct mode, called on a thread goroutine that is
-// suspending or exiting) pops the earliest event and transfers control to
-// its thread. It returns true when the popped event belongs to the calling
-// thread itself — the caller just keeps running, no handoff at all (the
-// same-timestamp self-reschedule fast path near the event budget; in the
-// common case block()'s clock-advance fast path already avoided the queue
-// entirely). On a dispatch failure the engine traps: the error is handed to
-// the Run caller and this goroutine parks forever, exactly as threads do
-// when a mediated Run panics mid-schedule.
+// suspending or exiting) pops events and transfers control onward. Verb-
+// protocol events execute inline on the calling goroutine; the loop ends at
+// the first thread wake-up or completion, which either belongs to the
+// caller itself — it just keeps running, no handoff at all — or is handed
+// its thread. On a dispatch failure the engine traps: the error goes to the
+// Run caller and this goroutine parks forever, exactly as threads do when a
+// mediated Run panics mid-schedule.
 func (e *Engine) dispatchNext(self *Thread) (keepRunning bool) {
-	if e.launched < len(e.threads) {
-		e.launchPending()
+	for {
+		if e.launched < len(e.threads) {
+			e.launchPending()
+		}
+		ev := e.pop()
+		if err := e.account(ev.at); err != nil {
+			e.trapOut(err)
+		}
+		e.setCurShard(ev)
+		if ev.kind == evWake || ev.kind == evComplete {
+			if ev.th == self {
+				return true
+			}
+			ev.th.resume <- struct{}{}
+			return false
+		}
+		e.execProtocol(e.shards[ev.dest()], ev)
+		if e.pending() == 0 {
+			// The protocol chain drained with no thread left to wake:
+			// every remaining thread is blocked forever; Run reports the
+			// deadlock.
+			e.wake <- struct{}{}
+			select {}
+		}
 	}
-	ev := e.pop()
-	if err := e.account(ev.at); err != nil {
-		e.trap = err
-		e.wake <- struct{}{}
-		select {} // poisoned: Run re-panics on the caller's goroutine
-	}
-	if ev.th == self {
-		return true
-	}
-	ev.th.resume <- struct{}{}
-	return false
+}
+
+// trapOut hands a dispatch failure to the Run caller and parks the calling
+// goroutine forever (the engine is poisoned).
+func (e *Engine) trapOut(err error) {
+	e.trap = err
+	e.wake <- struct{}{}
+	select {}
+}
+
+// Remote verb operations, stored on the Thread while in flight (one
+// outstanding verb per thread; no allocation).
+const (
+	verbRead uint8 = iota
+	verbWrite
+	verbCAS
+)
+
+// verbState is the in-flight remote verb: target, operation, this verb's
+// wire latency (jitter included — the completion leg reuses it), and the
+// slot the responder-side handlers fill for the requester to read back.
+type verbState struct {
+	p        ptr.Ptr
+	op       uint8
+	old, val uint64
+	wire     int64
+	result   uint64
 }
 
 // Thread is one simulated thread; it implements api.Ctx.
 type Thread struct {
 	e      *Engine
+	shard  *shard // the thread's node's shard: its timeline authority
 	id     int
 	node   int
 	resume chan struct{}
@@ -427,15 +791,38 @@ type Thread struct {
 	fabric *rand.Rand
 	fn     func(api.Ctx)
 	exited bool
+	verb   verbState
 }
 
 var _ api.Ctx = (*Thread)(nil)
 
 func (t *Thread) main() {
 	<-t.resume // initial event at t=0
-	t.fn(t)
-	t.exited = true
 	e := t.e
+	if err := t.runUser(); err != nil {
+		// The simulated thread panicked (workload bug, audit violation).
+		// Deliver it to whichever goroutine drives the engine — it
+		// re-panics there, on the Run/Step caller — and let this
+		// goroutine exit. The engine is poisoned afterwards.
+		switch {
+		case e.windowed:
+			t.shard.trap = err
+			t.shard.yield <- struct{}{}
+		case e.direct:
+			e.trap = err
+			e.wake <- struct{}{}
+		default:
+			e.trap = err
+			e.yield <- struct{}{}
+		}
+		return
+	}
+	t.exited = true
+	if e.windowed {
+		// Windowed mode: hand control back to the shard's worker.
+		t.shard.yield <- struct{}{}
+		return
+	}
 	if !e.direct {
 		e.yield <- struct{}{}
 		return
@@ -450,16 +837,42 @@ func (t *Thread) main() {
 	e.dispatchNext(nil)
 }
 
+// runUser executes the thread's body, converting a panic into an error for
+// the engine to re-raise on the driving goroutine.
+func (t *Thread) runUser() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sim: thread %d panicked: %v\n%s", t.id, r, debug.Stack())
+		}
+	}()
+	t.fn(t)
+	return nil
+}
+
+// now is the thread's view of the virtual clock: its shard's clock under
+// the windowed executor, the global clock otherwise.
+func (t *Thread) now() int64 {
+	if t.e.windowed {
+		return t.shard.now
+	}
+	return t.e.now
+}
+
 // block suspends the thread until virtual time `at`.
 //
-// Fast path: if no other event is scheduled at or before `at`, no thread
-// could observably run in the interval, so the running thread advances the
-// clock itself and keeps going without a scheduler handoff. This preserves
-// the exact event ordering semantics (any pending event with time <= at
-// forces the slow path) while collapsing uncontended operation sequences
-// into zero context switches.
+// Fast path: if no event that could observably run before `at` is
+// scheduled — on the global queue in the serial modes; on the thread's own
+// shard, within the safe window, in windowed mode (no other shard can
+// affect this one inside the window by the lookahead contract) — the
+// running thread advances the clock itself and keeps going without a
+// scheduler handoff. Exactly one event is counted per block either way, so
+// the events counter is mode-independent.
 func (t *Thread) block(at int64) {
 	e := t.e
+	if e.windowed {
+		t.shard.blockThread(t, at)
+		return
+	}
 	if at < e.now {
 		at = e.now
 	}
@@ -471,10 +884,32 @@ func (t *Thread) block(at int64) {
 		e.events++
 		return
 	}
-	e.schedule(at, t)
+	e.scheduleEv(t.shard, at, evWake, t)
 	if e.direct {
 		// Hand control straight to the next event's thread (or keep it, if
 		// that event is our own wake-up) and wait for our turn.
+		if e.dispatchNext(t) {
+			return
+		}
+		<-t.resume
+		return
+	}
+	e.yield <- struct{}{}
+	<-t.resume
+}
+
+// awaitVerb suspends the thread until its in-flight remote verb's
+// completion event resumes it. Unlike block it schedules nothing: the
+// completion is already threaded through the verb protocol.
+func (t *Thread) awaitVerb() {
+	e := t.e
+	if e.windowed {
+		t.shard.yield <- struct{}{}
+		<-t.resume
+		return
+	}
+	if e.direct {
+		// Drive the dispatch chain ourselves until our own completion pops.
 		if e.dispatchNext(t) {
 			return
 		}
@@ -492,10 +927,16 @@ func (t *Thread) NodeID() int { return t.node }
 func (t *Thread) ThreadID() int { return t.id }
 
 // Now implements api.Ctx.
-func (t *Thread) Now() int64 { return t.e.now }
+func (t *Thread) Now() int64 { return t.now() }
 
 // Stopped implements api.Ctx.
-func (t *Thread) Stopped() bool { return t.e.stopped }
+func (t *Thread) Stopped() bool {
+	e := t.e
+	if e.windowed {
+		return e.stopRequested.Load() || t.shard.now >= e.stopAt
+	}
+	return e.stopped
+}
 
 // Rand implements api.Ctx.
 func (t *Thread) Rand() *rand.Rand { return t.rng }
@@ -508,17 +949,31 @@ func (t *Thread) Alloc(words, align int) ptr.Ptr {
 // Free implements api.Ctx.
 func (t *Thread) Free(p ptr.Ptr) { t.e.space.Free(p) }
 
+// auditLocal rejects shared-memory operations on another node's words when
+// the access audit is on: a thread's local loads and stores reach only its
+// own node's region; everything else must go through verbs. (This is the
+// exact per-access check; it holds in every mode, including windowed.)
+func (t *Thread) auditLocal(p ptr.Ptr) {
+	if t.e.audit && p.NodeID() != t.node {
+		panic(fmt.Sprintf(
+			"sim: access audit: thread %d on node %d used a local operation on node %d's memory",
+			t.id, t.node, p.NodeID()))
+	}
+}
+
 // --- Local (shared-memory) operations ---
 
 // Read implements api.Ctx.
 func (t *Thread) Read(p ptr.Ptr) uint64 {
-	t.block(t.e.now + t.e.p.LocalReadNS)
+	t.auditLocal(p)
+	t.block(t.now() + t.e.p.LocalReadNS)
 	return *t.e.space.WordAddr(p)
 }
 
 // Write implements api.Ctx.
 func (t *Thread) Write(p ptr.Ptr, v uint64) {
-	t.block(t.e.now + t.e.p.LocalWriteNS)
+	t.auditLocal(p)
+	t.block(t.now() + t.e.p.LocalWriteNS)
 	*t.e.space.WordAddr(p) = v
 }
 
@@ -526,7 +981,8 @@ func (t *Thread) Write(p ptr.Ptr, v uint64) {
 // in-flight torn remote RMW on the same word: local RMW is not atomic with
 // remote RMW (Table 1), and modeling that is the point.
 func (t *Thread) CAS(p ptr.Ptr, old, new uint64) uint64 {
-	t.block(t.e.now + t.e.p.LocalCASNS)
+	t.auditLocal(p)
+	t.block(t.now() + t.e.p.LocalCASNS)
 	addr := t.e.space.WordAddr(p)
 	prev := *addr
 	if prev == old {
@@ -538,7 +994,7 @@ func (t *Thread) CAS(p ptr.Ptr, old, new uint64) uint64 {
 // Fence implements api.Ctx. The engine is sequentially consistent at event
 // granularity, so the fence only costs time.
 func (t *Thread) Fence() {
-	t.block(t.e.now + t.e.p.FenceNS)
+	t.block(t.now() + t.e.p.FenceNS)
 }
 
 // Pause implements api.Ctx: bounded exponential spin back-off.
@@ -550,7 +1006,7 @@ func (t *Thread) Pause(iter int) {
 	if d > t.e.p.SpinPollMaxNS {
 		d = t.e.p.SpinPollMaxNS
 	}
-	t.block(t.e.now + d)
+	t.block(t.now() + d)
 }
 
 // Work implements api.Ctx.
@@ -558,91 +1014,103 @@ func (t *Thread) Work(d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	t.block(t.e.now + d.Nanoseconds())
+	t.block(t.now() + d.Nanoseconds())
 }
 
 // --- Remote (RDMA one-sided) operations ---
 
-// verbTimes routes one verb through the fabric: TX on the requester NIC,
-// wire to the responder, RX/execute on the responder NIC, wire back.
-// It returns the virtual time the verb executes at the responder and the
-// time the completion reaches the requester. The caller must call
-// retire(p) when the operation finishes to take it back out of the
-// in-flight congestion accounting. (retire used to be a closure returned
-// from here — one heap allocation per verb on the hot path; everything it
-// captured is recomputable from p.)
-func (t *Thread) verbTimes(p ptr.Ptr) (execAt, doneAt int64) {
+// verbWire draws one verb's cross-node wire latency: the base plus any
+// transient fabric delay spike from the thread's deterministic fabric
+// stream. Loopback verbs draw too (keeping each thread's fabric stream
+// aligned across locality mixes) but use the PCIe wire instead.
+func (t *Thread) verbWire() int64 {
+	wire := t.e.p.RemoteWireNS
+	if t.e.p.JitterProb > 0 && t.fabric.Float64() < t.e.p.JitterProb {
+		wire += t.e.p.JitterNS
+	}
+	return wire
+}
+
+// loopVerbTimes routes a loopback verb (§1: the thread reaches its own
+// node's memory through its own RNIC): both verb halves occupy the own
+// NIC, the only wire is PCIe, and both halves count as PCIe-hungry
+// loopback traffic for the congestion model. Everything it touches is
+// own-shard state, so the loopback path stays synchronous in every mode.
+// The caller decrements loopInFlight when the verb completes.
+func (t *Thread) loopVerbTimes(p ptr.Ptr) (execAt, doneAt int64) {
 	e := t.e
-	src, dst := t.node, p.NodeID()
-	qp := nic.QP{SrcNode: src, SrcThread: t.id, DstNode: dst}
-	wire := e.p.RemoteWireNS
-	// Failure injection: transient fabric delay spikes, drawn from the
-	// thread's deterministic fabric stream so runs stay reproducible.
-	if e.p.JitterProb > 0 && t.fabric.Float64() < e.p.JitterProb {
-		wire += e.p.JitterNS
-	}
-	if src == dst {
-		// Loopback (§1): the thread reaches its own node's memory through
-		// its own RNIC; both verb halves occupy the same NIC, the only
-		// wire is PCIe, and both halves count as PCIe-hungry loopback
-		// traffic for the congestion model.
-		wire = e.p.LoopbackWireNS
-		e.loopInFlight[src]++
-		txDone := e.nics[src].Submit(e.now, qp, true, e.loopInFlight[src])
-		arrive := txDone + wire
-		rxDone := e.nics[src].Submit(arrive, qp, true, e.loopInFlight[src])
-		return rxDone, rxDone + wire
-	}
-	e.remoteInFlight[src]++
-	e.remoteInFlight[dst]++
-	txDone := e.nics[src].Submit(e.now, qp, false, e.remoteInFlight[src])
+	t.verbWire() // consume the fabric draw; loopback rides PCIe regardless
+	qp := nic.QP{SrcNode: t.node, SrcThread: t.id, DstNode: t.node}
+	wire := e.p.LoopbackWireNS
+	e.loopInFlight[t.node]++
+	txDone := e.nics[t.node].Submit(t.now(), qp, true, e.loopInFlight[t.node])
 	arrive := txDone + wire
-	rxDone := e.nics[dst].Submit(arrive, qp, false, e.remoteInFlight[dst])
+	rxDone := e.nics[t.node].Submit(arrive, qp, true, e.loopInFlight[t.node])
 	return rxDone, rxDone + wire
 }
 
-// retire takes a completed verb on p back out of the in-flight congestion
-// accounting; it must be called exactly once per verbTimes call.
-func (t *Thread) retire(p ptr.Ptr) {
+// remoteVerb issues one cross-node verb and blocks until its completion
+// comes back: TX on the requester NIC now, the request arrives at the
+// responder one wire later (evArrive on the owning shard), service and
+// execution happen on the responder's timeline (evExec), and the
+// completion crosses back (evComplete) — at which point the requester's
+// side of the congestion accounting retires. The arrival and completion
+// legs each cross shards with at least one wire (>= lookahead) of slack,
+// which is exactly what lets the windowed executor run shards in parallel.
+func (t *Thread) remoteVerb(p ptr.Ptr, op uint8, old, val uint64) uint64 {
 	e := t.e
-	src, dst := t.node, p.NodeID()
-	if src == dst {
-		e.loopInFlight[src]--
-		return
-	}
-	e.remoteInFlight[src]--
-	e.remoteInFlight[dst]--
+	wire := t.verbWire()
+	e.remoteInFlight[t.node]++
+	qp := nic.QP{SrcNode: t.node, SrcThread: t.id, DstNode: p.NodeID()}
+	txDone := e.nics[t.node].Submit(t.now(), qp, false, e.remoteInFlight[t.node])
+	t.verb = verbState{p: p, op: op, old: old, val: val, wire: wire}
+	e.scheduleEv(t.shard, txDone+wire, evArrive, t)
+	t.awaitVerb()
+	e.remoteInFlight[t.node]--
+	return t.verb.result
 }
 
 // RRead implements api.Ctx.
 func (t *Thread) RRead(p ptr.Ptr) uint64 {
-	execAt, doneAt := t.verbTimes(p)
-	t.block(execAt)
-	v := *t.e.space.WordAddr(p)
-	t.block(doneAt)
-	t.retire(p)
-	return v
+	if p.NodeID() == t.node {
+		execAt, doneAt := t.loopVerbTimes(p)
+		t.block(execAt)
+		v := *t.e.space.WordAddr(p)
+		t.block(doneAt)
+		t.e.loopInFlight[t.node]--
+		return v
+	}
+	return t.remoteVerb(p, verbRead, 0, 0)
 }
 
 // RWrite implements api.Ctx.
 func (t *Thread) RWrite(p ptr.Ptr, v uint64) {
-	execAt, doneAt := t.verbTimes(p)
-	t.block(execAt)
-	*t.e.space.WordAddr(p) = v
-	t.block(doneAt)
-	t.retire(p)
+	if p.NodeID() == t.node {
+		execAt, doneAt := t.loopVerbTimes(p)
+		t.block(execAt)
+		*t.e.space.WordAddr(p) = v
+		t.block(doneAt)
+		t.e.loopInFlight[t.node]--
+		return
+	}
+	t.remoteVerb(p, verbWrite, 0, v)
 }
 
 // RCAS implements api.Ctx.
 //
 // Without tearing, the compare-and-swap executes atomically at the
 // responder. With tearing enabled (model.TornRCAS), the read half executes
-// first and the write half TornGapNS later; other remote operations on the
-// word stall in between (the responder NIC serializes remote atomics), but
+// first and the write half TornGapNS later; other remote RMWs on the word
+// stall in between (the responder NIC serializes remote atomics), but
 // local operations slide right into the window — reproducing Table 1's
-// "remote CAS is not atomic with local Write/RMW".
+// "remote CAS is not atomic with local Write/RMW". The cross-node torn
+// path lives in execProtocol on the word's owning shard; the loopback path
+// below mirrors it synchronously on the thread's own shard.
 func (t *Thread) RCAS(p ptr.Ptr, old, new uint64) uint64 {
-	execAt, doneAt := t.verbTimes(p)
+	if p.NodeID() != t.node {
+		return t.remoteVerb(p, verbCAS, old, new)
+	}
+	execAt, doneAt := t.loopVerbTimes(p)
 	t.block(execAt)
 	if !t.e.p.TornRCAS {
 		addr := t.e.space.WordAddr(p)
@@ -651,25 +1119,25 @@ func (t *Thread) RCAS(p ptr.Ptr, old, new uint64) uint64 {
 			*addr = new
 		}
 		t.block(doneAt)
-		t.retire(p)
+		t.e.loopInFlight[t.node]--
 		return prev
 	}
 	// Torn path: wait until no other remote RMW holds the word.
-	for t.e.tornHeld[p] {
-		t.block(t.e.now + t.e.p.SpinPollMinNS)
+	for t.shard.tornHeld[p] {
+		t.block(t.now() + t.e.p.SpinPollMinNS)
 	}
-	t.e.tornHeld[p] = true
+	t.shard.tornHeld[p] = true
 	addr := t.e.space.WordAddr(p)
 	prev := *addr // read half
-	t.block(t.e.now + t.e.p.TornGapNS)
+	t.block(t.now() + t.e.p.TornGapNS)
 	if prev == old { // write half: blind from local memory's perspective
 		*addr = new
 	}
-	delete(t.e.tornHeld, p)
-	if doneAt < t.e.now {
-		doneAt = t.e.now
+	delete(t.shard.tornHeld, p)
+	if doneAt < t.now() {
+		doneAt = t.now()
 	}
 	t.block(doneAt)
-	t.retire(p)
+	t.e.loopInFlight[t.node]--
 	return prev
 }

@@ -1,0 +1,106 @@
+// Package slots is the process-wide execution-slot budget shared by every
+// layer that multiplies goroutines: the sweep runner's config-level workers
+// and the simulator's intra-run shard executors both want "all the cores",
+// and when nested (a parallel sweep of configs that each run a sharded
+// engine) they would oversubscribe the host multiplicatively. This package
+// makes the product compose: there are GOMAXPROCS slots in total, every
+// parallel layer owns one slot implicitly (the goroutine that called it,
+// which blocks while its children run), and each ADDITIONAL goroutine a
+// layer wants to run concurrently must win one extra slot here. Acquisition
+// is non-blocking — a layer that wins nothing simply runs its work on the
+// calling goroutine, sequentially, which every layer must be able to do
+// anyway (and which, by design, never changes results: worker counts are
+// degrees of concurrency, not inputs to any schedule).
+//
+// The accounting: at most capacity-1 extra slots are ever outstanding, so
+// concurrently-executing goroutines across all nested layers total at most
+// 1 (the root caller) + (capacity-1) = GOMAXPROCS.
+package slots
+
+import (
+	"runtime"
+	"sync"
+)
+
+var (
+	mu       sync.Mutex
+	capacity = runtime.GOMAXPROCS(0)
+	inUse    int
+	peak     int
+)
+
+// TryAcquire claims up to n extra execution slots without blocking and
+// returns how many were granted (possibly 0). The caller must Release
+// exactly the granted count when its parallel section ends.
+func TryAcquire(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	avail := capacity - 1 - inUse
+	if avail <= 0 {
+		return 0
+	}
+	if n > avail {
+		n = avail
+	}
+	inUse += n
+	if inUse > peak {
+		peak = inUse
+	}
+	return n
+}
+
+// Release returns n previously granted slots to the budget.
+func Release(n int) {
+	if n <= 0 {
+		return
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if n > inUse {
+		panic("slots: Release without a matching TryAcquire")
+	}
+	inUse -= n
+}
+
+// InUse reports the extra slots currently outstanding (excludes the
+// implicit one-per-layer caller slots).
+func InUse() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return inUse
+}
+
+// Capacity reports the total slot budget (GOMAXPROCS at init).
+func Capacity() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return capacity
+}
+
+// SetCapacity overrides the budget and resets the peak tracker, returning a
+// restore function — a test hook for exercising contention on hosts whose
+// GOMAXPROCS would hide it.
+func SetCapacity(n int) (restore func()) {
+	mu.Lock()
+	defer mu.Unlock()
+	prev := capacity
+	capacity = n
+	peak = inUse
+	return func() {
+		mu.Lock()
+		defer mu.Unlock()
+		capacity = prev
+	}
+}
+
+// Peak reports the maximum extra slots outstanding since the last
+// SetCapacity — with the implicit root slot, peak+1 bounds the process's
+// concurrently-executing goroutines over that span.
+func Peak() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return peak
+}

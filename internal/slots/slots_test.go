@@ -1,0 +1,109 @@
+package slots
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTryAcquireNeverExceedsBudget(t *testing.T) {
+	restore := SetCapacity(4)
+	defer restore()
+
+	// Layer 1 wants 3 extras: all available (capacity-1).
+	if got := TryAcquire(3); got != 3 {
+		t.Fatalf("first TryAcquire(3) = %d, want 3", got)
+	}
+	// Budget exhausted: a nested layer gets nothing and runs sequentially.
+	if got := TryAcquire(2); got != 0 {
+		t.Fatalf("nested TryAcquire(2) = %d, want 0", got)
+	}
+	Release(3)
+	if InUse() != 0 {
+		t.Fatalf("InUse = %d after full release", InUse())
+	}
+}
+
+func TestTryAcquirePartialGrant(t *testing.T) {
+	restore := SetCapacity(4)
+	defer restore()
+
+	if got := TryAcquire(2); got != 2 {
+		t.Fatalf("TryAcquire(2) = %d, want 2", got)
+	}
+	// Only 1 of 5 left.
+	if got := TryAcquire(5); got != 1 {
+		t.Fatalf("TryAcquire(5) = %d, want 1", got)
+	}
+	Release(1)
+	Release(2)
+}
+
+func TestTryAcquireNonPositive(t *testing.T) {
+	if got := TryAcquire(0); got != 0 {
+		t.Fatalf("TryAcquire(0) = %d", got)
+	}
+	if got := TryAcquire(-3); got != 0 {
+		t.Fatalf("TryAcquire(-3) = %d", got)
+	}
+	Release(0) // no-op, must not panic
+}
+
+func TestReleaseUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release without acquire did not panic")
+		}
+	}()
+	Release(1)
+}
+
+func TestPeakTracksHighWater(t *testing.T) {
+	restore := SetCapacity(8)
+	defer restore()
+
+	a := TryAcquire(3)
+	b := TryAcquire(2)
+	Release(b)
+	Release(a)
+	if p := Peak(); p != 5 {
+		t.Fatalf("Peak = %d, want 5", p)
+	}
+	// SetCapacity resets the tracker.
+	restore2 := SetCapacity(8)
+	defer restore2()
+	if p := Peak(); p != 0 {
+		t.Fatalf("Peak after reset = %d, want 0", p)
+	}
+}
+
+// TestConcurrentAccountingInvariant: under concurrent acquire/release churn
+// the outstanding count never exceeds capacity-1 — the property that makes
+// nested parallel layers (sweep workers x engine shards) compose to at most
+// GOMAXPROCS running goroutines.
+func TestConcurrentAccountingInvariant(t *testing.T) {
+	const cap = 6
+	restore := SetCapacity(cap)
+	defer restore()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(want int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				got := TryAcquire(want%3 + 1)
+				if u := InUse(); u > cap-1 {
+					t.Errorf("InUse %d exceeds budget %d", u, cap-1)
+				}
+				Release(got)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if InUse() != 0 {
+		t.Fatalf("InUse = %d after churn", InUse())
+	}
+	if p := Peak(); p > cap-1 {
+		t.Fatalf("Peak %d exceeds budget %d", p, cap-1)
+	}
+}

@@ -9,6 +9,12 @@
 // seeded, never on wall time), so the result slice is bit-identical no
 // matter how many workers execute it or how the scheduler interleaves them.
 // Only wall-clock time changes with Parallel.
+//
+// Concurrency composes through the process-wide execution-slot budget
+// (internal/slots): each worker beyond the first needs an extra slot, so a
+// parallel sweep of configs that themselves run sharded engines
+// (Config.EngineShards > 1) multiplies to at most GOMAXPROCS running
+// goroutines — the sweep layer and the engines draw from one pool.
 package sweep
 
 import (
@@ -18,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"alock/internal/harness"
+	"alock/internal/slots"
 )
 
 // Progress describes one completed run, delivered to OnResult.
@@ -109,11 +116,20 @@ func (r Runner) Run(cfgs []harness.Config) ([]harness.Result, error) {
 		}
 	}
 
-	w := r.workers(len(cfgs))
-	wg.Add(w)
-	for i := 0; i < w; i++ {
+	// The Run caller's goroutine is one implicit execution slot; every
+	// additional worker must win an extra slot so nested parallel layers
+	// (sweep workers x engine shards) never oversubscribe the host. Winning
+	// zero extras degrades to a serial sweep on this goroutine — results
+	// are identical either way.
+	want := r.workers(len(cfgs))
+	extra := slots.TryAcquire(want - 1)
+	defer slots.Release(extra)
+	wg.Add(extra)
+	for i := 0; i < extra; i++ {
 		go worker()
 	}
+	wg.Add(1)
+	worker() // the caller works too, slot-free
 	wg.Wait()
 
 	for i, err := range errs {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"alock/internal/harness"
+	"alock/internal/slots"
 )
 
 // testConfigs is a small multi-config sweep covering several algorithms and
@@ -169,5 +170,65 @@ func TestEmptyBatch(t *testing.T) {
 	results, err := Runner{}.Run(nil)
 	if err != nil || len(results) != 0 {
 		t.Fatalf("empty batch: results=%v err=%v", results, err)
+	}
+}
+
+// TestSlotBudgetComposition: a parallel sweep of configs that themselves
+// run multi-worker sharded engines must not multiply goroutines past the
+// process slot budget. With capacity C, the extra slots outstanding at any
+// instant — sweep workers beyond the caller plus engine helpers beyond each
+// engine's driver — may never exceed C-1, so total running goroutines stay
+// at most C.
+func TestSlotBudgetComposition(t *testing.T) {
+	const capacity = 3
+	restore := slots.SetCapacity(capacity)
+	defer restore()
+
+	cfgs := testConfigs()
+	for i := range cfgs {
+		// TargetOps forces sharded-serial; drop it so the windowed
+		// executor actually requests helper slots.
+		cfgs[i].TargetOps = 0
+		cfgs[i].MeasureNS = 150_000
+		cfgs[i].EngineShards = 4
+	}
+	if _, err := (Runner{Parallel: 4}).Run(cfgs); err != nil {
+		t.Fatal(err)
+	}
+	if p := slots.Peak(); p > capacity-1 {
+		t.Fatalf("slot budget violated: peak %d extra slots with capacity %d", p, capacity)
+	}
+	if u := slots.InUse(); u != 0 {
+		t.Fatalf("%d slots leaked", u)
+	}
+
+	// The same sweep with all slots taken still completes (fully serial).
+	taken := slots.TryAcquire(capacity - 1)
+	res, err := (Runner{Parallel: 4}).Run(cfgs[:2])
+	slots.Release(taken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Ops == 0 {
+		t.Fatal("slot-starved sweep produced no work")
+	}
+}
+
+// TestSweepResultsUnaffectedBySlotStarvation: the slot budget changes only
+// concurrency, never results.
+func TestSweepResultsUnaffectedBySlotStarvation(t *testing.T) {
+	cfgs := testConfigs()[:3]
+	want, err := (Runner{Parallel: 1}).Run(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore := slots.SetCapacity(1) // nothing to win: everything degrades serial
+	defer restore()
+	got, err := (Runner{Parallel: 4}).Run(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("slot starvation changed sweep results")
 	}
 }
