@@ -1,0 +1,67 @@
+// Lint runs the repo's determinism analyzer suite (internal/analysis/rules)
+// over the named packages and exits non-zero on any unsuppressed finding.
+//
+// Usage:
+//
+//	go run ./cmd/lint ./...            # plain file:line:col findings
+//	go run ./cmd/lint -github ./...    # GitHub Actions ::error annotations
+//	go run ./cmd/lint -list            # describe the analyzers and exit
+//
+// Findings are suppressed per site with `//lint:allow <analyzer> <reason>`
+// on the offending line or the line above; the reason is mandatory and
+// directives naming unknown analyzers are findings themselves. See the
+// README's "Determinism invariants" section for the rules.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"alock/internal/analysis"
+	"alock/internal/analysis/rules"
+)
+
+func main() {
+	github := flag.Bool("github", false, "emit findings as GitHub Actions error annotations")
+	list := flag.Bool("list", false, "list the analyzers and their rules, then exit")
+	dir := flag.String("dir", ".", "directory to resolve package patterns from")
+	flag.Parse()
+
+	suite := rules.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader := analysis.NewLoader()
+	pkgs, err := loader.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	findings, err := analysis.Run(pkgs, suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		if *github {
+			fmt.Println(f.GitHub())
+		} else {
+			fmt.Println(f.String())
+		}
+	}
+	if n := len(findings); n > 0 {
+		fmt.Fprintf(os.Stderr, "lint: %d finding(s) in %d package(s)\n", n, len(pkgs))
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "lint: %d package(s) clean\n", len(pkgs))
+}

@@ -30,12 +30,17 @@ func main() {
 	cfg.Timed = true // acquire deadlines need the timed handoff protocol
 
 	done := make(chan struct{})
+	held := make(chan struct{}) // closed once worker 1 holds the lock
 
 	// Worker 1: acquires, crashes, is reclaimed, then releases too late.
 	cluster.Spawn(0, func(ctx alock.Ctx) {
 		h := alock.NewTokenHandle(ctx, cfg, fence)
-		g, _ := h.Acquire(lock, alock.Exclusive, alock.AcquireOpts{})
+		g, out := h.Acquire(lock, alock.Exclusive, alock.AcquireOpts{})
+		if out != alock.Acquired {
+			panic("deadline-free acquire did not succeed")
+		}
 		fmt.Printf("worker 1: acquired, fencing token %d — and now it wedges\n", g.Token)
+		close(held)
 
 		ctx.Work(2 * time.Millisecond) // the crash: holding, not releasing
 
@@ -59,15 +64,21 @@ func main() {
 	cluster.Spawn(0, func(ctx alock.Ctx) {
 		defer close(done)
 		h := alock.NewTokenHandle(ctx, cfg, fence)
-		ctx.Work(200 * time.Microsecond) // let worker 1 wedge first
+		<-held // wait until worker 1 actually holds the lock (the rt
+		// engine runs on wall time, so a blind sleep here races
+		// worker 1's acquisition on a loaded host)
 
 		deadline := ctx.Now() + (500 * time.Microsecond).Nanoseconds()
-		if _, out := h.Acquire(lock, alock.Exclusive, alock.AcquireOpts{DeadlineNS: deadline}); out != alock.TimedOut {
+		if g, out := h.Acquire(lock, alock.Exclusive, alock.AcquireOpts{DeadlineNS: deadline}); out != alock.TimedOut {
+			h.Release(g) // unexpectedly granted: put it back before failing
 			panic("expected the first attempt to time out")
 		}
 		fmt.Println("worker 2: gave up at its deadline (TimedOut) — no hang, no corruption")
 
-		g, _ := h.Acquire(lock, alock.Exclusive, alock.AcquireOpts{}) // blocks until recovery
+		g, out := h.Acquire(lock, alock.Exclusive, alock.AcquireOpts{}) // blocks until recovery
+		if out != alock.Acquired {
+			panic("post-recovery acquire did not succeed")
+		}
 		fmt.Printf("worker 2: acquired after recovery, fencing token %d (larger = newer)\n", g.Token)
 		ctx.Work(100 * time.Microsecond)
 		if h.Release(g) != alock.Released {

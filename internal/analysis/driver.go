@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// A Finding is one driver-level diagnostic: an analyzer's diagnostic that
+// survived suppression, or a malformed suppression directive.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the finding in file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+}
+
+// GitHub renders the finding as a GitHub Actions error annotation, so CI
+// findings surface inline on pull requests.
+func (f Finding) GitHub() string {
+	// Annotation messages must be single-line; the format rejects newlines.
+	msg := strings.ReplaceAll(f.Message, "\n", " ")
+	return fmt.Sprintf("::error file=%s,line=%d,col=%d::%s [%s]", f.Pos.Filename, f.Pos.Line, f.Pos.Column, msg, f.Analyzer)
+}
+
+// DirectiveName is the analyzer name under which the driver reports
+// malformed `//lint:allow` directives. Directive findings are never
+// themselves suppressible.
+const DirectiveName = "lint"
+
+// allowDirective is one parsed `//lint:allow <analyzer> <reason>` comment.
+type allowDirective struct {
+	analyzer string
+	reason   string
+	pos      token.Pos
+	// lines this directive covers: its own line, and the first code line
+	// after its comment group (so a stack of directives above a statement
+	// all apply to that statement).
+	ownLine, nextLine int
+	file              string
+}
+
+// Run applies every analyzer to every package, filters diagnostics through
+// the packages' `//lint:allow <analyzer> <reason>` suppression comments,
+// and returns the surviving findings sorted by position. A directive
+// suppresses diagnostics from exactly one named analyzer, on the
+// directive's own line or on the first line after its comment group.
+// Directives missing a reason, or naming an analyzer that is not part of
+// the run, are findings in their own right (analyzer "lint").
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var findings []Finding
+	for _, pkg := range pkgs {
+		directives, bad := scanDirectives(pkg, known)
+		for _, f := range bad {
+			findings = append(findings, f)
+		}
+		for _, a := range analyzers {
+			var diags []Diagnostic
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				if suppressed(directives, a.Name, pos) {
+					continue
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return findings, nil
+}
+
+// scanDirectives collects well-formed allow directives from a package's
+// comments and reports malformed ones as findings.
+func scanDirectives(pkg *Package, known map[string]bool) ([]allowDirective, []Finding) {
+	var dirs []allowDirective
+	var bad []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			groupNext := pkg.Fset.Position(cg.End()).Line + 1
+			for _, c := range cg.List {
+				// Both comment forms carry directives: //lint:allow ... and
+				// /*lint:allow ...*/ (the latter lets a directive share a
+				// line with another comment, e.g. in golden fixtures).
+				body := c.Text
+				if strings.HasPrefix(body, "/*") {
+					body = strings.TrimSuffix(body[2:], "*/")
+				} else {
+					body = strings.TrimPrefix(body, "//")
+				}
+				text, ok := strings.CutPrefix(body, "lint:allow")
+				if !ok || (text != "" && text[0] != ' ' && text[0] != '\t') {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					bad = append(bad, Finding{Analyzer: DirectiveName, Pos: pos,
+						Message: "malformed //lint:allow: want //lint:allow <analyzer> <reason>"})
+					continue
+				}
+				name := fields[0]
+				if !known[name] {
+					bad = append(bad, Finding{Analyzer: DirectiveName, Pos: pos,
+						Message: fmt.Sprintf("//lint:allow names unknown analyzer %q", name)})
+					continue
+				}
+				if len(fields) == 1 {
+					bad = append(bad, Finding{Analyzer: DirectiveName, Pos: pos,
+						Message: fmt.Sprintf("//lint:allow %s requires a reason", name)})
+					continue
+				}
+				dirs = append(dirs, allowDirective{
+					analyzer: name,
+					reason:   strings.Join(fields[1:], " "),
+					pos:      c.Pos(),
+					ownLine:  pos.Line,
+					nextLine: groupNext,
+					file:     pos.Filename,
+				})
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// suppressed reports whether a directive for the given analyzer covers pos.
+func suppressed(dirs []allowDirective, analyzer string, pos token.Position) bool {
+	for _, d := range dirs {
+		if d.analyzer != analyzer || d.file != pos.Filename {
+			continue
+		}
+		if pos.Line == d.ownLine || pos.Line == d.nextLine {
+			return true
+		}
+	}
+	return false
+}
+
+// Funcs below are shared helpers for the rule implementations.
+
+// EnclosingFuncs walks a file and calls fn for every function declaration
+// and function literal with the node and a printable name
+// ("(*Recv).Method", "Func", or "func literal").
+func EnclosingFuncs(f *ast.File, fn func(name string, body *ast.BlockStmt)) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		fn(FuncDeclName(fd), fd.Body)
+	}
+}
+
+// FuncDeclName renders a function declaration's receiver-qualified name:
+// "Func" for plain functions, "(Recv).Method" or "(*Recv).Method" for
+// methods. The package is deliberately omitted so sanctioned-function
+// allowlists match golden-fixture packages as well as the real tree.
+func FuncDeclName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	star := ""
+	if se, ok := t.(*ast.StarExpr); ok {
+		star = "*"
+		t = se.X
+	}
+	// Strip type parameters (Recv[T]).
+	if ix, ok := t.(*ast.IndexExpr); ok {
+		t = ix.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return "(" + star + id.Name + ")." + fd.Name.Name
+	}
+	return fd.Name.Name
+}

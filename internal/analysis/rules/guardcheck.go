@@ -1,0 +1,145 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"alock/internal/analysis"
+)
+
+// apiPkgPath is the import path of the token-lock API package.
+const apiPkgPath = "alock/internal/api"
+
+// Guardcheck enforces the token-API acquisition contract at every call
+// returning (api.Guard, api.Outcome) — api.TokenLocker.Acquire and any
+// wrapper with the same result shape:
+//
+//   - the Outcome must not be discarded with the blank identifier, and a
+//     freshly declared outcome variable must actually be read (a deadline
+//     acquisition that never checks for TimedOut treats a dead guard as
+//     live);
+//   - the Guard must not be discarded with the blank identifier: if the
+//     outcome turns out Acquired there is no way to Release or Abandon,
+//     and the lock leaks forever.
+//
+// Passing the results straight through (return h.Acquire(...)) is fine —
+// the contract transfers to the caller.
+var Guardcheck = &analysis.Analyzer{
+	Name: "guardcheck",
+	Doc:  "Acquire call sites must check the Outcome and must not discard the Guard",
+	Run:  runGuardcheck,
+}
+
+func runGuardcheck(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		// Track the innermost function body so outcome-usage checks scope
+		// correctly (closures included: their bodies push onto the stack).
+		var bodies []ast.Node
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body == nil {
+					return false
+				}
+				bodies = append(bodies, n.Body)
+				ast.Inspect(n.Body, visit)
+				bodies = bodies[:len(bodies)-1]
+				return false
+			case *ast.FuncLit:
+				bodies = append(bodies, n.Body)
+				ast.Inspect(n.Body, visit)
+				bodies = bodies[:len(bodies)-1]
+				return false
+			case *ast.AssignStmt:
+				if len(n.Rhs) == 1 && len(n.Lhs) == 2 {
+					if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok && isAcquireShaped(pass.TypesInfo, call) {
+						var enclosing ast.Node
+						if len(bodies) > 0 {
+							enclosing = bodies[len(bodies)-1]
+						}
+						checkAcquireAssign(pass, n, call, enclosing)
+					}
+				}
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok && isAcquireShaped(pass.TypesInfo, call) {
+					pass.Reportf(call.Pos(), "Acquire results discarded: the Guard and Outcome must be handled")
+				}
+			}
+			return true
+		}
+		ast.Inspect(f, visit)
+	}
+	return nil
+}
+
+// isAcquireShaped reports whether call returns exactly
+// (api.Guard, api.Outcome).
+func isAcquireShaped(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	tuple, ok := tv.Type.(*types.Tuple)
+	if !ok || tuple.Len() != 2 {
+		return false
+	}
+	g, _ := tuple.At(0).Type().(*types.Named)
+	o, _ := tuple.At(1).Type().(*types.Named)
+	return isPkgType(g, apiPkgPath, "Guard") && isPkgType(o, apiPkgPath, "Outcome")
+}
+
+// checkAcquireAssign validates one `guard, outcome := locker.Acquire(...)`
+// assignment (either token).
+func checkAcquireAssign(pass *analysis.Pass, s *ast.AssignStmt, call *ast.CallExpr, enclosing ast.Node) {
+	guardE, outE := s.Lhs[0], s.Lhs[1]
+	if isBlank(outE) {
+		pass.Reportf(call.Pos(), "Acquire outcome discarded: a TimedOut grant would be treated as held")
+	} else if s.Tok == token.DEFINE && enclosing != nil {
+		if id, ok := outE.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil && !objRead(pass.TypesInfo, enclosing, obj) {
+				pass.Reportf(call.Pos(), "Acquire outcome %s is never checked", id.Name)
+			}
+		}
+	}
+	if isBlank(guardE) {
+		pass.Reportf(call.Pos(), "Acquire guard discarded: an Acquired outcome would leak the lock")
+	}
+}
+
+// objRead reports whether obj is genuinely read inside node: an identifier
+// use that is neither the left-hand side of an assignment nor the sole
+// operand of a `_ = x` discard.
+func objRead(info *types.Info, node ast.Node, obj types.Object) bool {
+	excluded := make(map[token.Pos]bool)
+	ast.Inspect(node, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				excluded[id.Pos()] = true
+			}
+		}
+		// `_ = x` is a discard, not a check.
+		if len(as.Lhs) == 1 && len(as.Rhs) == 1 && isBlank(as.Lhs[0]) {
+			if id, ok := ast.Unparen(as.Rhs[0]).(*ast.Ident); ok {
+				excluded[id.Pos()] = true
+			}
+		}
+		return true
+	})
+	read := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj && !excluded[id.Pos()] {
+			read = true
+		}
+		return !read
+	})
+	return read
+}

@@ -1,0 +1,137 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"alock/internal/analysis"
+)
+
+// simPkgPath is the import path of the engine package that owns the
+// Subsystem registry.
+const simPkgPath = "alock/internal/sim"
+
+// Rnggate enforces the stochastic-feature gate: every random stream must
+// be drawn from a Subsystem registered in internal/sim. Concretely:
+//
+//   - the subsystem argument of sim.PartitionedRNG.Stream/SeedFor must be
+//     a named sim.Subsystem constant declared in package sim (the
+//     registry), never a literal, conversion, or locally declared value —
+//     otherwise two features could silently share a stream and a
+//     feature-off config would stop replaying bit-identically;
+//   - outside package sim, no code may mint sim.Subsystem values at all
+//     (conversions or typed const/var declarations): a new stochastic
+//     field in harness.Config or workload.Spec gets its stream by adding
+//     a Subsystem* constant to internal/sim first.
+var Rnggate = &analysis.Analyzer{
+	Name: "rnggate",
+	Doc:  "PartitionedRNG streams must be keyed by Subsystem constants registered in internal/sim",
+	Run:  runRnggate,
+}
+
+func runRnggate(pass *analysis.Pass) error {
+	inSim := pass.Pkg.Path() == simPkgPath
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkStreamCall(pass, n)
+				if !inSim {
+					checkConversion(pass, n)
+				}
+			case *ast.ValueSpec:
+				if !inSim && n.Type != nil && isSubsystemTypeExpr(pass.TypesInfo, n.Type) {
+					pass.Reportf(n.Pos(),
+						"sim.Subsystem declared outside internal/sim: register a Subsystem* constant in the sim package instead")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkStreamCall validates the subsystem argument of
+// PartitionedRNG.Stream / PartitionedRNG.SeedFor calls.
+func checkStreamCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection := pass.TypesInfo.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return
+	}
+	name := selection.Obj().Name()
+	if (name != "Stream" && name != "SeedFor") || !isPkgType(namedRecv(selection), simPkgPath, "PartitionedRNG") {
+		return
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	arg := call.Args[0]
+	if obj := objOf(pass.TypesInfo, arg); obj != nil {
+		named, _ := obj.Type().(*types.Named)
+		if isPkgType(named, simPkgPath, "Subsystem") {
+			switch obj := obj.(type) {
+			case *types.Const:
+				// A registered sim.Subsystem* constant.
+				if obj.Pkg() != nil && obj.Pkg().Path() == simPkgPath {
+					return
+				}
+			case *types.Var:
+				// A Subsystem-typed variable or parameter: its value can
+				// only have come from a registered constant, because the
+				// conversion and declaration rules below forbid minting
+				// Subsystem values outside package sim.
+				return
+			}
+		}
+	}
+	pass.Reportf(arg.Pos(),
+		"%s subsystem argument must be a named sim.Subsystem constant registered in internal/sim", name)
+}
+
+// checkConversion flags sim.Subsystem(x) conversions outside package sim.
+func checkConversion(pass *analysis.Pass, call *ast.CallExpr) {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return
+	}
+	tn, ok := pass.TypesInfo.Uses[id].(*types.TypeName)
+	if !ok {
+		return
+	}
+	if named, _ := tn.Type().(*types.Named); isPkgType(named, simPkgPath, "Subsystem") {
+		pass.Reportf(call.Pos(),
+			"ad-hoc sim.Subsystem conversion: register a Subsystem* constant in internal/sim instead")
+	}
+}
+
+// isSubsystemTypeExpr reports whether a type expression denotes
+// sim.Subsystem.
+func isSubsystemTypeExpr(info *types.Info, e ast.Expr) bool {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return false
+	}
+	tn, ok := info.Uses[id].(*types.TypeName)
+	if !ok {
+		return false
+	}
+	named, _ := tn.Type().(*types.Named)
+	return isPkgType(named, simPkgPath, "Subsystem")
+}

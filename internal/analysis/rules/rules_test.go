@@ -1,0 +1,61 @@
+package rules
+
+import (
+	"testing"
+
+	"alock/internal/analysis/analysistest"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, "testdata/src/detrand", "detrandtest", Detrand)
+}
+
+// TestDetrandAllowedPackage checks the package allowlist: the same kind of
+// violations produce no findings when the package path is exempt.
+func TestDetrandAllowedPackage(t *testing.T) {
+	analysistest.Run(t, "testdata/src/detrand_allowed", "alock/internal/rt", Detrand)
+}
+
+func TestSuppressionPolicy(t *testing.T) {
+	analysistest.Run(t, "testdata/src/suppress", "suppresstest", Detrand, Maporder)
+}
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, "testdata/src/maporder", "maportest", Maporder)
+}
+
+func TestShardmem(t *testing.T) {
+	analysistest.Run(t, "testdata/src/shardmem", "alock/internal/locks", Shardmem)
+}
+
+// TestShardmemOutOfScope checks that the analyzer is silent outside the
+// sim/locks scopes even with direct substrate access present.
+func TestShardmemOutOfScope(t *testing.T) {
+	analysistest.Run(t, "testdata/src/shardmem_outofscope", "alock/internal/harness", Shardmem)
+}
+
+func TestGuardcheck(t *testing.T) {
+	analysistest.Run(t, "testdata/src/guardcheck", "guardchecktest", Guardcheck)
+}
+
+func TestRnggate(t *testing.T) {
+	analysistest.Run(t, "testdata/src/rnggate", "rnggatetest", Rnggate)
+}
+
+func TestAllRegistered(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q incomplete: Doc or Run missing", a.Name)
+		}
+		if names[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		names[a.Name] = true
+	}
+	for _, want := range []string{"detrand", "maporder", "shardmem", "guardcheck", "rnggate"} {
+		if !names[want] {
+			t.Errorf("All() is missing analyzer %q", want)
+		}
+	}
+}

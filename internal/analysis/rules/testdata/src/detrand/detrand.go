@@ -1,0 +1,40 @@
+// Package detrandtest exercises the detrand analyzer: banned ambient
+// randomness and wall-clock reads, the sanctioned stream-consuming
+// patterns, and an accepted suppression.
+package detrandtest
+
+import (
+	"math/rand"
+	"time"
+)
+
+// newStream is the banned path: ad-hoc source construction.
+func newStream() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `rand\.New is nondeterministic` `rand\.NewSource is nondeterministic`
+}
+
+// globalDraw uses the global source.
+func globalDraw() int {
+	return rand.Intn(10) // want `rand\.Intn is nondeterministic`
+}
+
+// wallClock reads real time.
+func wallClock() time.Duration {
+	t0 := time.Now()      // want `time\.Now reads the wall clock`
+	return time.Since(t0) // want `time\.Since reads the wall clock`
+}
+
+// zipf is allowed: rand.NewZipf is a deterministic transformer over a
+// caller-supplied stream.
+func zipf(rng *rand.Rand) *rand.Zipf {
+	return rand.NewZipf(rng, 1.2, 1, 63)
+}
+
+// draw is allowed: methods on a handed stream are the sanctioned pattern,
+// and referencing the *rand.Rand type is not a draw.
+func draw(rng *rand.Rand) int { return rng.Intn(10) }
+
+// suppressed demonstrates an accepted per-site suppression.
+func suppressed() time.Time {
+	return time.Now() //lint:allow detrand fixture: accepted suppression with a reason
+}

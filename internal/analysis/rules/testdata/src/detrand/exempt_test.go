@@ -1,0 +1,12 @@
+// _test.go files are exempt from detrand: tests may seed ad-hoc RNGs and
+// read the wall clock freely. No want comments — no findings expected.
+package detrandtest
+
+import (
+	"math/rand"
+	"time"
+)
+
+func testOnlyHelper() (*rand.Rand, time.Time) {
+	return rand.New(rand.NewSource(1)), time.Now()
+}

@@ -1,0 +1,13 @@
+// Package allowed is checked under an allowlisted import path
+// (alock/internal/rt): the same calls that are findings elsewhere are
+// exempt here, so the file carries no want comments.
+package allowed
+
+import (
+	"math/rand"
+	"time"
+)
+
+func seedClock() (*rand.Rand, time.Time) {
+	return rand.New(rand.NewSource(7)), time.Now()
+}

@@ -1,0 +1,91 @@
+// Package maportest exercises the maporder analyzer: the sorted-keys
+// idiom, commutative bodies, and the order-dependent shapes it flags.
+package maportest
+
+import (
+	"fmt"
+	"sort"
+)
+
+// collectSorted is the sanctioned idiom: bare keys, sorted afterwards.
+func collectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collectUnsorted forgets the sort half of the idiom.
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `keys collected into keys are never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// appendValues builds a result slice in iteration order.
+func appendValues(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v) // want `appends map values in iteration order`
+	}
+	return vals
+}
+
+// printBody emits output per iteration.
+func printBody(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `calls fmt\.Println per iteration`
+	}
+}
+
+// anyElement returns whichever element the runtime visits first.
+func anyElement(m map[string]int) string {
+	for k := range m {
+		return k // want `returns an arbitrary element`
+	}
+	return ""
+}
+
+// floatSum is flagged: float addition is not associative, so even an
+// accumulation is order-dependent at the bit level.
+func floatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `non-integer accumulation`
+	}
+	return sum
+}
+
+// commutes is all allowed shapes: integer accumulation, counting, writes
+// to another map keyed by the loop key, key-derived deletes.
+func commutes(m map[string]int, drop map[string]bool) (int, int, map[string]int) {
+	n, sum := 0, 0
+	out := make(map[string]int)
+	for k, v := range m {
+		if v > 0 {
+			sum += v
+			out[k] = v
+			n++
+		}
+		if drop[k] {
+			delete(out, k)
+		}
+	}
+	return n, sum, out
+}
+
+// minValue is order-independent but beyond the analyzer's static proof;
+// the suppression mirrors the real tree's annotated min-idiom sites.
+func minValue(m map[string]int) int {
+	best := int(^uint(0) >> 1)
+	for _, v := range m {
+		if v < best {
+			best = v //lint:allow maporder pure minimum over values is order-independent
+		}
+	}
+	return best
+}

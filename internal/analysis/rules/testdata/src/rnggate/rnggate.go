@@ -1,0 +1,45 @@
+// Package rnggatetest exercises the rnggate analyzer from outside the sim
+// package: streams must be keyed by registered sim.Subsystem constants,
+// and Subsystem values must not be minted locally.
+package rnggatetest
+
+import (
+	"math/rand"
+
+	"alock/internal/sim"
+)
+
+// registered keys a stream with a constant from the sim registry.
+func registered(p sim.PartitionedRNG) *rand.Rand {
+	return p.Stream(sim.SubsystemBackoff, 3)
+}
+
+// viaParam is fine: Subsystem-typed values are vetted where they are
+// created, so passing one through is sanctioned.
+func viaParam(p sim.PartitionedRNG, sub sim.Subsystem) int64 {
+	return p.SeedFor(sub, 0)
+}
+
+// literalKey passes an untyped literal.
+func literalKey(p sim.PartitionedRNG) int64 {
+	return p.SeedFor(7, 0) // want `must be a named sim\.Subsystem constant`
+}
+
+// convertedKey mints a Subsystem on the spot.
+func convertedKey(p sim.PartitionedRNG) *rand.Rand {
+	return p.Stream(sim.Subsystem(9), 1) // want `must be a named sim\.Subsystem constant` `ad-hoc sim\.Subsystem conversion`
+}
+
+// rogueSub declares a Subsystem outside the registry.
+const rogueSub sim.Subsystem = 99 // want `sim\.Subsystem declared outside internal/sim`
+
+// rogueUse keys a stream with the unregistered constant.
+func rogueUse(p sim.PartitionedRNG) *rand.Rand {
+	return p.Stream(rogueSub, 0) // want `must be a named sim\.Subsystem constant`
+}
+
+// suppressedDecl records an accepted suppression for a local alias.
+func suppressedDecl() sim.Subsystem {
+	var local sim.Subsystem = sim.SubsystemThread //lint:allow rnggate fixture: accepted suppression for a vetted alias
+	return local
+}

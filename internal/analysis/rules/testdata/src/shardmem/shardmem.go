@@ -1,0 +1,45 @@
+// Package shardmemtest exercises the shardmem analyzer. It is checked
+// under an in-scope import path (the locks scope) and models the
+// engine shape: the sanctioned accessor names resolve words freely, any
+// other function touching the substrate directly is flagged.
+package shardmemtest
+
+import (
+	"alock/internal/mem"
+	"alock/internal/ptr"
+)
+
+// Engine models the engine: execProtocol is in the sanctioned set.
+type Engine struct{ space *mem.Space }
+
+// execProtocol is sanctioned: the verb executor resolves words.
+func (e *Engine) execProtocol(p ptr.Ptr) uint64 {
+	return *e.space.WordAddr(p)
+}
+
+// rogue is not sanctioned.
+func (e *Engine) rogue(p ptr.Ptr) uint64 {
+	return *e.space.WordAddr(p) // want `outside the sanctioned accessor set`
+}
+
+// regionPeek escapes to region-level access, bypassing the audit hook.
+func (e *Engine) regionPeek(p ptr.Ptr) uint64 {
+	r := e.space.Region(p.NodeID()) // want `Space\.Region outside the sanctioned accessor set`
+	return *r.WordAddr(p.Offset())  // want `bypasses the Space access audit`
+}
+
+// Thread models the engine thread: Read is in the sanctioned set.
+type Thread struct{ e *Engine }
+
+// Read is sanctioned.
+func (t *Thread) Read(p ptr.Ptr) uint64 { return *t.e.space.WordAddr(p) }
+
+// helper extends the accessor set explicitly via suppression.
+func (t *Thread) helper(p ptr.Ptr) uint64 {
+	return *t.e.space.WordAddr(p) //lint:allow shardmem fixture: accepted suppression extends the accessor set
+}
+
+// alloc is fine: allocation is not word resolution.
+func (e *Engine) alloc(node int) ptr.Ptr {
+	return e.space.AllocLine(node)
+}

@@ -1,0 +1,17 @@
+// Package drivertest is a fixture for the driver's //lint:allow handling.
+package drivertest
+
+func one() {}
+
+//lint:allow flagfuncs driver test: suppressed by a line-above directive
+func two() {}
+
+func three() {} //lint:allow flagfuncs driver test: suppressed by a trailing directive
+
+func four() {}
+
+//lint:allow flagfuncs
+var _ = 0
+
+//lint:allow nosuchanalyzer a reason does not save an unknown name
+var _ = 1

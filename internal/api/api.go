@@ -277,7 +277,8 @@ var _ RWLocker = (*Blocking)(nil)
 func NewBlocking(t TokenLocker) *Blocking { return &Blocking{T: t} }
 
 func (b *Blocking) acquire(l ptr.Ptr, mode Mode) {
-	g, _ := b.T.Acquire(l, mode, AcquireOpts{}) // no deadline: always Acquired
+	//lint:allow guardcheck no deadline: Acquire blocks until granted, so the outcome is always Acquired
+	g, _ := b.T.Acquire(l, mode, AcquireOpts{})
 	b.held = append(b.held, g)
 }
 

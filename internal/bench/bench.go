@@ -235,9 +235,9 @@ func (c Case) runOnce(variant string) (uint64, int64, time.Duration, uint64, err
 	if c.build != nil {
 		e := c.build(variantOpts(variant)...)
 		runtime.ReadMemStats(&before)
-		t0 := time.Now()
+		t0 := time.Now() //lint:allow detrand benchmark harness: measuring real wall time is its job
 		e.Run(c.horizon)
-		wall := time.Since(t0)
+		wall := time.Since(t0) //lint:allow detrand benchmark harness: measuring real wall time is its job
 		runtime.ReadMemStats(&after)
 		return e.Events(), 0, wall, after.Mallocs - before.Mallocs, nil
 	}
@@ -251,9 +251,9 @@ func (c Case) runOnce(variant string) (uint64, int64, time.Duration, uint64, err
 		cfg.EngineShards = shardedWorkers
 	}
 	runtime.ReadMemStats(&before)
-	t0 := time.Now()
+	t0 := time.Now() //lint:allow detrand benchmark harness: measuring real wall time is its job
 	res, err := harness.Run(cfg)
-	wall := time.Since(t0)
+	wall := time.Since(t0) //lint:allow detrand benchmark harness: measuring real wall time is its job
 	runtime.ReadMemStats(&after)
 	if err != nil {
 		return 0, 0, 0, 0, fmt.Errorf("bench: %s: %w", c.Name, err)

@@ -31,6 +31,7 @@ package check
 
 import (
 	"fmt"
+	"sort"
 )
 
 // Variant selects the algorithm to check: the faithful translation or a
@@ -325,7 +326,16 @@ func Run(cfg Config) (Result, error) {
 				bySCC[c] = append(bySCC[c], int32(i))
 			}
 		}
-		for _, members := range bySCC {
+		// Visit components in sorted-id order, not map order: when more
+		// than one starvation cycle exists, the reported witness must not
+		// depend on map iteration order.
+		ids := make([]int32, 0, len(bySCC))
+		for c := range bySCC {
+			ids = append(ids, c)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, c := range ids {
+			members := bySCC[c]
 			if !sccNontrivial(members, comp, succs, inSub) {
 				continue
 			}

@@ -485,7 +485,7 @@ func TrimToContended(entries []int, class func(tid int) int) []int {
 	cut := len(entries)
 	for _, idx := range last {
 		if idx+1 < cut {
-			cut = idx + 1
+			cut = idx + 1 //lint:allow maporder pure minimum over map values is order-independent
 		}
 	}
 	return entries[:cut]

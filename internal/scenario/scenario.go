@@ -83,15 +83,21 @@ func Names() []string {
 	return names
 }
 
-// All returns every registered scenario, sorted by name.
+// All returns every registered scenario, sorted by name. It iterates the
+// registry by sorted key (not map order) so the traversal itself is
+// deterministic, as the maporder analyzer requires.
 func All() []Scenario {
 	mu.RLock()
 	defer mu.RUnlock()
-	out := make([]Scenario, 0, len(registry))
-	for _, sc := range registry {
-		out = append(out, sc)
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	sort.Strings(names)
+	out := make([]Scenario, 0, len(names))
+	for _, n := range names {
+		out = append(out, registry[n])
+	}
 	return out
 }
 

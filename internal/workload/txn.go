@@ -88,7 +88,7 @@ func (t *AgeTable) OldestLive() (uint64, bool) {
 	found := false
 	for age := range t.live {
 		if !found || age < min {
-			min, found = age, true
+			min, found = age, true //lint:allow maporder pure minimum over map keys is order-independent
 		}
 	}
 	return min, found
