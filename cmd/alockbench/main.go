@@ -16,6 +16,8 @@
 //	alockbench -algo mcs -pair-prob 0.1
 //	alockbench -algo mcs -txn-locks 2 -txn-policy wait-die -txn-ring -acquire-timeout 20us
 //	alockbench -algo rw-queue -txn-locks 3 -txn-policy timeout-backoff -acquire-timeout 20us -txn-backoff 10us
+//	alockbench -algo alock -arrival-rate 2e6 -clients 1000000 -svc-shards 8 -placement hash -admission drop-head
+//	alockbench -algo alock -arrival-rate 1.5e6 -zipf 1.5 -placement home -svc-rebalance
 //	alockbench -list-scenarios
 //	alockbench -scenario deadlock/dining -quick -parallel 8
 //	alockbench -figure-rw -quick -csv-out figrw.csv
@@ -80,6 +82,14 @@ func main() {
 		txnPol   = flag.String("txn-policy", "", "deadlock policy: ordered|timeout-backoff|wait-die (default ordered)")
 		txnBack  = flag.Duration("txn-backoff", 0, "base randomized backoff between transaction retries (timeout-backoff default: -acquire-timeout)")
 		txnRing  = flag.Bool("txn-ring", false, "dining-philosophers lock selection: thread t takes locks (t+j) mod -locks")
+
+		arrival  = flag.Float64("arrival-rate", 0, "open-loop offered load in ops/s: switch to the sharded lock service driven by Poisson arrivals (0 = closed loop)")
+		clients  = flag.Int64("clients", 0, "open loop: logical client population drawn from per arrival (0 = default 1e6)")
+		svcShard = flag.Int("svc-shards", 0, "open loop: lock-table service shards (0 = one per node)")
+		place    = flag.String("placement", "", "open loop: key→shard placement, hash|home (default hash)")
+		admit    = flag.String("admission", "", "open loop: full-queue admission policy, drop-tail|drop-head (default drop-tail)")
+		queueCap = flag.Int("svc-queue-cap", 0, "open loop: per-shard admission queue capacity (0 = default 64)")
+		rebal    = flag.Bool("svc-rebalance", false, "open loop: move hot keys off overloaded shards before the run")
 
 		engShards = flag.Int("engine-shards", 0, "per-run engine shard workers (0 = serial engine, 1 = sharded-serial, >1 = windowed parallel)")
 
@@ -156,6 +166,13 @@ func main() {
 		TxnPolicy:      *txnPol,
 		TxnBackoff:     *txnBack,
 		TxnRing:        *txnRing,
+		ArrivalRate:    *arrival,
+		Clients:        *clients,
+		SvcShards:      *svcShard,
+		SvcPlacement:   *place,
+		SvcQueueCap:    *queueCap,
+		SvcAdmission:   *admit,
+		SvcRebalance:   *rebal,
 		EngineShards:   *engShards,
 		Seed:           *seed,
 	}

@@ -6,9 +6,10 @@
 //	Figure 4  — cohort budget study
 //	Figure 5  — throughput grid (nodes x contention x locality x threads)
 //	Figure 6  — latency CDF grid (10 nodes, 8 threads/node)
-//	Figure RW — reader/writer, failure and transaction tails over the
-//	            rw/*, lease/*, fail/*, multi/* and deadlock/* scenario
-//	            families (beyond the paper)
+//	Figure RW — reader/writer, failure, transaction and lock-service
+//	            tails over the rw/*, lease/*, fail/*, multi/*,
+//	            deadlock/* and svc/* scenario families (beyond the
+//	            paper)
 //	tla       — exhaustive model check of the Appendix A specification
 //	ablations — budget / cohort-split ablations (beyond the paper)
 //

@@ -182,6 +182,7 @@ var familyReps = []string{
 	"fail/timeout-recovery",      // failure/recovery extension
 	"multi/two-lock",             // two-lock transactions
 	"deadlock/dining",            // k-lock transaction policies
+	"svc/open-loop",              // sharded lock service, open-loop arrivals
 }
 
 // Suite expands the standing case list for the given suite name ("tiny",

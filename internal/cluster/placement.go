@@ -1,0 +1,220 @@
+// placement.go maps lock-table keys to service shards. Placement is a
+// pure, deterministic function fixed before the run starts — re-placement
+// during a run would be cross-shard mutable state, exactly what the
+// shard-local design forbids — so the rebalance hook is a pre-run
+// transform: it reads the key popularity weights and returns a new
+// placement with the hottest keys re-homed.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"alock/internal/locktable"
+	"alock/internal/stats"
+)
+
+// Placement maps a lock index to the service shard that owns it.
+type Placement interface {
+	// Name identifies the placement for reports.
+	Name() string
+	// Shard returns the owning shard of key, in [0, shards).
+	Shard(key int) int
+}
+
+// NewPlacement builds a placement by name: "hash" (consistent hashing,
+// the default) or "home" (a key is served by the shard co-located with
+// its lock's home node).
+func NewPlacement(name string, shards int, table *locktable.Table) (Placement, error) {
+	switch name {
+	case "", "hash":
+		return newHashPlacement(shards), nil
+	case "home":
+		return homePlacement{table: table, shards: shards}, nil
+	}
+	return nil, fmt.Errorf("cluster: unknown placement %q (want hash or home)", name)
+}
+
+// KeyWeights is the key-popularity vector placements and generators share:
+// Zipf(s) over lock indices when s > 1 (rank 0 hottest, matching the
+// closed-loop skew convention), uniform otherwise.
+func KeyWeights(n int, zipfS float64) []float64 {
+	if zipfS > 1 {
+		return stats.ZipfWeights(n, zipfS)
+	}
+	return stats.ZipfWeights(n, 0)
+}
+
+// mix64 is the splitmix64 finalizer — the same full-avalanche mixer the
+// engine's RNG partitioning uses, reimplemented locally because placement
+// hashing is addressing, not randomness (nothing here draws from a
+// stream).
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashVnodes is the virtual-node count per shard on the consistent-hash
+// ring; enough that shard loads even out within a few percent.
+const hashVnodes = 64
+
+type ringPoint struct {
+	h     uint64
+	shard int
+}
+
+// hashPlacement is classic consistent hashing: shards× vnodes points on a
+// ring, a key belongs to the first point at or clockwise of its hash.
+type hashPlacement struct {
+	ring []ringPoint
+}
+
+func newHashPlacement(shards int) *hashPlacement {
+	p := &hashPlacement{ring: make([]ringPoint, 0, shards*hashVnodes)}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < hashVnodes; v++ {
+			h := mix64(uint64(s)<<32 | uint64(v))
+			p.ring = append(p.ring, ringPoint{h: h, shard: s})
+		}
+	}
+	sort.Slice(p.ring, func(i, j int) bool {
+		if p.ring[i].h != p.ring[j].h {
+			return p.ring[i].h < p.ring[j].h
+		}
+		// Hash collisions between vnodes resolve by shard ID so the ring
+		// order is a pure function of (shards), never of sort internals.
+		return p.ring[i].shard < p.ring[j].shard
+	})
+	return p
+}
+
+func (p *hashPlacement) Name() string { return "hash" }
+
+func (p *hashPlacement) Shard(key int) int {
+	h := mix64(uint64(key))
+	i := sort.Search(len(p.ring), func(i int) bool { return p.ring[i].h >= h })
+	if i == len(p.ring) {
+		i = 0 // wrap: past the last point means the first point owns it
+	}
+	return p.ring[i].shard
+}
+
+// homePlacement serves each key from the shard co-located with the key's
+// lock home: shard = HomeNode(key) mod shards. Under a skewed-home table
+// this concentrates service load exactly where the data already is —
+// minimal fabric traffic, maximal imbalance — the foil the rebalance hook
+// exists for.
+type homePlacement struct {
+	table  *locktable.Table
+	shards int
+}
+
+func (p homePlacement) Name() string { return "home" }
+
+func (p homePlacement) Shard(key int) int { return p.table.HomeNode(key) % p.shards }
+
+// overridePlacement wraps a base placement with per-key overrides
+// (override[key] >= 0 wins; -1 defers to the base).
+type overridePlacement struct {
+	base     Placement
+	override []int
+	moved    int
+}
+
+func (p *overridePlacement) Name() string {
+	return fmt.Sprintf("%s+rebalance(%d)", p.base.Name(), p.moved)
+}
+
+func (p *overridePlacement) Shard(key int) int {
+	if key < len(p.override) && p.override[key] >= 0 {
+		return p.override[key]
+	}
+	return p.base.Shard(key)
+}
+
+// RebalanceHotKeys is the hot-shard rebalance hook: given the key
+// popularity weights, it lifts the hottest keys out of the base placement
+// and re-assigns each — in descending weight order — to the currently
+// least-loaded shard (longest-processing-time greedy). Everything is
+// deterministic: candidates are the top 2·shards keys by (weight, then
+// lower index), and load ties resolve to the lower shard ID. Returns the
+// base unchanged when there is nothing to move (uniform weights spread
+// load already; a single shard has nowhere to move to).
+func RebalanceHotKeys(base Placement, weights []float64, shards int) Placement {
+	if shards < 2 || len(weights) == 0 {
+		return base
+	}
+	load := make([]float64, shards)
+	for k, w := range weights {
+		if w > 0 {
+			load[base.Shard(k)] += w
+		}
+	}
+
+	// Hot candidates: any key whose weight exceeds its fair share of a
+	// shard (weight > shardLoad_mean / keysPerShard is too fiddly; the
+	// robust cut is weight > 1/len(weights) · hotFactor), capped at
+	// 2·shards keys so rebalancing stays a spot fix, not a re-placement.
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return base
+	}
+	fair := total / float64(len(weights))
+	type hotKey struct {
+		k int
+		w float64
+	}
+	var hot []hotKey
+	for k, w := range weights {
+		if w > 2*fair {
+			hot = append(hot, hotKey{k: k, w: w})
+		}
+	}
+	if len(hot) == 0 {
+		return base
+	}
+	sort.Slice(hot, func(i, j int) bool {
+		if hot[i].w != hot[j].w {
+			return hot[i].w > hot[j].w
+		}
+		return hot[i].k < hot[j].k
+	})
+	if max := 2 * shards; len(hot) > max {
+		hot = hot[:max]
+	}
+
+	// Lift the candidates out, then greedily re-pack heaviest-first onto
+	// the least-loaded shard.
+	for _, h := range hot {
+		load[base.Shard(h.k)] -= h.w
+	}
+	override := make([]int, len(weights))
+	for i := range override {
+		override[i] = -1
+	}
+	moved := 0
+	for _, h := range hot {
+		best := 0
+		for s := 1; s < shards; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		override[h.k] = best
+		load[best] += h.w
+		if best != base.Shard(h.k) {
+			moved++
+		}
+	}
+	if moved == 0 {
+		return base
+	}
+	return &overridePlacement{base: base, override: override, moved: moved}
+}

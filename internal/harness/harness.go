@@ -114,6 +114,34 @@ type Config struct {
 	// TxnRing pins transactions to the dining-philosophers layout: thread
 	// t takes locks (t+j) mod Locks instead of random selection.
 	TxnRing bool
+	// --- Lock-service layer (internal/cluster; open-loop extension) ---
+	//
+	// ArrivalRate, when > 0, switches the run to the open-loop lock
+	// service: instead of closed-loop threads, per-shard Poisson arrival
+	// generators offer this many operations per second in aggregate, and
+	// per-shard worker pools (ThreadsPerNode workers each) drain bounded
+	// admission queues. Open-loop runs support ReadPct, CSWork, ZipfS
+	// (key popularity), BurstOn/Off, AcquireTimeout, HomeSkewPct, Oracle
+	// and EngineShards; the closed-loop-only knobs (TargetOps, Think,
+	// locality, leases, abandonment, pairs, transactions) are rejected.
+	ArrivalRate float64 `json:",omitempty"`
+	// Clients is the logical client population (arrival events carry a
+	// client ID drawn from it); 0 defaults to one million.
+	Clients int64 `json:",omitempty"`
+	// SvcShards is the service shard count; 0 defaults to Nodes.
+	SvcShards int `json:",omitempty"`
+	// SvcPlacement maps keys to shards: "hash" (consistent hashing, the
+	// default) or "home" (shard co-located with the lock's home node).
+	SvcPlacement string `json:",omitempty"`
+	// SvcQueueCap bounds each shard's admission queue; 0 defaults to 64.
+	SvcQueueCap int `json:",omitempty"`
+	// SvcAdmission is the overflow policy: "drop-tail" (default) or
+	// "drop-head".
+	SvcAdmission string `json:",omitempty"`
+	// SvcRebalance, when true, runs the deterministic pre-run hot-key
+	// rebalance: the hottest keys are re-assigned greedily to the least
+	// loaded shards before the run starts.
+	SvcRebalance bool `json:",omitempty"`
 	// Seed makes the run reproducible.
 	Seed int64
 	// WordsPerNode sizes each node's memory region (0 = 1Mi words = 8 MiB).
@@ -153,6 +181,17 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.OpenLoop() {
+		if c.Clients == 0 {
+			c.Clients = 1_000_000
+		}
+		if c.SvcShards == 0 {
+			c.SvcShards = c.Nodes
+		}
+		if c.SvcQueueCap == 0 {
+			c.SvcQueueCap = 64
+		}
+	}
 	if c.TxnLocks >= 2 && c.TxnPolicy == workload.TxnPolicyBackoff && c.TxnBackoff == 0 {
 		// A usable default: one deadline's worth of base backoff (doubling
 		// up to 64x), so colliding transactions actually separate.
@@ -160,6 +199,10 @@ func (c Config) withDefaults() Config {
 	}
 	return c
 }
+
+// OpenLoop reports whether the config runs the open-loop lock service
+// (internal/cluster) instead of closed-loop workload threads.
+func (c Config) OpenLoop() bool { return c.ArrivalRate > 0 }
 
 // Validate rejects configurations the simulator cannot represent.
 func (c Config) Validate() error {
@@ -217,6 +260,37 @@ func (c Config) Validate() error {
 	}
 	if c.Oracle && c.EngineShards > 0 {
 		return fmt.Errorf("harness: Oracle is the single-queue serial reference and cannot run sharded (EngineShards=%d)", c.EngineShards)
+	}
+	if c.OpenLoop() {
+		// TargetOps is a global countdown shared across every thread —
+		// cross-shard order-dependent state the sharded engine refuses to
+		// race on. The closed-loop path degrades to sharded-serial for it;
+		// the service layer exists to run wide, so the combination is a
+		// config error, not a silent fallback.
+		if c.TargetOps > 0 {
+			return fmt.Errorf("harness: open-loop service runs (ArrivalRate > 0) cannot use TargetOps: " +
+				"the global op countdown is cross-shard order-dependent; bound the run with MeasureNS instead")
+		}
+		if c.Think > 0 {
+			return fmt.Errorf("harness: Think is closed-loop pacing; open-loop load is set by ArrivalRate")
+		}
+		if c.LeaseProb > 0 || c.AbandonProb > 0 || c.PairProb > 0 || c.TxnLocks > 0 {
+			return fmt.Errorf("harness: open-loop service runs support plain lock/unlock operations only "+
+				"(lease=%v abandon=%v pair=%v txn=%d)", c.LeaseProb, c.AbandonProb, c.PairProb, c.TxnLocks)
+		}
+		if c.SvcShards < 1 {
+			return fmt.Errorf("harness: service shards %d", c.SvcShards)
+		}
+		if c.SvcQueueCap < 1 {
+			return fmt.Errorf("harness: service queue capacity %d", c.SvcQueueCap)
+		}
+		if c.Clients < 1 {
+			return fmt.Errorf("harness: client population %d", c.Clients)
+		}
+	} else if c.Clients != 0 || c.SvcShards != 0 || c.SvcPlacement != "" ||
+		c.SvcQueueCap != 0 || c.SvcAdmission != "" || c.SvcRebalance {
+		return fmt.Errorf("harness: service knobs (clients/shards/placement/queue/admission/rebalance) " +
+			"require an open-loop run: set ArrivalRate > 0")
 	}
 	// The transaction knobs themselves (k >= 2, policy/order names, the
 	// policies' deadline and backoff requirements) are validated by
@@ -297,6 +371,10 @@ type Result struct {
 	Lock core.Stats
 	// Events is the number of simulator events processed.
 	Events uint64
+	// Svc carries the lock-service metrics of open-loop runs (offered
+	// vs. goodput, shed counts, queue-wait/acquire-wait/hold
+	// decomposition); nil for closed-loop runs.
+	Svc *SvcStats `json:",omitempty"`
 }
 
 // Run executes one experiment.
@@ -304,6 +382,9 @@ func Run(cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
+	}
+	if cfg.OpenLoop() {
+		return runService(cfg)
 	}
 
 	threads := cfg.Nodes * cfg.ThreadsPerNode

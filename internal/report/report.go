@@ -289,6 +289,26 @@ func Summary(w io.Writer, r harness.Result) {
 	}
 	fmt.Fprintf(w, "ops recorded   : %d over %s\n", r.Ops, ns(r.SpanNS))
 	fmt.Fprintf(w, "throughput     : %s ops/s\n", ops(r.Throughput))
+	if s := r.Svc; s != nil {
+		fmt.Fprintf(w, "service        : %d shards (%s placement, %s, queue cap %d), %d clients\n",
+			s.Shards, s.Placement, s.Policy, s.QueueCap, s.Clients)
+		shedPct := 0.0
+		if s.Offered > 0 {
+			shedPct = float64(s.Shed) / float64(s.Offered) * 100
+		}
+		fmt.Fprintf(w, "offered load   : %s ops/s offered, %s ops/s goodput; %d of %d shed (%.1f%%, %d at deadline)\n",
+			ops(s.OfferedOPS), ops(s.GoodputOPS), s.Shed, s.Offered, shedPct, s.Timeouts)
+		fmt.Fprintf(w, "queue wait     : p50=%s p99=%s p99.9=%s max=%s (deepest queue %d)\n",
+			ns(s.QueueWait.P50NS), ns(s.QueueWait.P99NS), ns(s.QueueWait.P999NS),
+			ns(s.QueueWait.MaxNS), s.MaxQueueLen)
+		fmt.Fprintf(w, "acquire wait   : p50=%s p99=%s p99.9=%s max=%s\n",
+			ns(s.AcquireWait.P50NS), ns(s.AcquireWait.P99NS), ns(s.AcquireWait.P999NS),
+			ns(s.AcquireWait.MaxNS))
+		fmt.Fprintf(w, "hold time      : p50=%s p99=%s p99.9=%s max=%s\n",
+			ns(s.HoldTime.P50NS), ns(s.HoldTime.P99NS), ns(s.HoldTime.P999NS),
+			ns(s.HoldTime.MaxNS))
+		fmt.Fprintf(w, "shard balance  : served %s\n", shardServed(s.ShardServed))
+	}
 	if r.Timeouts > 0 || r.Abandons > 0 || r.FencedReleases > 0 {
 		fmt.Fprintf(w, "outcomes       : %d timeouts (p50 give-up %s), %d abandons, %d fenced releases\n",
 			r.Timeouts, ns(r.TimeoutLatency.P50NS), r.Abandons, r.FencedReleases)
@@ -331,6 +351,18 @@ func Summary(w io.Writer, r harness.Result) {
 	fmt.Fprintf(w, "events         : %d simulator events\n", r.Events)
 }
 
+// shardServed renders a per-shard served-count vector compactly.
+func shardServed(counts []int64) string {
+	var b strings.Builder
+	for i, c := range counts {
+		if i > 0 {
+			b.WriteString("/")
+		}
+		fmt.Fprintf(&b, "%d", c)
+	}
+	return b.String()
+}
+
 // CDFSparkline renders a tiny ASCII CDF for terminal output.
 func CDFSparkline(pts []stats.Point, width int) string {
 	if len(pts) == 0 || width <= 0 {
@@ -364,7 +396,7 @@ func Sweep(w io.Writer, title string, results []harness.Result) {
 	// Per-class latency columns appear only when some run recorded reads;
 	// outcome columns only when some run recorded non-happy-path outcomes;
 	// transaction columns only when some run ran the transaction layer.
-	hasReads, hasOutcomes, hasTxn := false, false, false
+	hasReads, hasOutcomes, hasTxn, hasSvc := false, false, false, false
 	for _, r := range results {
 		if r.ReadOps > 0 {
 			hasReads = true
@@ -374,6 +406,9 @@ func Sweep(w io.Writer, title string, results []harness.Result) {
 		}
 		if r.Config.TxnLocks >= 2 {
 			hasTxn = true
+		}
+		if r.Svc != nil {
+			hasSvc = true
 		}
 	}
 	var rows [][]string
@@ -409,6 +444,9 @@ func Sweep(w io.Writer, title string, results []harness.Result) {
 		if hasTxn {
 			row = append(row, txnCells(r)...)
 		}
+		if hasSvc {
+			row = append(row, svcCells(r)...)
+		}
 		rows = append(rows, row)
 	}
 	header := []string{"algorithm", "cluster", "locks", "locality", "workload", "throughput(ops/s)", "p50", "p99"}
@@ -421,7 +459,28 @@ func Sweep(w io.Writer, title string, results []harness.Result) {
 	if hasTxn {
 		header = append(header, txnHeader...)
 	}
+	if hasSvc {
+		header = append(header, svcHeader...)
+	}
 	writeTable(w, title, header, rows)
+}
+
+// svcHeader / svcCells are the lock-service columns shared by the sweep
+// and Figure RW tables: offered load vs goodput, shed count, and the
+// queue-wait vs hold-time decomposition tails.
+var svcHeader = []string{"offered(ops/s)", "shed", "qwait p99", "hold p99"}
+
+func svcCells(r harness.Result) []string {
+	s := r.Svc
+	if s == nil {
+		return []string{"-", "-", "-", "-"}
+	}
+	return []string{
+		ops(s.OfferedOPS),
+		fmt.Sprintf("%d", s.Shed),
+		ns(s.QueueWait.P99NS),
+		ns(s.HoldTime.P99NS),
+	}
 }
 
 // txnHeader / txnCells are the transaction-layer columns shared by the
@@ -481,6 +540,21 @@ func workloadExtras(c harness.Config) string {
 	if c.CSWork > 0 || c.Think > 0 {
 		extras += fmt.Sprintf(" cs=%v think=%v", c.CSWork, c.Think)
 	}
+	if c.OpenLoop() {
+		place := c.SvcPlacement
+		if place == "" {
+			place = "hash"
+		}
+		adm := c.SvcAdmission
+		if adm == "" {
+			adm = "drop-tail"
+		}
+		extras += fmt.Sprintf(" rate=%s/s shards=%d %s cap=%d %s",
+			ops(c.ArrivalRate), c.SvcShards, place, c.SvcQueueCap, adm)
+		if c.SvcRebalance {
+			extras += " rebalance"
+		}
+	}
 	return strings.TrimSpace(extras)
 }
 
@@ -500,13 +574,16 @@ func txnPolicyName(c harness.Config) string {
 // fenced releases) grow the outcome columns.
 func FigureRW(w io.Writer, groups []harness.FigRWGroup) {
 	for _, g := range groups {
-		hasOutcomes, hasTxn := false, false
+		hasOutcomes, hasTxn, hasSvc := false, false, false
 		for _, r := range g.Results {
 			if r.Timeouts > 0 || r.Abandons > 0 || r.FencedReleases > 0 || r.LateAcquires > 0 {
 				hasOutcomes = true
 			}
 			if r.Config.TxnLocks >= 2 {
 				hasTxn = true
+			}
+			if r.Svc != nil {
+				hasSvc = true
 			}
 		}
 		var rows [][]string
@@ -542,6 +619,9 @@ func FigureRW(w io.Writer, groups []harness.FigRWGroup) {
 			if hasTxn {
 				row = append(row, txnCells(r)...)
 			}
+			if hasSvc {
+				row = append(row, svcCells(r)...)
+			}
 			rows = append(rows, row)
 		}
 		header := []string{"algorithm", "cluster", "locks", "workload",
@@ -552,6 +632,9 @@ func FigureRW(w io.Writer, groups []harness.FigRWGroup) {
 		if hasTxn {
 			header = append(header, txnHeader...)
 		}
+		if hasSvc {
+			header = append(header, svcHeader...)
+		}
 		writeTable(w, "Figure RW: "+g.Name, header, rows)
 	}
 }
@@ -559,11 +642,11 @@ func FigureRW(w io.Writer, groups []harness.FigRWGroup) {
 // FigureRWCSV emits one CSV row per run of the reader/writer figure, with
 // per-algorithm read and write percentile columns for replotting.
 func FigureRWCSV(w io.Writer, groups []harness.FigRWGroup) {
-	fmt.Fprintln(w, "figure,scenario,algorithm,nodes,threads_per_node,locks,locality_pct,read_pct,lease_prob,lease_hold_ns,jitter_prob,jitter_ns,acquire_timeout_ns,abandon_prob,pair_prob,txn_locks,txn_order,txn_policy,txn_backoff_ns,throughput_ops,read_p50_ns,read_p99_ns,write_p50_ns,write_p99_ns,ops,read_ops,write_ops,timeouts,giveup_p50_ns,giveup_p99_ns,abandons,fenced_releases,late_acquires,pair_ops,txn_commits,txn_aborts,txn_retries,retry_p99,commit_p50_ns,commit_p99_ns")
+	fmt.Fprintln(w, "figure,scenario,algorithm,nodes,threads_per_node,locks,locality_pct,read_pct,lease_prob,lease_hold_ns,jitter_prob,jitter_ns,acquire_timeout_ns,abandon_prob,pair_prob,txn_locks,txn_order,txn_policy,txn_backoff_ns,throughput_ops,read_p50_ns,read_p99_ns,write_p50_ns,write_p99_ns,ops,read_ops,write_ops,timeouts,giveup_p50_ns,giveup_p99_ns,abandons,fenced_releases,late_acquires,pair_ops,txn_commits,txn_aborts,txn_retries,retry_p99,commit_p50_ns,commit_p99_ns,"+svcCSVHeader)
 	for _, g := range groups {
 		for _, r := range g.Results {
 			c := r.Config
-			fmt.Fprintf(w, "figrw,%s,%s,%d,%d,%d,%d,%d,%.4f,%d,%.4f,%d,%d,%.4f,%.4f,%d,%s,%s,%d,%.1f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			fmt.Fprintf(w, "figrw,%s,%s,%d,%d,%d,%d,%d,%.4f,%d,%.4f,%d,%d,%.4f,%.4f,%d,%s,%s,%d,%.1f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s\n",
 				g.Name, c.Algorithm, c.Nodes, c.ThreadsPerNode, c.Locks, c.LocalityPct,
 				c.ReadPct, c.LeaseProb, c.LeaseHold.Nanoseconds(),
 				c.Model.JitterProb, c.Model.JitterNS,
@@ -576,17 +659,39 @@ func FigureRWCSV(w io.Writer, groups []harness.FigRWGroup) {
 				r.Timeouts, r.TimeoutLatency.P50NS, r.TimeoutLatency.P99NS,
 				r.Abandons, r.FencedReleases, r.LateAcquires, r.PairOps,
 				r.TxnCommits, r.TxnAborts, r.TxnRetries,
-				r.TxnRetryHist.P99NS, r.CommitLatency.P50NS, r.CommitLatency.P99NS)
+				r.TxnRetryHist.P99NS, r.CommitLatency.P50NS, r.CommitLatency.P99NS,
+				svcCSVCells(r))
 		}
 	}
 }
 
+// svcCSVHeader / svcCSVCells are the lock-service columns appended to the
+// sweep and Figure RW CSVs; closed-loop rows carry zeros.
+const svcCSVHeader = "arrival_rate_ops,clients,svc_shards,svc_placement,svc_queue_cap,svc_admission,svc_rebalance,offered_ops,goodput_ops,svc_shed,svc_timeouts,max_queue_len,qwait_p50_ns,qwait_p99_ns,qwait_p999_ns,acqwait_p50_ns,acqwait_p99_ns,hold_p50_ns,hold_p99_ns"
+
+func svcCSVCells(r harness.Result) string {
+	s := r.Svc
+	if s == nil {
+		return "0,0,0,,0,,0,0,0,0,0,0,0,0,0,0,0,0,0"
+	}
+	reb := 0
+	if r.Config.SvcRebalance {
+		reb = 1
+	}
+	return fmt.Sprintf("%.1f,%d,%d,%s,%d,%s,%d,%.1f,%.1f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d",
+		r.Config.ArrivalRate, s.Clients, s.Shards, s.Placement, s.QueueCap, s.Policy, reb,
+		s.OfferedOPS, s.GoodputOPS, s.Shed, s.Timeouts, s.MaxQueueLen,
+		s.QueueWait.P50NS, s.QueueWait.P99NS, s.QueueWait.P999NS,
+		s.AcquireWait.P50NS, s.AcquireWait.P99NS,
+		s.HoldTime.P50NS, s.HoldTime.P99NS)
+}
+
 // SweepCSV emits one CSV row per run of a scenario sweep.
 func SweepCSV(w io.Writer, name string, results []harness.Result) {
-	fmt.Fprintln(w, "scenario,algorithm,nodes,threads_per_node,locks,locality_pct,zipf_s,burst_on_ns,burst_off_ns,home_skew_pct,read_pct,lease_prob,lease_hold_ns,jitter_prob,jitter_ns,acquire_timeout_ns,abandon_prob,pair_prob,txn_locks,txn_order,txn_policy,txn_backoff_ns,throughput_ops,p50_ns,p99_ns,read_p99_ns,write_p99_ns,ops,read_ops,write_ops,timeouts,abandons,fenced_releases,late_acquires,pair_ops,txn_commits,txn_aborts,txn_retries,retry_p99,commit_p50_ns,commit_p99_ns")
+	fmt.Fprintln(w, "scenario,algorithm,nodes,threads_per_node,locks,locality_pct,zipf_s,burst_on_ns,burst_off_ns,home_skew_pct,read_pct,lease_prob,lease_hold_ns,jitter_prob,jitter_ns,acquire_timeout_ns,abandon_prob,pair_prob,txn_locks,txn_order,txn_policy,txn_backoff_ns,throughput_ops,p50_ns,p99_ns,read_p99_ns,write_p99_ns,ops,read_ops,write_ops,timeouts,abandons,fenced_releases,late_acquires,pair_ops,txn_commits,txn_aborts,txn_retries,retry_p99,commit_p50_ns,commit_p99_ns,"+svcCSVHeader)
 	for _, r := range results {
 		c := r.Config
-		fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d,%.2f,%d,%d,%d,%d,%.4f,%d,%.4f,%d,%d,%.4f,%.4f,%d,%s,%s,%d,%.1f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d,%.2f,%d,%d,%d,%d,%.4f,%d,%.4f,%d,%d,%.4f,%.4f,%d,%s,%s,%d,%.1f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s\n",
 			name, c.Algorithm, c.Nodes, c.ThreadsPerNode, c.Locks, c.LocalityPct,
 			c.ZipfS, c.BurstOn.Nanoseconds(), c.BurstOff.Nanoseconds(), c.HomeSkewPct,
 			c.ReadPct, c.LeaseProb, c.LeaseHold.Nanoseconds(),
@@ -598,7 +703,8 @@ func SweepCSV(w io.Writer, name string, results []harness.Result) {
 			r.Ops, r.ReadOps, r.WriteOps,
 			r.Timeouts, r.Abandons, r.FencedReleases, r.LateAcquires, r.PairOps,
 			r.TxnCommits, r.TxnAborts, r.TxnRetries,
-			r.TxnRetryHist.P99NS, r.CommitLatency.P50NS, r.CommitLatency.P99NS)
+			r.TxnRetryHist.P99NS, r.CommitLatency.P50NS, r.CommitLatency.P99NS,
+			svcCSVCells(r))
 	}
 }
 

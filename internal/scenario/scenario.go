@@ -119,11 +119,11 @@ func ByPrefix(prefixes ...string) []Scenario {
 }
 
 // RWFigureGroups expands the reader/writer figure's scenario families —
-// rw/*, lease/*, fail/*, multi/* and deadlock/* — into named config groups
-// at the given scale, ready for harness.FigureRW.
+// rw/*, lease/*, fail/*, multi/*, deadlock/* and svc/* — into named config
+// groups at the given scale, ready for harness.FigureRW.
 func RWFigureGroups(s harness.Scale) []harness.RWSweepGroup {
 	var groups []harness.RWSweepGroup
-	for _, sc := range ByPrefix("rw/", "lease/", "fail/", "multi/", "deadlock/") {
+	for _, sc := range ByPrefix("rw/", "lease/", "fail/", "multi/", "deadlock/", "svc/") {
 		groups = append(groups, harness.RWSweepGroup{
 			Name:    sc.Name,
 			Configs: sc.Configs(s),

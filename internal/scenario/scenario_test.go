@@ -133,14 +133,14 @@ func TestRWAndFailureScenariosRegistered(t *testing.T) {
 }
 
 func TestByPrefixAndRWFigureGroups(t *testing.T) {
-	fams := ByPrefix("rw/", "lease/", "fail/", "multi/", "deadlock/")
-	if len(fams) < 15 {
+	fams := ByPrefix("rw/", "lease/", "fail/", "multi/", "deadlock/", "svc/")
+	if len(fams) < 19 {
 		t.Fatalf("only %d scenarios in the RW figure families", len(fams))
 	}
 	for _, sc := range fams {
 		if !strings.HasPrefix(sc.Name, "rw/") && !strings.HasPrefix(sc.Name, "lease/") &&
 			!strings.HasPrefix(sc.Name, "fail/") && !strings.HasPrefix(sc.Name, "multi/") &&
-			!strings.HasPrefix(sc.Name, "deadlock/") {
+			!strings.HasPrefix(sc.Name, "deadlock/") && !strings.HasPrefix(sc.Name, "svc/") {
 			t.Errorf("ByPrefix leaked %q", sc.Name)
 		}
 	}
@@ -256,6 +256,56 @@ func TestScenariosRunEndToEnd(t *testing.T) {
 				if r.Ops == 0 {
 					t.Errorf("%s: run %d recorded no operations", sc.Name, i)
 				}
+			}
+		})
+	}
+}
+
+// TestSvcDeterminism pins the lock-service layer's determinism contract
+// at the widths CI drives: every svc/ scenario is bit-identical at sweep
+// -parallel 1 vs 8, and at -engine-shards 1 vs 4. Open-loop arrivals are
+// per-shard Poisson streams with shard-local Go state, so neither sweep
+// concurrency nor the windowed parallel executor may change a byte.
+func TestSvcDeterminism(t *testing.T) {
+	s := harness.Scale{TestTiny: true}
+	for _, sc := range ByPrefix("svc/") {
+		sc := sc
+		t.Run(strings.ReplaceAll(sc.Name, "/", "_"), func(t *testing.T) {
+			t.Parallel()
+			cfgs := sc.Configs(s)
+			serial, err := sweep.Runner{Parallel: 1}.Run(cfgs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := sweep.Runner{Parallel: 8}.Run(cfgs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sharded := make([]harness.Config, len(cfgs))
+			for i, c := range cfgs {
+				c.EngineShards = 4
+				sharded[i] = c
+			}
+			shardedRes, err := sweep.Runner{Parallel: 8}.Run(sharded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var served int64
+			for i := range cfgs {
+				if !reflect.DeepEqual(serial[i], parallel[i]) {
+					t.Errorf("config %d: -parallel 8 diverged from -parallel 1", i)
+				}
+				shardedRes[i].Config.EngineShards = 0
+				if !reflect.DeepEqual(serial[i], shardedRes[i]) {
+					t.Errorf("config %d: -engine-shards 4 diverged from serial engine", i)
+				}
+				if serial[i].Svc == nil {
+					t.Fatalf("config %d: no service stats", i)
+				}
+				served += serial[i].Svc.Served
+			}
+			if served == 0 {
+				t.Error("scenario served nothing — determinism check is vacuous")
 			}
 		})
 	}

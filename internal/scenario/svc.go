@@ -1,0 +1,115 @@
+// svc.go registers the lock-service scenario family (internal/cluster):
+// open-loop runs where per-shard Poisson generators offer a configured
+// load to bounded worker pools instead of closed-loop threads looping as
+// fast as the locks allow. The sweep axis is offered load, expressed as a
+// multiple of nominal service capacity so the same scenario is meaningful
+// at smoke scale (3 nodes x 2 workers) and paper scale.
+package scenario
+
+import (
+	"time"
+
+	"alock/internal/harness"
+	"alock/internal/locktable"
+)
+
+// svcWorkerOPS is the nominal per-worker service capacity the load
+// factors are anchored to: a remote lock/unlock pair costs ~2.5-4us under
+// the CX3 model, so one worker drains roughly 250k ops/s uncontended.
+const svcWorkerOPS = 250_000
+
+// svcWorkers sizes each shard's worker pool: the scale's largest
+// per-node thread count (TestTiny: 2, full: 12).
+func svcWorkers(s harness.Scale) int {
+	th := s.ThreadCounts()
+	return th[len(th)-1]
+}
+
+// svcGrid enumerates algorithms x offered-load factors on the big
+// cluster: one service shard per node (the default), each with a
+// svcWorkers-sized pool, at medium contention. The load factor multiplies
+// the deployment's nominal capacity (workers x svcWorkerOPS).
+func svcGrid(s harness.Scale, algos []string, loads []float64, mut func(*harness.Config)) []harness.Config {
+	warm, meas := s.Windows()
+	nodes := s.BigClusterNodes()
+	workers := svcWorkers(s)
+	capacity := float64(nodes*workers) * svcWorkerOPS
+	var cfgs []harness.Config
+	for _, algo := range algos {
+		for _, load := range loads {
+			c := harness.Config{
+				Algorithm:      algo,
+				Nodes:          nodes,
+				ThreadsPerNode: workers,
+				Locks:          locktable.MediumContentionLocks,
+				ArrivalRate:    load * capacity,
+				WarmupNS:       warm,
+				MeasureNS:      meas,
+				Seed:           s.DefaultSeed(),
+			}
+			mut(&c)
+			cfgs = append(cfgs, c)
+		}
+	}
+	return cfgs
+}
+
+func init() {
+	Register(Scenario{
+		Name:        "svc/open-loop",
+		Description: "open-loop baseline: goodput vs offered load at 30-120% of nominal service capacity",
+		Expand: func(s harness.Scale) []harness.Config {
+			return svcGrid(s, []string{"alock", "mcs", "spinlock"},
+				[]float64{0.3, 0.6, 0.9, 1.2}, func(c *harness.Config) {})
+		},
+	})
+	Register(Scenario{
+		Name:        "svc/hot-shard",
+		Description: "Zipf(1.5) hot keys at 80% load: hash vs home placement, hot-key rebalance off vs on",
+		Expand: func(s harness.Scale) []harness.Config {
+			var cfgs []harness.Config
+			for _, place := range []string{"hash", "home"} {
+				for _, reb := range []bool{false, true} {
+					place, reb := place, reb
+					cfgs = append(cfgs, svcGrid(s, []string{"alock"}, []float64{0.8},
+						func(c *harness.Config) {
+							c.ZipfS = 1.5
+							c.SvcPlacement = place
+							c.SvcRebalance = reb
+						})...)
+				}
+			}
+			return cfgs
+		},
+	})
+	Register(Scenario{
+		Name:        "svc/burst-storm",
+		Description: "on/off arrival storm: 150%-of-capacity bursts against a 32-deep admission queue",
+		Expand: func(s harness.Scale) []harness.Config {
+			return svcGrid(s, []string{"alock", "mcs"}, []float64{1.5},
+				func(c *harness.Config) {
+					c.BurstOn = 150 * time.Microsecond
+					c.BurstOff = 100 * time.Microsecond
+					c.SvcQueueCap = 32
+				})
+		},
+	})
+	Register(Scenario{
+		Name:        "svc/shed-overload",
+		Description: "2x overload: queue capacity 16 vs 256, drop-tail vs drop-head shedding",
+		Expand: func(s harness.Scale) []harness.Config {
+			var cfgs []harness.Config
+			for _, cap := range []int{16, 256} {
+				for _, policy := range []string{"drop-tail", "drop-head"} {
+					cap, policy := cap, policy
+					cfgs = append(cfgs, svcGrid(s, []string{"alock"}, []float64{2.0},
+						func(c *harness.Config) {
+							c.SvcQueueCap = cap
+							c.SvcAdmission = policy
+						})...)
+				}
+			}
+			return cfgs
+		},
+	})
+}

@@ -22,6 +22,15 @@ const (
 	// never shift the operation schedule of the draws that picked the
 	// locks — and specs without transactions consume nothing from either.
 	SubsystemBackoff Subsystem = 3
+	// SubsystemArrival feeds the lock-service cluster's open-loop arrival
+	// generators (per-service-shard streams, indexed by shard ID): Poisson
+	// interarrival gaps, burst-phase stagger, client IDs and key picks all
+	// come from here. Closed-loop runs spawn no generators and consume
+	// nothing, so pre-cluster schedules replay bit-identically; and because
+	// each shard owns its stream, the arrival sequence of one shard never
+	// depends on another shard's draws — the property that lets the
+	// windowed parallel executor run shards concurrently.
+	SubsystemArrival Subsystem = 4
 )
 
 // PartitionedRNG derives decorrelated deterministic *rand.Rand streams from

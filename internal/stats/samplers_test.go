@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestExpGapMeanRate is the fixed-seed mean-rate sanity check: a long run
+// of exponential gaps must average to the requested mean within a few
+// percent, i.e. the generated process offers the requested rate.
+func TestExpGapMeanRate(t *testing.T) {
+	for _, meanNS := range []float64{500, 5_000, 250_000} {
+		rng := rand.New(rand.NewSource(42))
+		const n = 200_000
+		var sum int64
+		for i := 0; i < n; i++ {
+			sum += ExpGapNS(rng, meanNS)
+		}
+		got := float64(sum) / n
+		if rel := math.Abs(got-meanNS) / meanNS; rel > 0.02 {
+			t.Errorf("mean %.0f: observed %.1f (%.1f%% off)", meanNS, got, rel*100)
+		}
+	}
+}
+
+// TestExpGapDeterministic proves two streams with the same seed draw the
+// same gap sequence — the property every replay guarantee rests on.
+func TestExpGapDeterministic(t *testing.T) {
+	a := rand.New(rand.NewSource(7))
+	b := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		if ga, gb := ExpGapNS(a, 1234), ExpGapNS(b, 1234); ga != gb {
+			t.Fatalf("draw %d diverged: %d vs %d", i, ga, gb)
+		}
+	}
+}
+
+func TestExpGapClamps(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if g := ExpGapNS(rng, 0); g != 1 {
+		t.Errorf("zero mean: got %d, want 1", g)
+	}
+	if g := ExpGapNS(rng, -5); g != 1 {
+		t.Errorf("negative mean: got %d, want 1", g)
+	}
+	for i := 0; i < 10_000; i++ {
+		if g := ExpGapNS(rng, 0.001); g < 1 {
+			t.Fatalf("tiny mean produced gap %d < 1", g)
+		}
+	}
+}
+
+func TestZipfWeights(t *testing.T) {
+	w := ZipfWeights(100, 1.5)
+	var sum float64
+	for i, wi := range w {
+		sum += wi
+		if i > 0 && wi > w[i-1] {
+			t.Fatalf("weights not monotone at rank %d: %g > %g", i, wi, w[i-1])
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights sum to %g, want 1", sum)
+	}
+	if w[0] < 10*w[99] {
+		t.Errorf("Zipf(1.5) head/tail ratio too flat: %g vs %g", w[0], w[99])
+	}
+
+	u := ZipfWeights(4, 0)
+	for i, wi := range u {
+		if wi != 0.25 {
+			t.Errorf("uniform weight %d = %g, want 0.25", i, wi)
+		}
+	}
+	if ZipfWeights(0, 1.5) != nil {
+		t.Error("n=0 should return nil")
+	}
+}
+
+// TestWeightedPickFrequencies checks the cumulative-inversion picker
+// reproduces its weight vector empirically under a fixed seed.
+func TestWeightedPickFrequencies(t *testing.T) {
+	weights := []float64{1, 0, 3, 6}
+	w := NewWeighted(weights)
+	if w == nil || w.Len() != 4 {
+		t.Fatal("picker not built")
+	}
+	rng := rand.New(rand.NewSource(99))
+	counts := make([]int, 4)
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		counts[w.Pick(rng)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight index picked %d times", counts[1])
+	}
+	for i, want := range []float64{0.1, 0, 0.3, 0.6} {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("index %d frequency %.3f, want %.3f", i, got, want)
+		}
+	}
+}
+
+func TestWeightedDegenerate(t *testing.T) {
+	if NewWeighted(nil) != nil {
+		t.Error("empty weights should return nil")
+	}
+	if NewWeighted([]float64{0, 0}) != nil {
+		t.Error("all-zero weights should return nil")
+	}
+	one := NewWeighted([]float64{0, 5, 0})
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		if got := one.Pick(rng); got != 1 {
+			t.Fatalf("single-weight picker returned %d", got)
+		}
+	}
+}
