@@ -1,0 +1,56 @@
+// Package graphtest exercises every call shape the callgraph package
+// resolves: direct calls, concrete method calls, interface dispatch,
+// function values through variables, parameters, struct fields, and
+// returns, plus go/defer edge kinds and nested literals.
+package graphtest
+
+type Animal interface{ Sound() string }
+
+type Dog struct{}
+
+func (Dog) Sound() string { return "woof" }
+
+type Cat struct{}
+
+func (*Cat) Sound() string { return "meow" }
+
+func direct() {}
+
+func helper() {}
+
+func callsDirect() { direct() }
+
+func (d Dog) Walk() { helper() }
+
+func callsMethod() { Dog{}.Walk() }
+
+func callsInterface(a Animal) string { return a.Sound() }
+
+var fv = direct
+
+func callsFuncVar() { fv() }
+
+func takesFn(fn func()) { fn() }
+
+func callsParam() { takesFn(helper) }
+
+type holder struct{ fn func() }
+
+func callsField() {
+	h := holder{fn: direct}
+	h.fn()
+}
+
+func gives() func() { return helper }
+
+func callsReturned() { gives()() }
+
+func spawns() {
+	defer helper()
+	go direct()
+}
+
+func literalCaller() {
+	f := func() { direct() }
+	f()
+}

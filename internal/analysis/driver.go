@@ -44,28 +44,81 @@ type allowDirective struct {
 	// all apply to that statement).
 	ownLine, nextLine int
 	file              string
+	// used records whether the directive suppressed at least one
+	// diagnostic this run; an unused directive is stale (see Options).
+	used bool
 }
 
-// Run applies every analyzer to every package, filters diagnostics through
-// the packages' `//lint:allow <analyzer> <reason>` suppression comments,
-// and returns the surviving findings sorted by position. A directive
-// suppresses diagnostics from exactly one named analyzer, on the
-// directive's own line or on the first line after its comment group.
-// Directives missing a reason, or naming an analyzer that is not part of
-// the run, are findings in their own right (analyzer "lint").
+// Options tunes a driver run.
+type Options struct {
+	// Known lists every analyzer name `//lint:allow` directives may cite,
+	// beyond the analyzers actually running. cmd/lint passes the full
+	// suite here when -only/-skip selects a subset, so a directive for a
+	// deselected analyzer is not misreported as naming an unknown one.
+	Known []string
+
+	// ReportStale, when set, reports every well-formed directive that
+	// suppressed no diagnostic as a finding (analyzer "lint"): the waiver
+	// has gone stale and must be deleted, or it silently green-lights a
+	// future regression at that site. Only meaningful when every analyzer
+	// the directives cite is part of the run.
+	ReportStale bool
+}
+
+// Run applies every analyzer to every package with the default policy:
+// stale-waiver reporting on, known names = the run set. See RunWith.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
-	known := make(map[string]bool, len(analyzers))
+	return RunWith(pkgs, analyzers, Options{ReportStale: true})
+}
+
+// RunWith applies every analyzer to every package, filters diagnostics
+// through the packages' `//lint:allow <analyzer> <reason>` suppression
+// comments, and returns the surviving findings sorted by position.
+// Per-package analyzers (Analyzer.Run) see one package at a time;
+// module-level analyzers (Analyzer.RunModule) see the whole set once. A
+// directive suppresses diagnostics from exactly one named analyzer, on the
+// directive's own line or on the first line after its comment group.
+// Directives missing a reason, or naming an analyzer outside the known
+// set, are findings in their own right (analyzer "lint"), as are — under
+// Options.ReportStale — directives that suppressed nothing.
+func RunWith(pkgs []*Package, analyzers []*Analyzer, opts Options) ([]Finding, error) {
+	known := make(map[string]bool, len(analyzers)+len(opts.Known))
+	running := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name] = true
+		running[a.Name] = true
+	}
+	for _, name := range opts.Known {
+		known[name] = true
 	}
 
 	var findings []Finding
+	perPkg := make(map[*Package][]allowDirective, len(pkgs))
 	for _, pkg := range pkgs {
 		directives, bad := scanDirectives(pkg, known)
-		for _, f := range bad {
-			findings = append(findings, f)
+		findings = append(findings, bad...)
+		perPkg[pkg] = directives
+	}
+
+	// filter routes one analyzer's diagnostics on one package through the
+	// package's directives, marking the directives it consumes.
+	filter := func(pkg *Package, name string, diags []Diagnostic) {
+		directives := perPkg[pkg]
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			if i := suppressedBy(directives, name, pos); i >= 0 {
+				directives[i].used = true
+				continue
+			}
+			findings = append(findings, Finding{Analyzer: name, Pos: pos, Message: d.Message})
 		}
+	}
+
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			var diags []Diagnostic
 			pass := &Pass{
 				Analyzer:  a,
@@ -78,15 +131,66 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.ImportPath, err)
 			}
-			for _, d := range diags {
-				pos := pkg.Fset.Position(d.Pos)
-				if suppressed(directives, a.Name, pos) {
-					continue
-				}
+			filter(pkg, a.Name, diags)
+		}
+	}
+
+	// Module-level analyzers run once over the whole set; their
+	// diagnostics are attributed to packages by filename so the owning
+	// package's directives apply.
+	fileOwner := make(map[string]*Package)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			fileOwner[pkg.Fset.Position(f.Pos()).Filename] = pkg
+		}
+	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		var diags []Diagnostic
+		var fset *token.FileSet
+		if len(pkgs) > 0 {
+			fset = pkgs[0].Fset
+		}
+		mp := &ModulePass{
+			Analyzer: a,
+			Fset:     fset,
+			Pkgs:     pkgs,
+			report:   func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.RunModule(mp); err != nil {
+			return nil, fmt.Errorf("analysis: %s (module): %w", a.Name, err)
+		}
+		byPkg := make(map[*Package][]Diagnostic)
+		for _, d := range diags {
+			pkg := fileOwner[fset.Position(d.Pos).Filename]
+			if pkg == nil {
+				pos := fset.Position(d.Pos)
 				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+				continue
+			}
+			byPkg[pkg] = append(byPkg[pkg], d)
+		}
+		for _, pkg := range pkgs { // stable package order
+			if ds := byPkg[pkg]; len(ds) > 0 {
+				filter(pkg, a.Name, ds)
 			}
 		}
 	}
+
+	if opts.ReportStale {
+		for _, pkg := range pkgs {
+			for _, d := range perPkg[pkg] {
+				if d.used || !running[d.analyzer] {
+					continue
+				}
+				findings = append(findings, Finding{Analyzer: DirectiveName, Pos: pkg.Fset.Position(d.pos),
+					Message: fmt.Sprintf("stale //lint:allow %s: the analyzer no longer fires here — delete the waiver", d.analyzer)})
+			}
+		}
+	}
+
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i].Pos, findings[j].Pos
 		if a.Filename != b.Filename {
@@ -154,17 +258,18 @@ func scanDirectives(pkg *Package, known map[string]bool) ([]allowDirective, []Fi
 	return dirs, bad
 }
 
-// suppressed reports whether a directive for the given analyzer covers pos.
-func suppressed(dirs []allowDirective, analyzer string, pos token.Position) bool {
-	for _, d := range dirs {
+// suppressedBy returns the index of the first directive for the given
+// analyzer that covers pos, or -1 if none does.
+func suppressedBy(dirs []allowDirective, analyzer string, pos token.Position) int {
+	for i, d := range dirs {
 		if d.analyzer != analyzer || d.file != pos.Filename {
 			continue
 		}
 		if pos.Line == d.ownLine || pos.Line == d.nextLine {
-			return true
+			return i
 		}
 	}
-	return false
+	return -1
 }
 
 // Funcs below are shared helpers for the rule implementations.

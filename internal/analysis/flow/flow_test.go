@@ -1,0 +1,285 @@
+package flow_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"alock/internal/analysis/flow"
+)
+
+// buildCFG parses a function body (markers like m1() need no types) and
+// builds its CFG.
+func buildCFG(t *testing.T, body string) *flow.CFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return flow.New(f.Decls[0].(*ast.FuncDecl).Body)
+}
+
+// blockCalling returns the block whose statements contain a call to the
+// named function, or nil.
+func blockCalling(c *flow.CFG, name string) *flow.Block {
+	for _, b := range c.Blocks {
+		for _, s := range b.Stmts {
+			found := false
+			ast.Inspect(s, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+						found = true
+					}
+				}
+				return true
+			})
+			if found {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+// reachable returns the set of blocks reachable from the entry.
+func reachable(c *flow.CFG) map[*flow.Block]bool {
+	seen := map[*flow.Block]bool{c.Entry: true}
+	stack := []*flow.Block{c.Entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+func TestIfBranches(t *testing.T) {
+	c := buildCFG(t, `
+if cond() {
+	m1()
+} else {
+	m2()
+}
+m3()`)
+	condBlk := blockCalling(c, "cond")
+	if condBlk == nil || condBlk.Cond == nil {
+		t.Fatal("if head block missing or has no Cond")
+	}
+	if len(condBlk.Succs) != 2 {
+		t.Fatalf("if head has %d successors, want 2", len(condBlk.Succs))
+	}
+	if condBlk.Succs[0] != blockCalling(c, "m1") || condBlk.Succs[1] != blockCalling(c, "m2") {
+		t.Fatal("true/false edges not Succs[0]/Succs[1]")
+	}
+	if !reachable(c)[blockCalling(c, "m3")] {
+		t.Fatal("join block unreachable")
+	}
+}
+
+func TestDeferCollected(t *testing.T) {
+	c := buildCFG(t, `
+defer m1()
+if cond() {
+	return
+}
+m2()`)
+	if len(c.Defers) != 1 {
+		t.Fatalf("Defers = %d, want 1", len(c.Defers))
+	}
+	if blockCalling(c, "m1") != c.Entry {
+		t.Fatal("defer statement not recorded at its registration block")
+	}
+	if !reachable(c)[c.Exit] {
+		t.Fatal("exit unreachable")
+	}
+}
+
+// TestLabeledBreak: both loops are infinite, so the statement after the
+// outer loop is reachable only if `break outer` targets the labeled
+// loop's exit rather than the inner loop's.
+func TestLabeledBreak(t *testing.T) {
+	c := buildCFG(t, `
+outer:
+	for {
+		for {
+			if cond() {
+				break outer
+			}
+			m1()
+		}
+	}
+	m2()`)
+	if !reachable(c)[blockCalling(c, "m2")] {
+		t.Fatal("break outer did not reach past the labeled loop")
+	}
+}
+
+// TestPlainBreakStaysInner: with an unlabeled break, only the inner loop
+// exits; the outer `for {}` never terminates and m2 stays unreachable.
+func TestPlainBreakStaysInner(t *testing.T) {
+	c := buildCFG(t, `
+	for {
+		for {
+			if cond() {
+				break
+			}
+		}
+		m1()
+	}
+	m2()`)
+	r := reachable(c)
+	if !r[blockCalling(c, "m1")] {
+		t.Fatal("inner break did not reach the outer loop body")
+	}
+	if r[blockCalling(c, "m2")] {
+		t.Fatal("plain break escaped the outer infinite loop")
+	}
+}
+
+func TestLabeledContinue(t *testing.T) {
+	c := buildCFG(t, `
+outer:
+	for i := 0; i < n; i++ {
+		for {
+			continue outer
+		}
+	}
+	m1()`)
+	if !reachable(c)[blockCalling(c, "m1")] {
+		t.Fatal("labeled continue lost the outer loop's exit edge")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	c := buildCFG(t, `
+m0()
+select {
+case <-a:
+	m1()
+case b <- 1:
+	m2()
+}
+m3()`)
+	head := blockCalling(c, "m0")
+	if len(head.Succs) != 2 {
+		t.Fatalf("select head has %d successors, want 2", len(head.Succs))
+	}
+	r := reachable(c)
+	for _, m := range []string{"m1", "m2", "m3"} {
+		if !r[blockCalling(c, m)] {
+			t.Fatalf("%s unreachable through select", m)
+		}
+	}
+}
+
+func TestSwitchDefault(t *testing.T) {
+	c := buildCFG(t, `
+switch tag() {
+case 1:
+	m1()
+default:
+	m2()
+}
+m3()`)
+	head := blockCalling(c, "tag")
+	// With a default clause the head must not edge straight to the join.
+	if len(head.Succs) != 2 {
+		t.Fatalf("switch head has %d successors, want 2", len(head.Succs))
+	}
+	if !reachable(c)[blockCalling(c, "m3")] {
+		t.Fatal("switch join unreachable")
+	}
+}
+
+func TestPanicTerminates(t *testing.T) {
+	c := buildCFG(t, `
+if cond() {
+	panic("boom")
+}
+m1()`)
+	var panicBlk *flow.Block
+	for _, b := range c.Blocks {
+		for _, s := range b.Stmts {
+			if es, ok := s.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+						panicBlk = b
+					}
+				}
+			}
+		}
+	}
+	if panicBlk == nil {
+		t.Fatal("panic block not found")
+	}
+	if len(panicBlk.Succs) != 0 {
+		t.Fatal("panic path should not continue")
+	}
+	if !reachable(c)[c.Exit] {
+		t.Fatal("non-panic path should reach exit")
+	}
+}
+
+// TestSolverLeakShape runs the solver on the exact shape guardflow cares
+// about: a resource acquired, an early return skipping the release. The
+// all-paths-released lattice must report false at exit, and true once the
+// early return also releases.
+func TestSolverLeakShape(t *testing.T) {
+	released := func(b *flow.Block) bool {
+		return blockCallIn(b, "release")
+	}
+	solver := flow.Solver[bool]{
+		Transfer: func(b *flow.Block, in bool) bool { return in || released(b) },
+		Join:     func(a, b bool) bool { return a && b },
+		Equal:    func(a, b bool) bool { return a == b },
+	}
+
+	leak := buildCFG(t, `
+g := acquire()
+if cond() {
+	return
+}
+release(g)`)
+	in := flow.Solve(leak, false, solver)
+	if got, ok := flow.ExitState(leak, in); !ok || got {
+		t.Fatalf("leak shape: exit released=%v reachable=%v, want false/true", got, ok)
+	}
+
+	clean := buildCFG(t, `
+g := acquire()
+if cond() {
+	release(g)
+	return
+}
+release(g)`)
+	in = flow.Solve(clean, false, solver)
+	if got, ok := flow.ExitState(clean, in); !ok || !got {
+		t.Fatalf("clean shape: exit released=%v reachable=%v, want true/true", got, ok)
+	}
+}
+
+func blockCallIn(b *flow.Block, name string) bool {
+	for _, s := range b.Stmts {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+					found = true
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

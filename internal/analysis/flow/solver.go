@@ -1,0 +1,79 @@
+package flow
+
+// A Solver supplies the lattice operations for one forward dataflow
+// problem over a CFG. States are values of type S; the solver never
+// mutates them, so Transfer and Branch must return fresh or immutable
+// states.
+type Solver[S any] struct {
+	// Transfer computes the state after executing a block's statements,
+	// given the state on entry.
+	Transfer func(b *Block, in S) S
+
+	// Branch, if set, refines the post-block state on the edge to
+	// Succs[i] — e.g. narrowing a guard's outcome on the true edge of
+	// `if out == api.Acquired`. Nil means the edge carries the
+	// post-block state unchanged.
+	Branch func(b *Block, succIdx int, out S) S
+
+	// Join merges the states of two predecessors at a join point.
+	Join func(a, b S) S
+
+	// Equal reports whether two states are indistinguishable; it bounds
+	// the fixpoint iteration.
+	Equal func(a, b S) bool
+}
+
+// Solve runs the forward worklist to a fixpoint and returns the state on
+// entry to each block. entry seeds the CFG's Entry block. Blocks are
+// visited in index order each round, so results are deterministic; the
+// lattice must have finite height or iteration is capped (and the last
+// computed states returned) after a generous bound.
+func Solve[S any](c *CFG, entry S, s Solver[S]) map[*Block]S {
+	in := make(map[*Block]S, len(c.Blocks))
+	seen := make(map[*Block]bool, len(c.Blocks))
+	in[c.Entry] = entry
+	seen[c.Entry] = true
+
+	// Height cap: |blocks|² rounds is far beyond any finite-height
+	// lattice this package's clients use; it guards against a
+	// non-converging Equal.
+	maxRounds := len(c.Blocks)*len(c.Blocks) + 8
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for _, b := range c.Blocks {
+			if !seen[b] {
+				continue
+			}
+			out := s.Transfer(b, in[b])
+			for i, succ := range b.Succs {
+				edge := out
+				if s.Branch != nil {
+					edge = s.Branch(b, i, out)
+				}
+				if !seen[succ] {
+					seen[succ] = true
+					in[succ] = edge
+					changed = true
+					continue
+				}
+				merged := s.Join(in[succ], edge)
+				if !s.Equal(in[succ], merged) {
+					in[succ] = merged
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return in
+}
+
+// ExitState returns the fixpoint state on entry to the synthetic Exit
+// block, or (zero, false) if no return path reaches it (e.g. the
+// function always panics or loops forever).
+func ExitState[S any](c *CFG, in map[*Block]S) (S, bool) {
+	s, ok := in[c.Exit]
+	return s, ok
+}

@@ -1,0 +1,33 @@
+package rules
+
+// HotPathRoots declares the functions whose transitive callees must stay
+// allocation-free. This is the checked-in twin of what alloc_test.go
+// probes dynamically (`testing.AllocsPerRun` over ProcessNextEvent, the
+// Mallocs bound over direct runs): the steady-state event loop of both
+// executors, from scheduling through dispatch. Perf PRs that add a new
+// dispatch entry point extend this list; the allocfree analyzer reports a
+// finding if a root name stops resolving, so renames can't silently
+// shrink the proved surface.
+//
+// Names use the callgraph format: "pkgpath.Func" or
+// "pkgpath.(*Recv).Method". `go` edges are not followed — goroutine
+// startup (per-thread launch) is priced separately from the per-event
+// loop — so thread bodies hand control back via channels, not calls, and
+// workload code stays out of the proved set.
+var HotPathRoots = []string{
+	// Serial executor: public stepping API and the direct-handoff loop.
+	"alock/internal/sim.(*Engine).Step",
+	"alock/internal/sim.(*Engine).ProcessNextEvent",
+	"alock/internal/sim.(*Engine).runDirect",
+	"alock/internal/sim.(*Engine).dispatchNext",
+
+	// Event queue: the typed 4-ary heap's steady-state operations.
+	"alock/internal/sim.(*eventQueue).push",
+	"alock/internal/sim.(*eventQueue).pop",
+	"alock/internal/sim.(*eventQueue).min",
+
+	// Windowed-parallel executor: the per-window dispatch loop and the
+	// per-shard drain it fans out to.
+	"alock/internal/sim.(*Engine).runWindowed",
+	"alock/internal/sim.(*shard).runWindow",
+}

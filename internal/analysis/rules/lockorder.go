@@ -1,0 +1,513 @@
+package rules
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"alock/internal/analysis"
+	"alock/internal/analysis/callgraph"
+)
+
+// Lockorder enforces the deadlock-avoidance discipline on multi-lock code
+// paths: whenever a function acquires a second lock while the first is
+// still held, the two lock indices must be provably in ascending order.
+// Three forms of evidence are accepted:
+//
+//   - both indices are integer constants and the second is larger;
+//   - an if-swap normalization precedes the second acquire — a statement
+//     of the form `if j < i { i, j = j, i }` whose comparison operands
+//     cover both index variables (value aliases like `pair := j` are
+//     traced through plain assignments);
+//   - for a single acquire inside a `for _, i := range idxs` loop, the
+//     index slice is sorted — by a sort call in the same function before
+//     the loop, or anywhere inside the callee the slice was assigned
+//     from (a conditional sort in the producer is accepted: the dynamic
+//     TxnOrder gate is the producer's concern, not the call site's).
+//
+// Pairs are exempt when the first guard is released or abandoned between
+// the two sites (the holds never overlap) or when the two locks come from
+// different tables (no shared order domain). Test files are skipped.
+var Lockorder = &analysis.Analyzer{
+	Name:      "lockorder",
+	Doc:       "overlapping lock acquisitions must be provably ordered by ascending lock index",
+	RunModule: runLockorder,
+}
+
+func runLockorder(mp *analysis.ModulePass) error {
+	g := moduleGraph(mp)
+	for _, n := range g.Nodes() {
+		body := n.Body()
+		if body == nil || n.Pkg == nil {
+			continue
+		}
+		if strings.HasSuffix(mp.Fset.Position(n.Pos()).Filename, "_test.go") {
+			continue
+		}
+		checkLockOrder(mp, g, n.Pkg.TypesInfo, body)
+	}
+	return nil
+}
+
+// An acquireSite is one lock-acquiring call with its index decomposed:
+// base identifies the lock table (the indexed value or the receiver of a
+// single-integer-argument pointer lookup like table.Ptr(i)), idx is the
+// index expression, obj/val its variable or constant form when resolvable.
+type acquireSite struct {
+	call    *ast.CallExpr
+	base    types.Object
+	idx     ast.Expr
+	obj     types.Object
+	val     int64
+	isConst bool
+	guard   types.Object
+}
+
+func checkLockOrder(mp *analysis.ModulePass, g *callgraph.Graph, info *types.Info, body *ast.BlockStmt) {
+	sites := acquireSitesIn(info, body)
+	if len(sites) == 0 {
+		return
+	}
+	origins := indexOrigins(info, body)
+	norms := normalizations(info, body)
+	for i := 0; i+1 < len(sites); i++ {
+		checkAcquirePair(mp, info, body, origins, norms, sites[i], sites[i+1])
+	}
+	checkRangeAcquires(mp, g, info, body, sites, origins)
+}
+
+// shallowInspect walks body in source order without descending into
+// function literals: a literal's acquires belong to its own callgraph
+// node and are checked against its own body.
+func shallowInspect(body *ast.BlockStmt, f func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			f(n)
+		}
+		return true
+	})
+}
+
+func acquireSitesIn(info *types.Info, body *ast.BlockStmt) []*acquireSite {
+	var sites []*acquireSite
+	shallowInspect(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 || !isAcquireShaped(info, call) {
+			return
+		}
+		s := &acquireSite{call: call}
+		s.base, s.idx = lockIndex(info, body, call.Args[0], 0)
+		if s.idx != nil {
+			if tv, ok := info.Types[s.idx]; ok && tv.Value != nil {
+				if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+					s.val, s.isConst = v, true
+				}
+			}
+			s.obj = objOf(info, s.idx)
+		}
+		s.guard = guardAssignedBy(info, body, call)
+		sites = append(sites, s)
+	})
+	return sites
+}
+
+// lockIndex resolves a lock-pointer argument to (table, index). Indexing
+// (ptrs[i]) and single-integer-argument lookups (table.Ptr(i)) both
+// qualify; a local assigned exactly once from such an expression is traced
+// through, which covers the `l := table.Ptr(idx)` hoist in the workload
+// loops.
+func lockIndex(info *types.Info, body *ast.BlockStmt, e ast.Expr, depth int) (types.Object, ast.Expr) {
+	if depth > 4 {
+		return nil, nil
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.IndexExpr:
+		return objOf(info, e.X), e.Index
+	case *ast.CallExpr:
+		if len(e.Args) != 1 || !isIntExpr(info, e.Args[0]) {
+			return nil, nil
+		}
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			return objOf(info, sel.X), e.Args[0]
+		}
+		return objOf(info, e.Fun), e.Args[0]
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			return nil, nil
+		}
+		if rhs := soleAssignment(info, body, obj); rhs != nil {
+			return lockIndex(info, body, rhs, depth+1)
+		}
+	}
+	return nil, nil
+}
+
+func isIntExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// soleAssignment returns the only expression ever assigned to obj in
+// body, or nil when obj is assigned zero times, more than once, or by a
+// non 1:1 assignment.
+func soleAssignment(info *types.Info, body *ast.BlockStmt, obj types.Object) ast.Expr {
+	var rhs ast.Expr
+	count := 0
+	shallowInspect(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if assigneeObj(info, lhs) != obj {
+					continue
+				}
+				count++
+				if len(n.Lhs) == len(n.Rhs) {
+					rhs = n.Rhs[i]
+				}
+			}
+		case *ast.RangeStmt:
+			if assigneeObj(info, n.Key) == obj || assigneeObj(info, n.Value) == obj {
+				count += 2 // a range binding is never a traceable source
+			}
+		}
+	})
+	if count != 1 {
+		return nil
+	}
+	return rhs
+}
+
+func assigneeObj(info *types.Info, e ast.Expr) types.Object {
+	if e == nil {
+		return nil
+	}
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if d := info.Defs[id]; d != nil {
+		return d
+	}
+	return info.Uses[id]
+}
+
+// guardAssignedBy returns the variable the call's guard result is bound
+// to, if the call is the sole RHS of an assignment.
+func guardAssignedBy(info *types.Info, body *ast.BlockStmt, call *ast.CallExpr) types.Object {
+	var guard types.Object
+	shallowInspect(body, func(n ast.Node) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || as.Rhs[0] != call || len(as.Lhs) == 0 {
+			return
+		}
+		guard = assigneeObj(info, as.Lhs[0])
+	})
+	return guard
+}
+
+// indexOrigins maps each variable to the set of variables whose value may
+// flow into it through plain ident-to-ident assignments (`pair := j`).
+// Swap-shaped assignments (x, y = y, x) are excluded: they are order
+// normalizations, not value aliases, and folding them in would make every
+// normalized pair alias both ways and erase the order direction.
+func indexOrigins(info *types.Info, body *ast.BlockStmt) map[types.Object]map[types.Object]bool {
+	out := map[types.Object]map[types.Object]bool{}
+	add := func(dst, src types.Object) {
+		if out[dst] == nil {
+			out[dst] = map[types.Object]bool{}
+		}
+		out[dst][src] = true
+	}
+	shallowInspect(body, func(n ast.Node) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return
+		}
+		if _, _, isSwap := swapObjs(info, as); isSwap {
+			return
+		}
+		for i := range as.Lhs {
+			dst := assigneeObj(info, as.Lhs[i])
+			src := objOf(info, as.Rhs[i])
+			if dst != nil && src != nil && dst != src {
+				add(dst, src)
+			}
+		}
+	})
+	for changed := true; changed; {
+		changed = false
+		for _, srcs := range out {
+			for s := range srcs {
+				for s2 := range out[s] {
+					if !srcs[s2] {
+						srcs[s2] = true //lint:allow maporder transitive-closure fixpoint: the closure is a set union, order-independent
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func originHas(origins map[types.Object]map[types.Object]bool, obj, want types.Object) bool {
+	if obj == nil || want == nil {
+		return false
+	}
+	return obj == want || origins[obj][want]
+}
+
+// A normalization records an if-swap statement: after it executes, min
+// holds the smaller index and max the larger.
+type normalization struct {
+	min, max types.Object
+	pos      token.Pos
+}
+
+func normalizations(info *types.Info, body *ast.BlockStmt) []normalization {
+	var out []normalization
+	shallowInspect(body, func(n ast.Node) {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || ifs.Body == nil {
+			return
+		}
+		cmp, ok := ast.Unparen(ifs.Cond).(*ast.BinaryExpr)
+		if !ok {
+			return
+		}
+		x, y := objOf(info, cmp.X), objOf(info, cmp.Y)
+		if x == nil || y == nil || x == y {
+			return
+		}
+		var min, max types.Object
+		switch cmp.Op {
+		case token.LSS, token.LEQ: // if x < y { swap } leaves y the smaller
+			min, max = y, x
+		case token.GTR, token.GEQ: // if x > y { swap } leaves x the smaller
+			min, max = x, y
+		default:
+			return
+		}
+		for _, st := range ifs.Body.List {
+			as, ok := st.(*ast.AssignStmt)
+			if !ok {
+				continue
+			}
+			p, q, isSwap := swapObjs(info, as)
+			if isSwap && ((p == x && q == y) || (p == y && q == x)) {
+				out = append(out, normalization{min: min, max: max, pos: ifs.Pos()})
+				return
+			}
+		}
+	})
+	return out
+}
+
+// swapObjs recognizes `x, y = y, x` and returns the two swapped objects.
+func swapObjs(info *types.Info, as *ast.AssignStmt) (p, q types.Object, ok bool) {
+	if as.Tok != token.ASSIGN || len(as.Lhs) != 2 || len(as.Rhs) != 2 {
+		return nil, nil, false
+	}
+	l0, l1 := assigneeObj(info, as.Lhs[0]), assigneeObj(info, as.Lhs[1])
+	r0, r1 := objOf(info, as.Rhs[0]), objOf(info, as.Rhs[1])
+	if l0 == nil || l1 == nil || l0 == l1 || l0 != r1 || l1 != r0 {
+		return nil, nil, false
+	}
+	return l0, l1, true
+}
+
+func checkAcquirePair(mp *analysis.ModulePass, info *types.Info, body *ast.BlockStmt,
+	origins map[types.Object]map[types.Object]bool, norms []normalization, s1, s2 *acquireSite) {
+
+	if s1.base != nil && s2.base != nil && s1.base != s2.base {
+		return // different lock tables: no shared order domain
+	}
+	if releasedBetween(info, body, s1, s2) {
+		return // the holds never overlap
+	}
+	line1 := mp.Fset.Position(s1.call.Pos()).Line
+	switch {
+	case s1.isConst && s2.isConst:
+		switch {
+		case s1.val < s2.val:
+			// ascending by construction
+		case s1.val == s2.val:
+			mp.Reportf(s2.call.Pos(),
+				"lock index %d acquired twice with the first hold still live (first acquire at line %d)",
+				s2.val, line1)
+		default:
+			mp.Reportf(s2.call.Pos(),
+				"lock index %d acquired while index %d is held (line %d): descending order can deadlock",
+				s2.val, s1.val, line1)
+		}
+	case s1.obj != nil && s1.obj == s2.obj:
+		mp.Reportf(s2.call.Pos(),
+			"lock index %s acquired twice with the first hold still live (first acquire at line %d)",
+			s1.obj.Name(), line1)
+	default:
+		for _, nm := range norms {
+			if nm.pos < s2.call.Pos() &&
+				originHas(origins, s1.obj, nm.min) && originHas(origins, s2.obj, nm.max) {
+				return
+			}
+		}
+		mp.Reportf(s2.call.Pos(),
+			"lock order unprovable: this acquire overlaps the one at line %d with no ascending evidence (constant indices, an if-swap normalization, or a sorted index source)",
+			line1)
+	}
+}
+
+// releasedBetween reports whether s1's guard is passed to Release or
+// Abandon strictly between the two acquire sites.
+func releasedBetween(info *types.Info, body *ast.BlockStmt, s1, s2 *acquireSite) bool {
+	if s1.guard == nil {
+		return false
+	}
+	found := false
+	shallowInspect(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found || call.Pos() <= s1.call.End() || call.Pos() >= s2.call.Pos() {
+			return
+		}
+		if name := calleeBaseName(call); name != "Release" && name != "Abandon" {
+			return
+		}
+		for _, a := range call.Args {
+			if objOf(info, a) == s1.guard {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+// checkRangeAcquires handles the k-lock transaction shape: one acquire
+// site inside `for _, li := range idxs`, indexed by the range value (or
+// by idxs[i] under the range key). The slice must be provably sorted.
+func checkRangeAcquires(mp *analysis.ModulePass, g *callgraph.Graph, info *types.Info,
+	body *ast.BlockStmt, sites []*acquireSite, origins map[types.Object]map[types.Object]bool) {
+
+	shallowInspect(body, func(n ast.Node) {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || rs.Body == nil {
+			return
+		}
+		sliceObj := objOf(info, rs.X)
+		if sliceObj == nil {
+			return
+		}
+		keyObj := assigneeObj(info, rs.Key)
+		valObj := assigneeObj(info, rs.Value)
+		for _, s := range sites {
+			if s.call.Pos() < rs.Body.Pos() || s.call.Pos() > rs.Body.End() {
+				continue
+			}
+			if !rangeIndexed(info, origins, s, sliceObj, keyObj, valObj) {
+				continue
+			}
+			if sortedEvidence(g, info, body, sliceObj, rs.Pos()) {
+				continue
+			}
+			mp.Reportf(s.call.Pos(),
+				"locks acquired in the order of %s, which is not provably sorted (no sort call in this function or in its producer)",
+				sliceObj.Name())
+		}
+	})
+}
+
+// rangeIndexed reports whether the site's lock index is the loop's range
+// value (possibly via an alias) or an idxs[key] subscript.
+func rangeIndexed(info *types.Info, origins map[types.Object]map[types.Object]bool,
+	s *acquireSite, sliceObj, keyObj, valObj types.Object) bool {
+
+	if valObj != nil && originHas(origins, s.obj, valObj) {
+		return true
+	}
+	if idx, ok := ast.Unparen(s.idx).(*ast.IndexExpr); ok && keyObj != nil {
+		return objOf(info, idx.X) == sliceObj && objOf(info, idx.Index) == keyObj
+	}
+	return false
+}
+
+// sortedEvidence reports whether slice is sorted before pos: a sort call
+// on it earlier in this body, or a sort call anywhere inside a callee the
+// slice was assigned from. The producer's sort may be conditional — the
+// dynamic ordered-mode gate lives there, not at the acquire site.
+func sortedEvidence(g *callgraph.Graph, info *types.Info, body *ast.BlockStmt,
+	slice types.Object, pos token.Pos) bool {
+
+	found := false
+	shallowInspect(body, func(n ast.Node) {
+		if found {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if n.Pos() < pos && isSortCall(info, n) && len(n.Args) > 0 &&
+				objOf(info, n.Args[0]) == slice {
+				found = true
+			}
+		case *ast.AssignStmt:
+			if n.Pos() >= pos {
+				return
+			}
+			for i, lhs := range n.Lhs {
+				if assigneeObj(info, lhs) != slice || len(n.Lhs) != len(n.Rhs) {
+					continue
+				}
+				call, ok := ast.Unparen(n.Rhs[i]).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if fn := funcOf(info, call.Fun); fn != nil && calleeSorts(g, fn) {
+					found = true
+				}
+			}
+		}
+	})
+	return found
+}
+
+// calleeSorts reports whether fn's body contains any sort call.
+func calleeSorts(g *callgraph.Graph, fn *types.Func) bool {
+	node := g.NodeOf(fn)
+	if node == nil || node.Body() == nil || node.Pkg == nil {
+		return false
+	}
+	info := node.Pkg.TypesInfo
+	found := false
+	ast.Inspect(node.Body(), func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isSortCall(info, call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := funcOf(info, call.Fun)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort":
+		switch fn.Name() {
+		case "Ints", "Float64s", "Strings", "Slice", "SliceStable", "Sort", "Stable":
+			return true
+		}
+	case "slices":
+		return strings.HasPrefix(fn.Name(), "Sort")
+	}
+	return false
+}

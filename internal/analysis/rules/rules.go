@@ -1,7 +1,8 @@
-// Package rules implements the repo's determinism lint suite: five
+// Package rules implements the repo's determinism lint suite: nine
 // analyzers that statically enforce the invariants every bit-identity
-// guarantee rests on. See each analyzer's Doc and the README's
-// "Determinism invariants" section.
+// guarantee rests on — five per-package syntactic checks and four
+// interprocedural ones built on the callgraph and flow packages. See each
+// analyzer's Doc and the README's "Determinism invariants" section.
 //
 // Findings are suppressed per site with `//lint:allow <analyzer> <reason>`
 // (the reason is mandatory; the driver rejects directives naming analyzers
@@ -16,9 +17,12 @@ import (
 	"alock/internal/analysis"
 )
 
-// All returns the full suite in reporting order.
+// All returns the full suite in reporting order: the five per-package
+// analyzers from PR 8, then the four interprocedural ones built on the
+// callgraph/flow packages.
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{Detrand, Maporder, Shardmem, Guardcheck, Rnggate}
+	return []*analysis.Analyzer{Detrand, Maporder, Shardmem, Guardcheck, Rnggate,
+		Allocfree, Guardflow, Lockorder, Shardflow}
 }
 
 // --- shared helpers ---

@@ -42,18 +42,52 @@ func TestRnggate(t *testing.T) {
 	analysistest.Run(t, "testdata/src/rnggate", "rnggatetest", Rnggate)
 }
 
+// TestGuardflow runs the interprocedural guard-lifetime check: leaks on
+// early returns and timeout branches, escapes, delegation through
+// summaries, double release, reacquire-while-held.
+func TestGuardflow(t *testing.T) {
+	analysistest.Run(t, "testdata/src/guardflow", "guardflowtest", Guardflow)
+}
+
+// TestAllocfree runs the interprocedural allocation check over a fixture
+// root set; the slow-handler case proves call-through-interface
+// reachability.
+func TestAllocfree(t *testing.T) {
+	analysistest.Run(t, "testdata/src/allocfree", "allocfreetest",
+		NewAllocfree([]string{"allocfreetest.(*Engine).Step"}))
+}
+
+// TestLockorder runs the acquisition-order check: constant, if-swap, and
+// sorted-slice evidence, with alias tracing and producer sorts.
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, "testdata/src/lockorder", "lockordertest", Lockorder)
+}
+
+// TestShardflow runs the dispatch-reachability check: direct substrate
+// access is flagged in anything reachable from the modeled runWindow root
+// or a Spawn-registered thread body (including go and defer edges), and
+// tolerated in the sanctioned accessors and unreachable code.
+func TestShardflow(t *testing.T) {
+	analysistest.Run(t, "testdata/src/shardflow", "shardflowtest",
+		NewShardflow([]string{"shardflowtest.(*Engine).runWindow"}))
+}
+
 func TestAllRegistered(t *testing.T) {
 	names := map[string]bool{}
 	for _, a := range All() {
-		if a.Name == "" || a.Doc == "" || a.Run == nil {
-			t.Errorf("analyzer %q incomplete: Doc or Run missing", a.Name)
+		if a.Name == "" || a.Doc == "" {
+			t.Errorf("analyzer %q incomplete: Name or Doc missing", a.Name)
+		}
+		if (a.Run == nil) == (a.RunModule == nil) {
+			t.Errorf("analyzer %q must set exactly one of Run and RunModule", a.Name)
 		}
 		if names[a.Name] {
 			t.Errorf("duplicate analyzer name %q", a.Name)
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"detrand", "maporder", "shardmem", "guardcheck", "rnggate"} {
+	for _, want := range []string{"detrand", "maporder", "shardmem", "guardcheck", "rnggate",
+		"allocfree", "guardflow", "lockorder", "shardflow"} {
 		if !names[want] {
 			t.Errorf("All() is missing analyzer %q", want)
 		}

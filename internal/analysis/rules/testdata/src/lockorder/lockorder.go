@@ -1,0 +1,171 @@
+// Package lockordertest exercises the lockorder analyzer: overlapping
+// acquires must be provably ascending by lock index — via constants, an
+// if-swap normalization, or a sorted index slice.
+package lockordertest
+
+import (
+	"sort"
+
+	"alock/internal/api"
+	"alock/internal/ptr"
+)
+
+type locker struct{ t api.TokenLocker }
+
+func (l *locker) Acquire(p ptr.Ptr, m api.Mode, o api.AcquireOpts) (api.Guard, api.Outcome) {
+	return l.t.Acquire(p, m, o)
+}
+
+func (l *locker) Release(g api.Guard) api.ReleaseOutcome { return l.t.Release(g) }
+
+type table struct{ ptrs []ptr.Ptr }
+
+func (t *table) Ptr(i int) ptr.Ptr { return t.ptrs[i] }
+
+// constAscending acquires 0 then 1: provably ascending, no finding.
+func constAscending(h *locker, t *table) {
+	g1, _ := h.Acquire(t.Ptr(0), api.Exclusive, api.AcquireOpts{})
+	g2, _ := h.Acquire(t.Ptr(1), api.Exclusive, api.AcquireOpts{})
+	h.Release(g2)
+	h.Release(g1)
+}
+
+// constDescending acquires 2 then 1: the classic deadlock shape.
+func constDescending(h *locker, t *table) {
+	g1, _ := h.Acquire(t.Ptr(2), api.Exclusive, api.AcquireOpts{})
+	g2, _ := h.Acquire(t.Ptr(1), api.Exclusive, api.AcquireOpts{}) // want `descending order can deadlock`
+	h.Release(g2)
+	h.Release(g1)
+}
+
+// constTwice re-acquires the same index while the first hold is live.
+func constTwice(h *locker, t *table) {
+	g1, _ := h.Acquire(t.Ptr(1), api.Exclusive, api.AcquireOpts{})
+	g2, _ := h.Acquire(t.Ptr(1), api.Exclusive, api.AcquireOpts{}) // want `acquired twice with the first hold still live`
+	h.Release(g2)
+	h.Release(g1)
+}
+
+// swapNormalized is the pair-transaction discipline: normalize, then
+// acquire min first. No finding.
+func swapNormalized(h *locker, t *table, a, b int) {
+	if b < a {
+		a, b = b, a
+	}
+	g1, _ := h.Acquire(t.Ptr(a), api.Exclusive, api.AcquireOpts{})
+	g2, _ := h.Acquire(t.Ptr(b), api.Exclusive, api.AcquireOpts{})
+	h.Release(g2)
+	h.Release(g1)
+}
+
+// swapBackwards normalizes but then acquires the larger index first: the
+// swap must not count as evidence in the wrong direction.
+func swapBackwards(h *locker, t *table, a, b int) {
+	if b < a {
+		a, b = b, a
+	}
+	g1, _ := h.Acquire(t.Ptr(b), api.Exclusive, api.AcquireOpts{})
+	g2, _ := h.Acquire(t.Ptr(a), api.Exclusive, api.AcquireOpts{}) // want `lock order unprovable`
+	h.Release(g2)
+	h.Release(g1)
+}
+
+// viaAlias mirrors the workload pair path: the first lock pointer is
+// hoisted into a local and the second index reaches the acquire through a
+// plain alias assignment.
+func viaAlias(h *locker, t *table, idx, j int) {
+	if j < idx {
+		idx, j = j, idx
+	}
+	pair := j
+	l := t.Ptr(idx)
+	g1, _ := h.Acquire(l, api.Exclusive, api.AcquireOpts{})
+	g2, _ := h.Acquire(t.Ptr(pair), api.Exclusive, api.AcquireOpts{})
+	h.Release(g2)
+	h.Release(g1)
+}
+
+// noEvidence overlaps two variable-indexed acquires with nothing relating
+// the indices.
+func noEvidence(h *locker, t *table, a, b int) {
+	g1, _ := h.Acquire(t.Ptr(a), api.Exclusive, api.AcquireOpts{})
+	g2, _ := h.Acquire(t.Ptr(b), api.Exclusive, api.AcquireOpts{}) // want `lock order unprovable`
+	h.Release(g2)
+	h.Release(g1)
+}
+
+// releasedBetween never overlaps the holds: order is irrelevant.
+func releasedBetween(h *locker, t *table, a, b int) {
+	g1, _ := h.Acquire(t.Ptr(a), api.Exclusive, api.AcquireOpts{})
+	h.Release(g1)
+	g2, _ := h.Acquire(t.Ptr(b), api.Exclusive, api.AcquireOpts{})
+	h.Release(g2)
+}
+
+// differentTables acquires from two distinct tables: their indices share
+// no order domain, so the constant "descent" is not a finding.
+func differentTables(h *locker, t1, t2 *table) {
+	g1, _ := h.Acquire(t1.Ptr(5), api.Exclusive, api.AcquireOpts{})
+	g2, _ := h.Acquire(t2.Ptr(0), api.Exclusive, api.AcquireOpts{})
+	h.Release(g2)
+	h.Release(g1)
+}
+
+// pickRaw builds a descending (unsorted) index set.
+func pickRaw(n int) []int {
+	idxs := make([]int, 0, n)
+	for i := n - 1; i >= 0; i-- {
+		idxs = append(idxs, i)
+	}
+	return idxs
+}
+
+// pickSorted sorts conditionally, like the transaction picker: the
+// ordered-mode gate lives in the producer.
+func pickSorted(n int, ordered bool) []int {
+	idxs := pickRaw(n)
+	if ordered {
+		sort.Ints(idxs)
+	}
+	return idxs
+}
+
+// sortedLoop sorts in-function before acquiring in slice order: clean.
+func sortedLoop(h *locker, t *table, n int) {
+	idxs := pickRaw(n)
+	sort.Ints(idxs)
+	held := make([]api.Guard, 0, n)
+	for _, li := range idxs {
+		g, _ := h.Acquire(t.Ptr(li), api.Exclusive, api.AcquireOpts{})
+		held = append(held, g)
+	}
+	for i := len(held) - 1; i >= 0; i-- {
+		h.Release(held[i])
+	}
+}
+
+// producerSorted trusts the callee's (conditional) sort: clean.
+func producerSorted(h *locker, t *table, n int) {
+	idxs := pickSorted(n, true)
+	held := make([]api.Guard, 0, n)
+	for _, li := range idxs {
+		g, _ := h.Acquire(t.Ptr(li), api.Exclusive, api.AcquireOpts{})
+		held = append(held, g)
+	}
+	for i := len(held) - 1; i >= 0; i-- {
+		h.Release(held[i])
+	}
+}
+
+// unsortedLoop acquires in the order of a slice nothing ever sorts.
+func unsortedLoop(h *locker, t *table, n int) {
+	idxs := pickRaw(n)
+	held := make([]api.Guard, 0, n)
+	for _, li := range idxs {
+		g, _ := h.Acquire(t.Ptr(li), api.Exclusive, api.AcquireOpts{}) // want `not provably sorted`
+		held = append(held, g)
+	}
+	for i := len(held) - 1; i >= 0; i-- {
+		h.Release(held[i])
+	}
+}

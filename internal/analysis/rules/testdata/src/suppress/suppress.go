@@ -23,9 +23,9 @@ func lineAbove() int {
 
 // wrongAnalyzer names a real analyzer that did not produce the finding:
 // the directive is well-formed (no directive error) but detrand's finding
-// survives.
+// survives, and the maporder waiver — suppressing nothing — is stale.
 func wrongAnalyzer() int {
-	return rand.Int() /*lint:allow maporder fixture: suppressing a different analyzer*/ // want `rand\.Int is nondeterministic`
+	return rand.Int() /*lint:allow maporder fixture: suppressing a different analyzer*/ // want `rand\.Int is nondeterministic` `stale //lint:allow maporder`
 }
 
 // unknownName is rejected even with a reason, and suppresses nothing.

@@ -149,12 +149,18 @@ type lruNode struct {
 }
 
 // lru is a fixed-capacity least-recently-used set of QPs. Implemented with
-// an intrusive doubly-linked list plus a map, both O(1) per access.
+// an intrusive doubly-linked list plus a map, both O(1) per access. Nodes
+// come from a free list grown in doubling slabs (the frictionless model's
+// cap of 1<<20 makes eager full preallocation too expensive), so once the
+// pool covers the working set the miss path recycles evicted nodes and
+// allocates nothing — QPC checks sit on the verb hot path.
 type lru struct {
 	cap   int
 	items map[QP]*lruNode
 	head  *lruNode // most recently used
 	tail  *lruNode // least recently used
+	free  *lruNode // spare nodes, chained on next
+	pool  int      // nodes allocated so far, never exceeds cap
 }
 
 func newLRU(capacity int) *lru {
@@ -162,6 +168,25 @@ func newLRU(capacity int) *lru {
 		panic("nic: QPC cache capacity must be positive")
 	}
 	return &lru{cap: capacity, items: make(map[QP]*lruNode)}
+}
+
+// grow links a fresh slab of nodes into the free list, doubling the pool
+// up to cap. At most O(log cap) slabs are ever allocated; after the pool
+// covers the live working set every miss reuses an evicted node.
+func (c *lru) grow() {
+	k := c.pool
+	if k == 0 {
+		k = 16
+	}
+	if rem := c.cap - c.pool; k > rem {
+		k = rem
+	}
+	nodes := make([]lruNode, k) //lint:allow allocfree amortized pool growth: O(log cap) slabs per run, steady-state misses recycle evicted nodes
+	for i := range nodes {
+		nodes[i].next = c.free
+		c.free = &nodes[i]
+	}
+	c.pool += k
 }
 
 func (c *lru) len() int { return len(c.items) }
@@ -176,7 +201,12 @@ func (c *lru) access(key QP) bool {
 	if len(c.items) >= c.cap {
 		c.evict()
 	}
-	n := &lruNode{key: key}
+	if c.free == nil {
+		c.grow()
+	}
+	n := c.free
+	c.free = n.next
+	n.key = key
 	c.items[key] = n
 	c.pushFront(n)
 	return false
@@ -223,4 +253,6 @@ func (c *lru) evict() {
 	}
 	c.unlink(lruEntry)
 	delete(c.items, lruEntry.key)
+	lruEntry.next = c.free
+	c.free = lruEntry
 }

@@ -245,6 +245,29 @@ func TestQuickLRU(t *testing.T) {
 	}
 }
 
+// Regression: the QPC miss path used to allocate a node per miss. With
+// the free-list pool, cycling a working set larger than capacity must
+// allocate nothing once the pool is warm — QPC checks sit on the verb
+// hot path and the allocfree analyzer assumes this.
+func TestLRUSteadyStateMissesAllocationFree(t *testing.T) {
+	c := newLRU(8)
+	keys := make([]QP, 16) // working set 2x capacity: every access misses
+	for i := range keys {
+		keys[i] = QP{0, i, 1}
+	}
+	for _, k := range keys { // warm the pool to full occupancy
+		c.access(k)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for _, k := range keys {
+			c.access(k)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state LRU cycle allocated %v times, want 0", avg)
+	}
+}
+
 func TestLRUEvictsLeastRecent(t *testing.T) {
 	c := newLRU(2)
 	a, b, d := QP{0, 1, 0}, QP{0, 2, 0}, QP{0, 3, 0}

@@ -64,3 +64,20 @@ func TestDirectRunNearZeroAllocs(t *testing.T) {
 			allocs, events, float64(allocs)/float64(events))
 	}
 }
+
+// TestWindowPoolDispatchZeroAllocs guards the windowed executor's
+// per-window cost: the old driver spawned fresh helper goroutines and a
+// capturing closure for every window; the pool parks persistent helpers
+// between windows, so dispatching a window must not allocate. The helper
+// count is explicit — the test does not depend on the slot budget.
+func TestWindowPoolDispatchZeroAllocs(t *testing.T) {
+	e := New(4, 64, model.Uniform(10), 1)
+	e.winActive = append(e.winActive[:0], e.shards...) // queues empty: dispatch cost only
+	pool := newWindowPool(e, 2)
+	defer pool.close()
+	pool.runWindow() // warm: helpers reach their parked state
+	avg := testing.AllocsPerRun(2000, func() { pool.runWindow() })
+	if avg != 0 {
+		t.Fatalf("window dispatch allocates %.3f allocs/window, want 0", avg)
+	}
+}

@@ -154,13 +154,13 @@ func (s *shard) runWindow() {
 		}
 		s.q.pop()
 		if ev.at < s.now {
-			s.trap = fmt.Errorf("sim: shard %d: time went backwards (%dns after %dns)", s.node, ev.at, s.now)
+			s.trap = fmt.Errorf("sim: shard %d: time went backwards (%dns after %dns)", s.node, ev.at, s.now) //lint:allow allocfree trap path: the engine is unusable after this, rate is zero in a healthy run
 			return
 		}
 		s.now = ev.at
 		s.events++
 		if s.events > s.e.maxEvents {
-			s.trap = fmt.Errorf("sim: shard %d: exceeded %d events at t=%dns — livelock?", s.node, s.e.maxEvents, s.now)
+			s.trap = fmt.Errorf("sim: shard %d: exceeded %d events at t=%dns — livelock?", s.node, s.e.maxEvents, s.now) //lint:allow allocfree trap path: the engine is unusable after this, rate is zero in a healthy run
 			return
 		}
 		if hook := s.e.onWindowEvent; hook != nil {
@@ -177,6 +177,75 @@ func (s *shard) runWindow() {
 		s.e.execProtocol(s, ev)
 	}
 }
+
+// windowPool owns the helper goroutines of one windowed Run. The helpers
+// are spawned once (each backed by an execution slot the caller already
+// acquired) and parked on the start channel between windows; runWindow
+// wakes as many as the window can use, joins in as the coordinator, and
+// waits for the window to drain. Spawning per Run instead of per window
+// keeps the per-window dispatch allocation-free — windows are the hot
+// path of a parallel Run, often a handful of events each.
+type windowPool struct {
+	e       *Engine
+	helpers int
+	start   chan struct{}
+	wg      sync.WaitGroup
+}
+
+func newWindowPool(e *Engine, helpers int) *windowPool {
+	p := &windowPool{e: e, helpers: helpers, start: make(chan struct{})} //lint:allow allocfree pool construction runs once per windowed Run, not per window
+	for i := 0; i < helpers; i++ {
+		go p.helperLoop() //lint:allow allocfree helpers are spawned once per Run and parked between windows
+	}
+	return p
+}
+
+// helperLoop parks on the start channel; each token is one window's worth
+// of claiming work. close(start) retires the helper.
+func (p *windowPool) helperLoop() {
+	for range p.start {
+		p.e.claimShards()
+		p.wg.Done()
+	}
+}
+
+// runWindow drives one window: every woken helper plus the coordinator
+// drain e.winActive through the shared claim counter. Helpers beyond
+// len(winActive)-1 stay parked — they could only spin on an exhausted
+// counter.
+func (p *windowPool) runWindow() {
+	k := p.helpers
+	if h := len(p.e.winActive) - 1; k > h {
+		k = h
+	}
+	p.e.winClaim.Store(0)
+	p.wg.Add(k)
+	for i := 0; i < k; i++ {
+		p.start <- struct{}{}
+	}
+	p.e.claimShards()
+	p.wg.Wait()
+}
+
+// close retires the helpers; the pool is unusable afterwards.
+func (p *windowPool) close() { close(p.start) }
+
+// claimShards executes active shards' windows, claiming indices from the
+// shared counter until none remain. The coordinator and every pool helper
+// run it concurrently; claim order is irrelevant to results because
+// window boundaries depend on event times alone.
+func (e *Engine) claimShards() {
+	for {
+		i := int(e.winClaim.Add(1)) - 1
+		if i >= len(e.winActive) {
+			return
+		}
+		e.winActive[i].runWindow()
+	}
+}
+
+// clearWindowed is runWindowed's deferred exit hook.
+func (e *Engine) clearWindowed() { e.windowed = false }
 
 // runWindowed is Run's sharded-parallel driver. Concurrency is governed by
 // the process-wide execution-slot budget (internal/slots): the Run caller
@@ -195,7 +264,7 @@ func (e *Engine) runWindowed() {
 	defer slots.Release(extra)
 
 	e.windowed = true
-	defer func() { e.windowed = false }()
+	defer e.clearWindowed()
 	if e.audit {
 		e.curShard.Store(auditParallel)
 		defer e.curShard.Store(auditIdle)
@@ -205,7 +274,8 @@ func (e *Engine) runWindowed() {
 		s.events = 0
 	}
 
-	active := make([]*shard, 0, len(e.shards))
+	pool := newWindowPool(e, extra)
+	defer pool.close()
 	for {
 		// Barrier: deliver cross-shard sends to their owning shards.
 		for _, s := range e.shards {
@@ -238,44 +308,15 @@ func (e *Engine) runWindowed() {
 		}
 		// The safe window: nothing can cross shards before minHead+lookahead.
 		wend := minHead + e.lookahead
-		active = active[:0]
+		e.winActive = e.winActive[:0]
 		for _, s := range e.shards {
 			if s.q.len() > 0 && s.q.min().at < wend {
 				s.wend = wend
 				s.active.Store(true)
-				active = append(active, s)
+				e.winActive = append(e.winActive, s)
 			}
 		}
-		// Execute the window: helpers and the coordinator claim active
-		// shards from a shared counter until none remain.
-		helpers := extra
-		if h := len(active) - 1; helpers > h {
-			helpers = h
-		}
-		var claim atomic.Int64
-		runShards := func() {
-			for {
-				i := int(claim.Add(1)) - 1
-				if i >= len(active) {
-					return
-				}
-				active[i].runWindow()
-			}
-		}
-		if helpers > 0 {
-			var wg sync.WaitGroup
-			wg.Add(helpers)
-			for i := 0; i < helpers; i++ {
-				go func() {
-					defer wg.Done()
-					runShards()
-				}()
-			}
-			runShards()
-			wg.Wait()
-		} else {
-			runShards()
-		}
+		pool.runWindow()
 		for _, s := range e.shards {
 			if s.trap != nil {
 				e.foldShards()
